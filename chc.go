@@ -1,0 +1,141 @@
+// Package chc is a from-scratch Go reproduction of CHC, the NFV
+// state-management framework from "Correctness and Performance for Stateful
+// Chained Network Functions" (Khalid & Akella, NSDI 2019).
+//
+// CHC provides chain output equivalence (COE) for chains of stateful
+// network functions: per- and cross-flow state lives in an external store
+// with offloaded operations and scope-aware caching, packets carry logical
+// clocks assigned at a chain root that also logs in-flight packets, and a
+// set of metadata protocols (ownership handover, XOR commit vectors,
+// duplicate-suppression logs, checkpoint+WAL recovery) keeps state correct
+// through elastic scaling, straggler cloning, and failures of NF instances,
+// roots and store instances.
+//
+// This package is the public facade. Typical use:
+//
+//	cfg := chc.DefaultChainConfig()
+//	chain := chc.NewChain(cfg,
+//	    chc.VertexSpec{Name: "nat", Make: func() chc.NF { return nat.New() }},
+//	)
+//	chain.Start()
+//	chain.RunTrace(tr, time.Second)
+//
+// The deployment runs on a deterministic discrete-event simulation of the
+// network (see DESIGN.md for the substitution rationale): virtual time,
+// configurable link RTTs, and fail-stop crash injection. The store engine
+// itself (chc/internal/store) is a real concurrent data structure.
+package chc
+
+import (
+	"chc/internal/experiments"
+	"chc/internal/nf"
+	"chc/internal/packet"
+	"chc/internal/runtime"
+	"chc/internal/store"
+	"chc/internal/trace"
+)
+
+// Core NF programming model.
+type (
+	// NF is a network function: state declarations plus per-packet
+	// processing.
+	NF = nf.NF
+	// Ctx is the per-packet processing context handed to NF code.
+	Ctx = nf.Ctx
+	// Alert is a detection/action event surfaced by an NF.
+	Alert = nf.Alert
+	// Packet is a parsed packet plus CHC shim metadata.
+	Packet = packet.Packet
+	// FlowKey is the 5-tuple.
+	FlowKey = packet.FlowKey
+)
+
+// State model.
+type (
+	// ObjDecl declares an NF state object: scope + access pattern drive the
+	// Table 1 management strategy.
+	ObjDecl = store.ObjDecl
+	// Value is the store's tagged union value.
+	Value = store.Value
+	// Request is one offloaded state operation.
+	Request = store.Request
+	// Mode selects the state-management model (EO / EO+C / EO+C+NA).
+	Mode = store.Mode
+)
+
+// Deployment.
+type (
+	// ChainConfig tunes a deployment (latencies, thread counts, protocol
+	// switches like SyncDelete and XORCheck).
+	ChainConfig = runtime.ChainConfig
+	// VertexSpec declares one logical NF in the chain.
+	VertexSpec = runtime.VertexSpec
+	// Chain is a deployed physical chain.
+	Chain = runtime.Chain
+	// Vertex is a deployed logical NF with its instances and splitter.
+	Vertex = runtime.Vertex
+	// Instance is one physical NF instance.
+	Instance = runtime.Instance
+	// Metrics aggregates chain measurements.
+	Metrics = runtime.Metrics
+	// Trace is a packet trace.
+	Trace = trace.Trace
+	// TraceConfig drives synthetic trace generation.
+	TraceConfig = trace.Config
+)
+
+// Backend kinds.
+const (
+	// BackendCHC externalizes state to the store (the paper's system).
+	BackendCHC = runtime.BackendCHC
+	// BackendTraditional keeps state NF-local (baseline "T").
+	BackendTraditional = runtime.BackendTraditional
+	// BackendLocking is the naive lock-RMW baseline.
+	BackendLocking = runtime.BackendLocking
+)
+
+// State-management models (Figure 8/10 columns).
+var (
+	// ModeEO externalizes every operation (model #1).
+	ModeEO = store.ModeEO
+	// ModeEOC adds the Table 1 caching strategies (model #2).
+	ModeEOC = store.ModeEOC
+	// ModeEOCNA additionally skips ACK waits on non-blocking ops (model #3).
+	ModeEOCNA = store.ModeEOCNA
+)
+
+// NewChain builds (but does not start) a chain deployment.
+func NewChain(cfg ChainConfig, vertices ...VertexSpec) *Chain {
+	return runtime.New(cfg, vertices...)
+}
+
+// DefaultChainConfig returns the calibrated defaults from DESIGN.md.
+func DefaultChainConfig() ChainConfig { return runtime.DefaultChainConfig() }
+
+// GenerateTrace builds a synthetic, deterministic packet trace with the
+// aggregate properties of the paper's campus-to-EC2 captures.
+func GenerateTrace(cfg TraceConfig) *Trace { return trace.Generate(cfg) }
+
+// DefaultTraceConfig mirrors a scaled-down Trace2.
+func DefaultTraceConfig() TraceConfig { return trace.DefaultConfig() }
+
+// Experiments exposes the paper's evaluation harness: map of experiment id
+// to runner (see DESIGN.md §3 for the per-experiment index).
+func Experiments() map[string]func(experiments.Opts) *experiments.Table {
+	return experiments.All()
+}
+
+// ExperimentOrder is the canonical presentation order of experiment ids.
+var ExperimentOrder = experiments.Order
+
+// ExperimentOpts scales experiment runs.
+type ExperimentOpts = experiments.Opts
+
+// ExperimentTable is a rendered experiment result.
+type ExperimentTable = experiments.Table
+
+// SmallScale is the CI-friendly experiment scale.
+func SmallScale() ExperimentOpts { return experiments.Small() }
+
+// FullScale is the paper-like experiment scale.
+func FullScale() ExperimentOpts { return experiments.Full() }

@@ -1,0 +1,86 @@
+package chc_test
+
+import (
+	"testing"
+	"time"
+
+	"chc"
+	nfnat "chc/internal/nf/nat"
+	"chc/internal/store"
+)
+
+// TestPublicAPIQuickstart exercises the public facade end to end the way
+// the README's quickstart does.
+func TestPublicAPIQuickstart(t *testing.T) {
+	cfg := chc.DefaultChainConfig()
+	cfg.DefaultServiceTime = 2 * time.Microsecond
+	cfg.DefaultThreads = 1
+
+	chain := chc.NewChain(cfg, chc.VertexSpec{
+		Name:    "nat",
+		Make:    func() chc.NF { return nfnat.New() },
+		Backend: chc.BackendCHC,
+		Mode:    chc.ModeEOCNA,
+	})
+	chain.Start()
+	chain.Vertices[0].Seed(func(apply func(store.Request)) {
+		nfnat.New().SeedPorts(apply)
+	})
+
+	tr := chc.GenerateTrace(chc.TraceConfig{
+		Seed: 1, Flows: 60, PktsPerFlowMean: 8, PayloadMedian: 800,
+		Hosts: 8, Servers: 4,
+	})
+	tr.Pace(2_000_000_000)
+	chain.RunTrace(tr, 100*time.Millisecond)
+
+	if int(chain.Sink.Received) != tr.Len() {
+		t.Fatalf("delivered %d of %d", chain.Sink.Received, tr.Len())
+	}
+	if chain.Sink.Duplicates != 0 {
+		t.Fatalf("%d duplicates", chain.Sink.Duplicates)
+	}
+	v, ok := chain.Store.Engine().Get(store.Key{Vertex: 1, Obj: nfnat.ObjTotal})
+	if !ok || v.Int != int64(tr.Len()) {
+		t.Fatalf("externalized counter = %v,%v want %d", v, ok, tr.Len())
+	}
+}
+
+// TestExperimentRegistry checks the public experiment surface.
+func TestExperimentRegistry(t *testing.T) {
+	exps := chc.Experiments()
+	if len(exps) != len(chc.ExperimentOrder) {
+		t.Fatalf("%d experiments, %d in order", len(exps), len(chc.ExperimentOrder))
+	}
+	for _, id := range chc.ExperimentOrder {
+		if exps[id] == nil {
+			t.Fatalf("missing %s", id)
+		}
+	}
+}
+
+// TestDeterministicRuns: identical seeds produce identical chain results.
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (uint64, int64) {
+		cfg := chc.DefaultChainConfig()
+		cfg.DefaultServiceTime = 2 * time.Microsecond
+		cfg.DefaultThreads = 2
+		chain := chc.NewChain(cfg, chc.VertexSpec{
+			Name: "nat", Make: func() chc.NF { return nfnat.New() },
+			Backend: chc.BackendCHC, Mode: chc.ModeEOCNA,
+		})
+		chain.Start()
+		chain.Vertices[0].Seed(func(apply func(store.Request)) { nfnat.New().SeedPorts(apply) })
+		tr := chc.GenerateTrace(chc.TraceConfig{Seed: 5, Flows: 50, PktsPerFlowMean: 8,
+			PayloadMedian: 700, Hosts: 8, Servers: 4})
+		tr.Pace(3_000_000_000)
+		chain.RunTrace(tr, 100*time.Millisecond)
+		v, _ := chain.Store.Engine().Get(store.Key{Vertex: 1, Obj: nfnat.ObjTotal})
+		return chain.Sink.Received, v.Int
+	}
+	r1, c1 := run()
+	r2, c2 := run()
+	if r1 != r2 || c1 != c2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", r1, c1, r2, c2)
+	}
+}

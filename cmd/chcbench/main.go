@@ -1,0 +1,63 @@
+// Command chcbench regenerates the CHC paper's evaluation tables and
+// figures (§7) on the simulation substrate.
+//
+// Usage:
+//
+//	chcbench                  # run everything at small scale
+//	chcbench -scale full      # paper-like scale (slower)
+//	chcbench -run fig8,fig11  # selected experiments
+//	chcbench -list            # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"chc/internal/experiments"
+)
+
+func main() {
+	runFlag := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+	scale := flag.String("scale", "small", "small | full")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	seed := flag.Int64("seed", 42, "deterministic seed")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, id := range experiments.Order {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiments.Small()
+	if *scale == "full" {
+		opts = experiments.Full()
+	}
+	opts.Seed = *seed
+
+	var ids []string
+	if *runFlag == "all" {
+		ids = experiments.Order
+	} else {
+		for _, id := range strings.Split(*runFlag, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := all[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		tbl := all[id](opts)
+		fmt.Println(tbl.String())
+		fmt.Printf("  (%s in %.1fs wall)\n\n", id, time.Since(start).Seconds())
+	}
+}

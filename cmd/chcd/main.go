@@ -1,0 +1,217 @@
+// Command chcd deploys a CHC chain described by a JSON config, runs a trace
+// through it (from a file or generated), and reports chain statistics.
+//
+// Example config:
+//
+//	{
+//	  "vertices": [
+//	    {"name": "nat", "nf": "nat", "instances": 2, "backend": "chc", "mode": "eocna"},
+//	    {"name": "ids", "nf": "portscan", "backend": "chc", "mode": "eocna"},
+//	    {"name": "dpi", "nf": "trojan", "backend": "chc", "mode": "eocna", "offpath": true}
+//	  ]
+//	}
+//
+// Usage:
+//
+//	chcd -config chain.json -trace trace.chct
+//	chcd -config chain.json -flows 500 -gbps 2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"chc/internal/nf"
+	nflb "chc/internal/nf/lb"
+	nfnat "chc/internal/nf/nat"
+	nfps "chc/internal/nf/portscan"
+	nftrojan "chc/internal/nf/trojan"
+	"chc/internal/packet"
+	"chc/internal/runtime"
+	"chc/internal/store"
+	"chc/internal/trace"
+)
+
+// vertexJSON is one chain vertex in the config file.
+type vertexJSON struct {
+	Name      string `json:"name"`
+	NF        string `json:"nf"` // nat | portscan | trojan | lb | pass
+	Instances int    `json:"instances"`
+	Backend   string `json:"backend"` // chc | traditional | locking
+	Mode      string `json:"mode"`    // eo | eoc | eocna
+	OffPath   bool   `json:"offpath"`
+	Backends  int    `json:"backends"` // for lb
+}
+
+type configJSON struct {
+	Vertices []vertexJSON `json:"vertices"`
+	Seed     int64        `json:"seed"`
+}
+
+// passNF forwards packets unchanged.
+type passNF struct{}
+
+func (passNF) Name() string           { return "pass" }
+func (passNF) Decls() []store.ObjDecl { return nil }
+func (passNF) Process(ctx *nf.Ctx, pkt *packet.Packet) []*packet.Packet {
+	return []*packet.Packet{pkt}
+}
+
+func makeNF(v vertexJSON) (func() nf.NF, func(*runtime.Vertex), error) {
+	noSeed := func(*runtime.Vertex) {}
+	switch v.NF {
+	case "nat":
+		return func() nf.NF { return nfnat.New() }, func(vx *runtime.Vertex) {
+			vx.Seed(func(apply func(store.Request)) { nfnat.New().SeedPorts(apply) })
+		}, nil
+	case "portscan":
+		return func() nf.NF { return nfps.New() }, noSeed, nil
+	case "trojan":
+		return func() nf.NF { return nftrojan.New() }, noSeed, nil
+	case "lb":
+		n := v.Backends
+		if n == 0 {
+			n = 8
+		}
+		return func() nf.NF { return nflb.New(n) }, func(vx *runtime.Vertex) {
+			vx.Seed(func(apply func(store.Request)) { nflb.New(n).SeedServers(apply) })
+		}, nil
+	case "pass", "":
+		return func() nf.NF { return passNF{} }, noSeed, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown nf %q", v.NF)
+	}
+}
+
+func parseBackend(s string) (runtime.BackendKind, error) {
+	switch s {
+	case "chc", "":
+		return runtime.BackendCHC, nil
+	case "traditional":
+		return runtime.BackendTraditional, nil
+	case "locking":
+		return runtime.BackendLocking, nil
+	default:
+		return 0, fmt.Errorf("unknown backend %q", s)
+	}
+}
+
+func parseMode(s string) (store.Mode, error) {
+	switch s {
+	case "eo":
+		return store.ModeEO, nil
+	case "eoc":
+		return store.ModeEOC, nil
+	case "eocna", "":
+		return store.ModeEOCNA, nil
+	default:
+		return store.Mode{}, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func main() {
+	cfgPath := flag.String("config", "", "chain config JSON (required)")
+	tracePath := flag.String("trace", "", "trace file (from tracegen); empty generates one")
+	flows := flag.Int("flows", 500, "generated trace connections")
+	gbpsF := flag.Int64("gbps", 2, "offered load in Gbps")
+	settle := flag.Duration("settle", 500*time.Millisecond, "post-trace settle time (virtual)")
+	flag.Parse()
+
+	if *cfgPath == "" {
+		fmt.Fprintln(os.Stderr, "chcd: -config is required")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg configJSON
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fatal(fmt.Errorf("parse config: %w", err))
+	}
+	if len(cfg.Vertices) == 0 {
+		fatal(fmt.Errorf("config has no vertices"))
+	}
+
+	ccfg := runtime.DefaultChainConfig()
+	ccfg.DefaultServiceTime = 2 * time.Microsecond
+	ccfg.DefaultThreads = 2
+	if cfg.Seed != 0 {
+		ccfg.Seed = cfg.Seed
+	}
+	var specs []runtime.VertexSpec
+	var seeders []func(*runtime.Vertex)
+	for _, v := range cfg.Vertices {
+		mk, seeder, err := makeNF(v)
+		if err != nil {
+			fatal(err)
+		}
+		backend, err := parseBackend(v.Backend)
+		if err != nil {
+			fatal(err)
+		}
+		mode, err := parseMode(v.Mode)
+		if err != nil {
+			fatal(err)
+		}
+		specs = append(specs, runtime.VertexSpec{
+			Name: v.Name, Make: mk, Instances: v.Instances,
+			Backend: backend, Mode: mode, OffPath: v.OffPath,
+		})
+		seeders = append(seeders, seeder)
+	}
+	ch := runtime.New(ccfg, specs...)
+	ch.Start()
+	for i, seeder := range seeders {
+		seeder(ch.Vertices[i])
+	}
+
+	var tr *trace.Trace
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err = trace.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		tr = trace.Generate(trace.Config{Seed: ccfg.Seed, Flows: *flows,
+			PktsPerFlowMean: 16, PayloadMedian: 1394, Hosts: 32, Servers: 16})
+		tr.Pace(*gbpsF * 1_000_000_000)
+	}
+
+	fmt.Printf("chain: %d vertices, trace: %d packets (%v)\n",
+		len(ch.Vertices), tr.Len(), tr.Duration())
+	ch.RunTrace(tr, *settle)
+
+	fmt.Printf("\nroot:  injected=%d deleted=%d dropped=%d log=%d\n",
+		ch.Root.Injected, ch.Root.Deleted, ch.Root.Dropped, ch.Root.LogSize())
+	for _, v := range ch.Vertices {
+		for _, in := range v.Instances {
+			fmt.Printf("%-12s processed=%-8d suppressed=%-6d bytes=%d\n",
+				v.Spec.Name, in.Processed, in.Suppressed, in.BytesProcessed)
+		}
+		s := ch.Metrics.Get("proc." + v.Spec.Name)
+		fmt.Printf("%-12s proc p50=%v p95=%v\n", v.Spec.Name, s.Percentile(50), s.Percentile(95))
+	}
+	fmt.Printf("sink:  received=%d duplicates=%d\n", ch.Sink.Received, ch.Sink.Duplicates)
+	e2e := ch.Metrics.Get("total.chain")
+	fmt.Printf("chain: e2e p50=%v p95=%v\n", e2e.Percentile(50), e2e.Percentile(95))
+	if n := ch.Metrics.AlertCount("scanner-detected"); n > 0 {
+		fmt.Printf("alerts: %d scanners detected\n", n)
+	}
+	if n := ch.Metrics.AlertCount("trojan-detected"); n > 0 {
+		fmt.Printf("alerts: %d trojans detected\n", n)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chcd:", err)
+	os.Exit(1)
+}

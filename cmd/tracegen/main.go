@@ -1,0 +1,62 @@
+// Command tracegen emits synthetic packet traces in the repository's trace
+// file format, optionally implanting portscan activity and Trojan
+// signatures for the security experiments.
+//
+// Usage:
+//
+//	tracegen -flows 2000 -out trace.chct
+//	tracegen -flows 500 -trojans 11 -scan 64 -out attack.chct
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chc/internal/trace"
+)
+
+func main() {
+	flows := flag.Int("flows", 2000, "TCP connections to generate")
+	pktsPerFlow := flag.Int("pkts-per-flow", 32, "mean packets per flow")
+	payload := flag.Int("payload", 1394, "median data payload bytes")
+	hosts := flag.Int("hosts", 64, "internal host count")
+	servers := flag.Int("servers", 32, "external server count")
+	seed := flag.Int64("seed", 42, "deterministic seed")
+	trojans := flag.Int("trojans", 0, "Trojan signatures to implant")
+	scan := flag.Int("scan", 0, "portscan probes to implant")
+	rate := flag.Int64("gbps", 10, "pacing rate in Gbps")
+	out := flag.String("out", "trace.chct", "output file")
+	flag.Parse()
+
+	tr := trace.Generate(trace.Config{
+		Seed:            *seed,
+		Flows:           *flows,
+		PktsPerFlowMean: *pktsPerFlow,
+		PayloadMedian:   *payload,
+		Hosts:           *hosts,
+		Servers:         *servers,
+	})
+	if *trojans > 0 {
+		sigs := trace.InjectTrojan(tr, *trojans, *seed+1)
+		fmt.Printf("implanted %d trojan signatures\n", len(sigs))
+	}
+	if *scan > 0 {
+		trace.InjectPortscan(tr, trace.HostIP(250), *scan, 0.9, tr.Len()/2, *seed+2)
+		fmt.Printf("implanted %d portscan probes from %x\n", *scan, trace.HostIP(250))
+	}
+	tr.Pace(*rate * 1_000_000_000)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if _, err := tr.WriteTo(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d packets, %d bytes wire, %v duration\n",
+		*out, tr.Len(), tr.Bytes(), tr.Duration())
+}

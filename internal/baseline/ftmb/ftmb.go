@@ -1,0 +1,106 @@
+// Package ftmb emulates FTMB's rollback-recovery [28] exactly the way the
+// CHC paper does (§7.3 R1): since FTMB's code is unavailable, checkpointing
+// is modeled as a periodic stall — a queueing delay of 5000µs every 200ms
+// (from Figure 6 of the FTMB paper) — plus per-packet PAL (packet access
+// log) overhead. Packets arriving during a stall are buffered and drained
+// afterwards, which is what inflates FTMB's tail latency versus CHC.
+package ftmb
+
+import (
+	"time"
+
+	"chc/internal/packet"
+	"chc/internal/simnet"
+	"chc/internal/vtime"
+)
+
+// Config models the emulated FTMB middlebox.
+type Config struct {
+	// CheckpointEvery is the checkpoint period (paper: 200ms).
+	CheckpointEvery time.Duration
+	// CheckpointStall is the per-checkpoint packet stall (paper: 5000µs).
+	CheckpointStall time.Duration
+	// PALPerPacket is the per-packet logging overhead.
+	PALPerPacket time.Duration
+	// ServiceTime is the NF processing cost per packet.
+	ServiceTime time.Duration
+}
+
+// DefaultConfig mirrors §7.3 R1.
+func DefaultConfig() Config {
+	return Config{
+		CheckpointEvery: 200 * time.Millisecond,
+		CheckpointStall: 5000 * time.Microsecond,
+		PALPerPacket:    300 * time.Nanosecond,
+		ServiceTime:     time.Microsecond,
+	}
+}
+
+// Middlebox is an FTMB-emulated NF instance.
+type Middlebox struct {
+	net      *simnet.Network
+	cfg      Config
+	Endpoint string
+	// Latencies holds per-packet arrival-to-done times.
+	Latencies []time.Duration
+	// Checkpoints counts completed checkpoints.
+	Checkpoints uint64
+	Processed   uint64
+
+	stallUntil vtime.Time
+}
+
+// In is the message type the middlebox consumes.
+type In struct {
+	Pkt    *packet.Packet
+	SentAt vtime.Time
+}
+
+// New builds an FTMB middlebox on endpoint name.
+func New(net *simnet.Network, endpoint string, cfg Config) *Middlebox {
+	if cfg.CheckpointEvery == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Middlebox{net: net, cfg: cfg, Endpoint: endpoint}
+}
+
+// Start spawns the packet loop and the checkpointer.
+func (m *Middlebox) Start() {
+	sim := m.net.Sim()
+	sim.Spawn(m.Endpoint, m.run)
+	sim.Spawn(m.Endpoint+".ckpt", func(p *vtime.Proc) {
+		for {
+			p.Sleep(m.cfg.CheckpointEvery)
+			// Checkpoint: stall packet processing for the stall window.
+			m.stallUntil = p.Now().Add(m.cfg.CheckpointStall)
+			m.Checkpoints++
+		}
+	})
+}
+
+func (m *Middlebox) run(p *vtime.Proc) {
+	ep := m.net.Endpoint(m.Endpoint)
+	for {
+		msg := ep.Inbox.Recv(p)
+		in, ok := msg.Payload.(In)
+		if !ok {
+			continue
+		}
+		// If a checkpoint is in progress, the packet waits it out.
+		if m.stallUntil > p.Now() {
+			p.SleepUntil(m.stallUntil)
+		}
+		p.Sleep(m.cfg.ServiceTime + m.cfg.PALPerPacket)
+		m.Processed++
+		m.Latencies = append(m.Latencies, p.Now().Sub(in.SentAt))
+	}
+}
+
+// Inject sends a packet into the middlebox at the current instant.
+func (m *Middlebox) Inject(pkt *packet.Packet) {
+	m.net.Send(simnet.Message{
+		From: "ftmb-driver", To: m.Endpoint,
+		Payload: In{Pkt: pkt, SentAt: m.net.Sim().Now()},
+		Size:    pkt.WireLen(),
+	})
+}

@@ -1,0 +1,78 @@
+package ftmb
+
+import (
+	"testing"
+	"time"
+
+	"chc/internal/packet"
+	"chc/internal/simnet"
+	"chc/internal/vtime"
+)
+
+func TestCheckpointStallInflatesTail(t *testing.T) {
+	sim := vtime.NewSim(1)
+	net := simnet.New(sim, simnet.LinkConfig{Latency: time.Microsecond})
+	cfg := DefaultConfig()
+	cfg.CheckpointEvery = 10 * time.Millisecond
+	cfg.CheckpointStall = 2 * time.Millisecond
+	mb := New(net, "ftmb", cfg)
+	mb.Start()
+
+	// Inject packets at a steady 100kpps for 50ms.
+	pkt := &packet.Packet{Proto: packet.ProtoTCP, PayloadLen: 1394}
+	for i := 0; i < 5000; i++ {
+		at := vtime.Time(i) * vtime.Time(10*time.Microsecond)
+		sim.ScheduleAt(at, func() { mb.Inject(pkt) })
+	}
+	sim.RunFor(100 * time.Millisecond)
+
+	if mb.Checkpoints < 4 {
+		t.Fatalf("checkpoints = %d, want >= 4", mb.Checkpoints)
+	}
+	if int(mb.Processed) != 5000 {
+		t.Fatalf("processed %d of 5000", mb.Processed)
+	}
+	// Median stays near service time; high percentiles absorb the stall.
+	lat := append([]time.Duration(nil), mb.Latencies...)
+	median := percentile(lat, 50)
+	p99 := percentile(lat, 99)
+	if median > 100*time.Microsecond {
+		t.Fatalf("median = %v, want small", median)
+	}
+	if p99 < 500*time.Microsecond {
+		t.Fatalf("p99 = %v, want stall-inflated (>= 500µs)", p99)
+	}
+}
+
+func TestNoStallWithoutCheckpoints(t *testing.T) {
+	sim := vtime.NewSim(1)
+	net := simnet.New(sim, simnet.LinkConfig{Latency: time.Microsecond})
+	cfg := DefaultConfig()
+	cfg.CheckpointEvery = time.Hour // effectively never
+	mb := New(net, "ftmb", cfg)
+	mb.Start()
+	pkt := &packet.Packet{Proto: packet.ProtoTCP}
+	for i := 0; i < 100; i++ {
+		at := vtime.Time(i) * vtime.Time(10*time.Microsecond)
+		sim.ScheduleAt(at, func() { mb.Inject(pkt) })
+	}
+	sim.RunFor(10 * time.Millisecond)
+	for _, l := range mb.Latencies {
+		if l > 100*time.Microsecond {
+			t.Fatalf("latency %v without checkpoints", l)
+		}
+	}
+}
+
+func percentile(v []time.Duration, q int) time.Duration {
+	s := append([]time.Duration(nil), v...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	if len(s) == 0 {
+		return 0
+	}
+	return s[q*(len(s)-1)/100]
+}

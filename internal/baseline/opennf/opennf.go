@@ -1,0 +1,145 @@
+// Package opennf models the OpenNF control plane [16] as the paper's
+// comparison baseline:
+//
+//   - Strongly consistent shared state (§7.3 R3 / Fig 11): every packet that
+//     updates shared state is forwarded to the controller, which multicasts
+//     the event to EVERY instance sharing the state and releases the next
+//     packet only after all instances ACK.
+//   - Loss-free move (§7.3 R2): the controller suspends the flows, extracts
+//     serialized per-flow state from the source instance, installs it at the
+//     target, and replays events buffered during the move.
+//
+// Neither mechanism provides chain-wide ordering (R4) or duplicate
+// suppression (R5), which is what the corresponding experiments measure.
+package opennf
+
+import (
+	"time"
+
+	"chc/internal/simnet"
+	"chc/internal/vtime"
+)
+
+// Config models the OpenNF controller costs.
+type Config struct {
+	// EventProc is controller CPU time per forwarded event.
+	EventProc time.Duration
+	// SerializePerState is the per-state-record cost of extracting state
+	// from an instance (OpenNF serializes NF state through its API).
+	SerializePerState time.Duration
+	// InstallPerState is the per-record install cost at the target.
+	InstallPerState time.Duration
+}
+
+// DefaultConfig reflects the published OpenNF measurements' ballpark.
+func DefaultConfig() Config {
+	return Config{
+		EventProc:         2 * time.Microsecond,
+		SerializePerState: 300 * time.Nanosecond,
+		InstallPerState:   300 * time.Nanosecond,
+	}
+}
+
+// Controller is the centralized OpenNF controller.
+type Controller struct {
+	net       *simnet.Network
+	cfg       Config
+	Endpoint  string
+	instances []string
+	proc      *vtime.Proc
+
+	// Stats.
+	Events uint64
+	Moves  uint64
+}
+
+// updateReq is one shared-state update event routed via the controller.
+type updateReq struct {
+	from string
+}
+
+// ackMsg acknowledges a multicast event.
+type ackMsg struct{ seq uint64 }
+
+// NewController builds a controller process endpoint.
+func NewController(net *simnet.Network, endpoint string, cfg Config, instances []string) *Controller {
+	if cfg.EventProc == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Controller{net: net, cfg: cfg, Endpoint: endpoint, instances: instances}
+}
+
+// Start spawns the controller and one ACK-responder per registered
+// instance endpoint (modeling the instances' OpenNF shim layer).
+func (c *Controller) Start() {
+	sim := c.net.Sim()
+	c.proc = sim.Spawn(c.Endpoint, c.run)
+	for _, inst := range c.instances {
+		inst := inst
+		ep := c.net.Endpoint(inst + ".onf")
+		sim.Spawn(inst+".onf", func(p *vtime.Proc) {
+			for {
+				msg := ep.Inbox.Recv(p)
+				if cm, ok := msg.Payload.(*simnet.CallMsg); ok {
+					p.Sleep(time.Microsecond) // apply the replicated update
+					cm.Reply(ackMsg{}, 8)
+				}
+			}
+		})
+	}
+}
+
+// run serializes all controller work: this serialization is the documented
+// OpenNF bottleneck the paper measures.
+func (c *Controller) run(p *vtime.Proc) {
+	ep := c.net.Endpoint(c.Endpoint)
+	for {
+		msg := ep.Inbox.Recv(p)
+		cm, ok := msg.Payload.(*simnet.CallMsg)
+		if !ok {
+			continue
+		}
+		switch cm.Payload.(type) {
+		case updateReq:
+			c.Events++
+			p.Sleep(c.cfg.EventProc)
+			// Multicast to every instance and await all ACKs before
+			// releasing (strong consistency).
+			for _, inst := range c.instances {
+				c.net.Call(p, c.Endpoint, inst+".onf", updateReq{}, 64, 10*time.Millisecond)
+			}
+			cm.Reply(ackMsg{}, 8)
+		}
+	}
+}
+
+// SharedUpdate performs one strongly consistent shared-state update from an
+// NF instance through the controller, returning its latency. Must be called
+// from a simulation process.
+func (c *Controller) SharedUpdate(p *vtime.Proc, from string) (time.Duration, bool) {
+	start := p.Now()
+	_, ok := c.net.Call(p, from, c.Endpoint, updateReq{from: from}, 128, 50*time.Millisecond)
+	return p.Now().Sub(start), ok
+}
+
+// Move performs an OpenNF loss-free move of nFlows flows' state (each with
+// statePerFlow records) from src to dst, returning the duration. The flows'
+// packets are buffered for the whole window (the latency the paper
+// contrasts with CHC's metadata-only handover).
+func (c *Controller) Move(p *vtime.Proc, src, dst string, nFlows, statePerFlow int) time.Duration {
+	start := p.Now()
+	c.Moves++
+	rtt := func(a, b string) {
+		c.net.Call(p, a, b, updateReq{}, 256, 50*time.Millisecond)
+	}
+	// 1. Tell src to suspend + export (1 RTT), then serialize.
+	rtt(c.Endpoint, src+".onf")
+	p.Sleep(time.Duration(nFlows*statePerFlow) * c.cfg.SerializePerState)
+	// 2. Transfer the state blob (size-proportional message).
+	c.net.Call(p, c.Endpoint, dst+".onf", updateReq{}, nFlows*statePerFlow*64, 50*time.Millisecond)
+	// 3. Install at dst.
+	p.Sleep(time.Duration(nFlows*statePerFlow) * c.cfg.InstallPerState)
+	// 4. Flush buffered events / update routing (1 RTT).
+	rtt(c.Endpoint, dst+".onf")
+	return p.Now().Sub(start)
+}

@@ -1,0 +1,235 @@
+// Package experiments implements the CHC paper's evaluation (§7): one
+// function per table/figure that builds the relevant chain on the
+// simulation substrate, drives a synthetic workload, and returns a Table of
+// the same rows/series the paper reports. cmd/chcbench prints them;
+// bench_test.go wraps them as Go benchmarks; EXPERIMENTS.md records
+// paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"chc/internal/nf"
+	nflb "chc/internal/nf/lb"
+	nfnat "chc/internal/nf/nat"
+	nfps "chc/internal/nf/portscan"
+	nftrojan "chc/internal/nf/trojan"
+	"chc/internal/runtime"
+	"chc/internal/store"
+	"chc/internal/trace"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cols ...string) { t.Rows = append(t.Rows, cols) }
+
+// Note appends a note line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders an aligned text table.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Opts scales experiments: tests run Small, cmd/chcbench runs Full.
+type Opts struct {
+	Seed  int64
+	Flows int // background connections per run
+}
+
+// Small is the CI-friendly scale.
+func Small() Opts { return Opts{Seed: 42, Flows: 120} }
+
+// Full is the paper-like scale (minutes of virtual time).
+func Full() Opts { return Opts{Seed: 42, Flows: 2000} }
+
+// us formats a duration in microseconds with two decimals.
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.2fµs", float64(d.Nanoseconds())/1000)
+}
+
+// ms formats a duration in milliseconds with three decimals.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(d.Nanoseconds())/1e6)
+}
+
+// gbps formats bits/sec.
+func gbps(v float64) string { return fmt.Sprintf("%.2fGbps", v/1e9) }
+
+// latencyConfig is the chain config used for latency-shape experiments:
+// single worker, small service time (paper: traditional NAT median 2.07µs).
+func latencyConfig(seed int64) runtime.ChainConfig {
+	cfg := runtime.DefaultChainConfig()
+	cfg.Seed = seed
+	cfg.DefaultServiceTime = 2 * time.Microsecond
+	cfg.DefaultThreads = 1
+	cfg.ClockPersistEvery = 100
+	cfg.FlushEvery = 500 * time.Microsecond
+	return cfg
+}
+
+// throughputConfig keeps the paper's multi-threaded NF shape: 8 workers of
+// ~9µs service saturate a shade under 10G for 1434B packets. The root is
+// given the paper's R-way parallelism (amortized log cost) so the NF under
+// test — not the root — is the bottleneck being measured.
+func throughputConfig(seed int64) runtime.ChainConfig {
+	cfg := runtime.DefaultChainConfig()
+	cfg.Seed = seed
+	cfg.DefaultServiceTime = 9 * time.Microsecond
+	cfg.DefaultThreads = 8
+	cfg.ClockPersistEvery = 1000
+	cfg.RootLogCost = 250 * time.Nanosecond
+	cfg.FlushEvery = 500 * time.Microsecond
+	return cfg
+}
+
+// throughputTrace is a heavier, data-dominated workload so warmup effects
+// (cache fills, first-touch fetches) wash out of the Gbps measurement.
+func throughputTrace(o Opts) *trace.Trace {
+	return trace.Generate(trace.Config{
+		Seed:            o.Seed,
+		Flows:           o.Flows * 3,
+		PktsPerFlowMean: 48,
+		PayloadMedian:   1394,
+		Hosts:           32,
+		Servers:         16,
+	})
+}
+
+// bigBackground is a long workload (tens of virtual milliseconds at multi-
+// gigabit load) for experiments that need several checkpoint intervals or
+// failure windows inside the trace.
+func bigBackground(o Opts) *trace.Trace {
+	return trace.Generate(trace.Config{
+		Seed:            o.Seed,
+		Flows:           o.Flows * 15,
+		PktsPerFlowMean: 16,
+		PayloadMedian:   1394,
+		Hosts:           32,
+		Servers:         16,
+	})
+}
+
+// nfCase describes one NF under test in Fig 8/10.
+type nfCase struct {
+	name string
+	make func() nf.NF
+	seed func(v *runtime.Vertex)
+	// connTrace biases the workload toward connection events (detectors
+	// only touch state on connection attempts).
+	connHeavy bool
+}
+
+func nfCases() []nfCase {
+	return []nfCase{
+		{
+			name: "nat",
+			make: func() nf.NF { return nfnat.New() },
+			seed: func(v *runtime.Vertex) {
+				v.Seed(func(apply func(store.Request)) { nfnat.New().SeedPorts(apply) })
+			},
+		},
+		{
+			name:      "portscan",
+			make:      func() nf.NF { return nfps.New() },
+			seed:      func(v *runtime.Vertex) {},
+			connHeavy: true,
+		},
+		{
+			name:      "trojan",
+			make:      func() nf.NF { return nftrojan.New() },
+			seed:      func(v *runtime.Vertex) {},
+			connHeavy: true,
+		},
+		{
+			name: "lb",
+			make: func() nf.NF { return nflb.New(8) },
+			seed: func(v *runtime.Vertex) {
+				v.Seed(func(apply func(store.Request)) { nflb.New(8).SeedServers(apply) })
+			},
+		},
+	}
+}
+
+// modelCase is one state-management model column of Fig 8/10.
+type modelCase struct {
+	name    string
+	backend runtime.BackendKind
+	mode    store.Mode
+}
+
+func allModels() []modelCase {
+	return []modelCase{
+		{"T", runtime.BackendTraditional, store.Mode{}},
+		{"EO", runtime.BackendCHC, store.ModeEO},
+		{"EO+C", runtime.BackendCHC, store.ModeEOC},
+		{"EO+C+NA", runtime.BackendCHC, store.ModeEOCNA},
+	}
+}
+
+// background builds the standard Trace2-like workload.
+func background(o Opts, payload int) *trace.Trace {
+	return trace.Generate(trace.Config{
+		Seed:            o.Seed,
+		Flows:           o.Flows,
+		PktsPerFlowMean: 16,
+		PayloadMedian:   payload,
+		Hosts:           32,
+		Servers:         16,
+	})
+}
+
+// singleNFChain deploys one instance of one NF under a model.
+func singleNFChain(cfg runtime.ChainConfig, c nfCase, m modelCase, instances int) *runtime.Chain {
+	ch := runtime.New(cfg, runtime.VertexSpec{
+		Name:      c.name,
+		Make:      c.make,
+		Instances: instances,
+		Backend:   m.backend,
+		Mode:      m.mode,
+	})
+	ch.Start()
+	c.seed(ch.Vertices[0])
+	return ch
+}

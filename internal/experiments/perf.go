@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"chc/internal/nf"
+	nflb "chc/internal/nf/lb"
+	nfnat "chc/internal/nf/nat"
+	nfps "chc/internal/nf/portscan"
+	nftrojan "chc/internal/nf/trojan"
+	"chc/internal/runtime"
+	"chc/internal/store"
+	"chc/internal/trace"
+)
+
+// Fig8 reproduces Figure 8: per-packet processing-time percentiles
+// (5/25/50/75/95) for each NF under the four state-management models.
+func Fig8(o Opts) *Table {
+	t := &Table{
+		ID:     "fig8",
+		Title:  "Per-packet processing time percentiles by NF and model",
+		Header: []string{"nf", "model", "p5", "p25", "p50", "p75", "p95"},
+	}
+	for _, c := range nfCases() {
+		for _, m := range allModels() {
+			ch := singleNFChain(latencyConfig(o.Seed), c, m, 1)
+			tr := background(o, 1394)
+			tr.Pace(2_000_000_000)
+			ch.RunTrace(tr, 200*time.Millisecond)
+			s := ch.Metrics.Get("proc." + c.name)
+			t.AddRow(c.name, m.name,
+				us(s.Percentile(5)), us(s.Percentile(25)), us(s.Percentile(50)),
+				us(s.Percentile(75)), us(s.Percentile(95)))
+		}
+	}
+	t.Note("paper: T medians ~2.1-2.3µs; EO adds ~1-3 store RTTs for NAT/LB; " +
+		"EO+C removes cached-read RTTs; EO+C+NA ≈ T + <0.6µs; detectors are " +
+		"unaffected at the median (no per-packet state ops)")
+	return t
+}
+
+// ChainLatency reproduces the §7.1 chain experiment: NAT -> portscan -> LB
+// with the Trojan detector off-path, model #3 versus traditional; the paper
+// reports ~11.3µs median end-to-end overhead.
+func ChainLatency(o Opts) *Table {
+	t := &Table{
+		ID:     "chain-lat",
+		Title:  "End-to-end chain latency: EO+C+NA vs traditional",
+		Header: []string{"setup", "p50", "p95"},
+	}
+	run := func(name string, backend runtime.BackendKind, mode store.Mode) time.Duration {
+		cfg := latencyConfig(o.Seed)
+		ch := runtime.New(cfg,
+			runtime.VertexSpec{Name: "nat", Make: func() nf.NF { return nfnat.New() }, Backend: backend, Mode: mode},
+			runtime.VertexSpec{Name: "trojan", Make: func() nf.NF { return nftrojan.New() }, Backend: backend, Mode: mode, OffPath: true},
+			runtime.VertexSpec{Name: "portscan", Make: func() nf.NF { return nfps.New() }, Backend: backend, Mode: mode},
+			runtime.VertexSpec{Name: "lb", Make: func() nf.NF { return nflb.New(8) }, Backend: backend, Mode: mode},
+		)
+		ch.Start()
+		ch.Vertices[0].Seed(func(apply func(store.Request)) { nfnat.New().SeedPorts(apply) })
+		ch.Vertices[3].Seed(func(apply func(store.Request)) { nflb.New(8).SeedServers(apply) })
+		tr := background(o, 1394)
+		tr.Pace(2_000_000_000)
+		ch.RunTrace(tr, 300*time.Millisecond)
+		s := ch.Metrics.Get("total.chain")
+		t.AddRow(name, us(s.Percentile(50)), us(s.Percentile(95)))
+		return s.Percentile(50)
+	}
+	trad := run("traditional", runtime.BackendTraditional, store.Mode{})
+	chc := run("chc(EO+C+NA)", runtime.BackendCHC, store.ModeEOCNA)
+	t.AddRow("overhead", us(chc-trad), "")
+	t.Note("paper: median end-to-end overhead ~11.3µs for the same chain")
+	return t
+}
+
+// Fig10 reproduces Figure 10: per-instance throughput for T, EO+C+NA, EO.
+func Fig10(o Opts) *Table {
+	t := &Table{
+		ID:     "fig10",
+		Title:  "Per-instance throughput by NF and model",
+		Header: []string{"nf", "T", "EO+C+NA", "EO"},
+	}
+	models := []modelCase{
+		{"T", runtime.BackendTraditional, store.Mode{}},
+		{"EO+C+NA", runtime.BackendCHC, store.ModeEOCNA},
+		{"EO", runtime.BackendCHC, store.ModeEO},
+	}
+	for _, c := range nfCases() {
+		row := []string{c.name}
+		for _, m := range models {
+			ch := singleNFChain(throughputConfig(o.Seed), c, m, 1)
+			tr := throughputTrace(o)
+			tr.Pace(10_000_000_000) // offered at line rate
+			start := ch.Sim().Now()
+			ch.RunTrace(tr, 0)
+			// Drain: run until the instance has consumed everything.
+			inst := ch.Vertices[0].Instances[0]
+			deadline := 0
+			for int(inst.Processed) < tr.Len() && deadline < 10000 {
+				ch.RunFor(time.Millisecond)
+				deadline++
+			}
+			elapsed := time.Duration(ch.Sim().Now() - start)
+			row = append(row, gbps(runtime.ThroughputBps(inst.BytesProcessed, elapsed)))
+		}
+		t.AddRow(row...)
+	}
+	t.Note("paper: T ≈ 9.5Gbps; EO collapses NAT/LB (0.5Gbps) via per-packet " +
+		"store RTTs; EO+C+NA restores ≈ 9.4Gbps; detectors hold line rate under all models")
+	return t
+}
+
+// Offload reproduces the §7.1 operation-offloading comparison: two NAT
+// instances updating shared state, CHC's offloaded ops versus the naive
+// lock-read-modify-write. Paper: naive is ~2.17X worse at the median and
+// less than half the aggregate throughput.
+func Offload(o Opts) *Table {
+	t := &Table{
+		ID:     "offload",
+		Title:  "Operation offloading vs naive lock-based read-modify-write",
+		Header: []string{"approach", "p50", "p95", "aggregate-throughput"},
+	}
+	run := func(name string, backend runtime.BackendKind) time.Duration {
+		cfg := latencyConfig(o.Seed)
+		c := nfCases()[0] // NAT
+		m := modelCase{name, backend, store.ModeEO}
+		ch := singleNFChain(cfg, c, m, 2)
+		tr := background(o, 1394)
+		tr.Pace(2_000_000_000)
+		start := ch.Sim().Now()
+		ch.RunTrace(tr, 400*time.Millisecond)
+		elapsed := time.Duration(ch.Sim().Now() - start)
+		var bytes uint64
+		for _, in := range ch.Vertices[0].Instances {
+			bytes += in.BytesProcessed
+		}
+		s := ch.Metrics.Get("proc.nat")
+		t.AddRow(name, us(s.Percentile(50)), us(s.Percentile(95)),
+			gbps(runtime.ThroughputBps(bytes, elapsed)))
+		return s.Percentile(50)
+	}
+	off := run("chc-offload", runtime.BackendCHC)
+	naive := run("naive-locking", runtime.BackendLocking)
+	t.AddRow("naive/chc", fmt.Sprintf("%.2fx", float64(naive)/float64(off)), "", "")
+	t.Note("paper: 64.6µs vs 29.7µs median (2.17X); >2X aggregate throughput for CHC")
+	return t
+}
+
+// Fig9 reproduces Figure 9: per-packet latency for the portscan detector as
+// cross-flow caching is lost (second instance shares host set H) and
+// regained.
+func Fig9(o Opts) *Table {
+	t := &Table{
+		ID:     "fig9",
+		Title:  "Cross-flow state caching: connection-event latency by phase",
+		Header: []string{"phase", "p90", "p99", "samples"},
+	}
+	cfg := latencyConfig(o.Seed)
+	ch := runtime.New(cfg, runtime.VertexSpec{
+		Name: "portscan", Make: func() nf.NF { return nfps.New() },
+		Instances: 1, Backend: runtime.BackendCHC, Mode: store.ModeEOC,
+	})
+	ch.Start()
+	v := ch.Vertices[0]
+
+	// Host set H: the hosts whose processing will be split.
+	var hosts []uint32
+	for i := 0; i < 8; i++ {
+		hosts = append(hosts, trace.HostIP(i))
+	}
+	mk := func() *trace.Trace {
+		tr := background(o, 600)
+		tr.Pace(2_000_000_000)
+		return tr
+	}
+	s := ch.Metrics.Get("proc.portscan")
+
+	// Warmup: fill caches (first touches fetch from the store) so phase A
+	// measures steady-state caching.
+	ch.RunTrace(mk(), 50*time.Millisecond)
+	warmEnd := s.N()
+
+	// Phase A: single instance, caching active.
+	ch.RunTrace(mk(), 50*time.Millisecond)
+	aEnd := s.N()
+
+	// Phase B: add an instance, split H across both; shared likelihood
+	// state becomes blocking.
+	ch.AddInstance(v)
+	v.Splitter.SetSplitHosts(hosts, []uint16{nfps.ObjLikelihood})
+	ch.RunTrace(mk(), 50*time.Millisecond)
+	bEnd := s.N()
+
+	// Phase C: revert to host partitioning; caching resumes.
+	v.Splitter.SetSplitHosts(nil, []uint16{nfps.ObjLikelihood})
+	ch.RunTrace(mk(), 50*time.Millisecond)
+	cEnd := s.N()
+
+	// Connection events are the tail of the latency distribution (only
+	// SYN-ACK/RST packets touch the shared likelihood object); report the
+	// upper percentiles of each phase.
+	phase := func(name string, from, to int) {
+		vals := s.Slice(from, to)
+		t.AddRow(name, us(runtime.PercentileOf(vals, 90)), us(runtime.PercentileOf(vals, 99)),
+			fmt.Sprintf("%d", len(vals)))
+	}
+	phase("A: caching", warmEnd, aEnd)
+	phase("B: shared (blocking ops)", aEnd, bEnd)
+	phase("C: caching again", bEnd, cEnd)
+	t.Note("paper Fig 9: SYN-ACK/RST packets jump to ~store-RTT latency while " +
+		"H is processed at both instances, and drop back once caching resumes")
+	return t
+}

@@ -1,0 +1,109 @@
+// Package lb implements the paper's load balancer (§6, Table 4). State:
+//
+//	per-server active connections  cross-flow, write/read often (Map)
+//	per-server byte counter        cross-flow, write mostly     (counters)
+//	connection-to-server mapping   per-flow,   write rarely/read mostly
+//
+// On a new connection the store picks the least-loaded backend on the NF's
+// behalf (offloaded min-increment); every packet updates the chosen server's
+// byte counter and is rewritten toward it.
+package lb
+
+import (
+	"fmt"
+
+	"chc/internal/nf"
+	"chc/internal/packet"
+	"chc/internal/store"
+)
+
+// State object IDs.
+const (
+	ObjServerConns uint16 = 1 // map server -> active connections
+	ObjServerBytes uint16 = 2 // per-server byte counters (Sub = server index)
+	ObjConnMap     uint16 = 3 // per-flow chosen server index
+)
+
+// Balancer spreads connections over Backends.
+type Balancer struct {
+	// Backends are the server addresses; index is the stored server id.
+	Backends []uint32
+}
+
+// New returns a balancer over n synthetic backends.
+func New(n int) *Balancer {
+	b := &Balancer{}
+	for i := 0; i < n; i++ {
+		b.Backends = append(b.Backends, 0xC0A86400|uint32(i+1)) // 192.168.100.x
+	}
+	return b
+}
+
+// Name implements nf.NF.
+func (b *Balancer) Name() string { return "lb" }
+
+// Decls implements nf.NF.
+func (b *Balancer) Decls() []store.ObjDecl {
+	return []store.ObjDecl{
+		{ID: ObjServerConns, Name: "server-conns", Scope: store.ScopeGlobal, Pattern: store.WriteReadOften},
+		{ID: ObjServerBytes, Name: "server-bytes", Scope: store.ScopeGlobal, Pattern: store.WriteMostly},
+		{ID: ObjConnMap, Name: "conn-server", Scope: store.ScopeFlow, Pattern: store.ReadHeavy},
+	}
+}
+
+// serverField is the map key for backend i.
+func serverField(i int) string { return fmt.Sprintf("s%03d", i) }
+
+// SeedServers initializes the per-server connection counts to zero so
+// min-increment sees every backend.
+func (b *Balancer) SeedServers(apply func(store.Request)) {
+	for i := range b.Backends {
+		apply(store.Request{Op: store.OpMapSet, Key: store.Key{Obj: ObjServerConns},
+			Field: serverField(i), Arg: store.IntVal(0)})
+	}
+}
+
+// Process implements nf.NF.
+func (b *Balancer) Process(ctx *nf.Ctx, pkt *packet.Packet) []*packet.Packet {
+	conn := pkt.Key().Canonical().Hash()
+	var serverIdx int64 = -1
+
+	if pkt.IsSYN() {
+		// The store picks the least-loaded backend and bumps its count.
+		rep, ok := ctx.UpdateBlocking(store.Request{Op: store.OpMapMinIncr,
+			Key: store.Key{Obj: ObjServerConns}, Arg: store.IntVal(1)})
+		if !ok || !rep.OK {
+			return nil
+		}
+		var idx int
+		if _, err := fmt.Sscanf(string(rep.Val.Bytes), "s%03d", &idx); err != nil {
+			return nil
+		}
+		serverIdx = int64(idx)
+		ctx.Update(store.Request{Op: store.OpSet, Key: store.Key{Obj: ObjConnMap, Sub: conn},
+			Arg: store.IntVal(serverIdx)})
+	} else {
+		v, ok := ctx.Get(ObjConnMap, conn)
+		if !ok {
+			return []*packet.Packet{pkt}
+		}
+		serverIdx = v.Int
+	}
+
+	// Every packet: the chosen server's byte counter (write-mostly).
+	ctx.Update(store.Request{Op: store.OpIncr,
+		Key: store.Key{Obj: ObjServerBytes, Sub: uint64(serverIdx)},
+		Arg: store.IntVal(int64(pkt.WireLen()))})
+
+	if pkt.IsFIN() || pkt.IsRST() {
+		ctx.Update(store.Request{Op: store.OpMapIncr, Key: store.Key{Obj: ObjServerConns},
+			Field: serverField(int(serverIdx)), Arg: store.IntVal(-1)})
+		ctx.Update(store.Request{Op: store.OpDelete, Key: store.Key{Obj: ObjConnMap, Sub: conn}})
+	}
+
+	out := pkt.Clone()
+	if int(serverIdx) < len(b.Backends) {
+		out.DstIP = b.Backends[serverIdx]
+	}
+	return []*packet.Packet{out}
+}

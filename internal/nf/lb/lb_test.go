@@ -1,0 +1,136 @@
+package lb_test
+
+import (
+	"testing"
+
+	"chc/internal/nf"
+	"chc/internal/nf/lb"
+	"chc/internal/packet"
+	"chc/internal/store"
+)
+
+type rig struct {
+	ctx   *nf.Ctx
+	local *nf.LocalState
+	clock uint64
+}
+
+func newRig() *rig {
+	r := &rig{local: nf.NewLocalState(4, 1)}
+	r.ctx = nf.NewCtx(nil, r.local, nil)
+	return r
+}
+
+func (r *rig) proc(b *lb.Balancer, p *packet.Packet) []*packet.Packet {
+	r.clock++
+	r.ctx.ResetPacket(r.clock, r.clock)
+	return b.Process(r.ctx, p)
+}
+
+func seeded(r *rig, n int) *lb.Balancer {
+	b := lb.New(n)
+	b.SeedServers(func(req store.Request) { r.local.UpdateBlocking(r.ctx, req) })
+	return b
+}
+
+const client = uint32(0x0A000007)
+const vip = uint32(0xC6336420)
+
+func syn(sport uint16) *packet.Packet {
+	return &packet.Packet{Proto: packet.ProtoTCP, TCPFlags: packet.FlagSYN,
+		SrcIP: client, DstIP: vip, SrcPort: sport, DstPort: 80}
+}
+
+func TestEvenDistribution(t *testing.T) {
+	r := newRig()
+	b := seeded(r, 4)
+	counts := map[uint32]int{}
+	for i := 0; i < 40; i++ {
+		out := r.proc(b, syn(uint16(30000+i)))
+		if len(out) != 1 {
+			t.Fatalf("conn %d dropped", i)
+		}
+		counts[out[0].DstIP]++
+	}
+	// Least-loaded assignment with no departures is perfectly even.
+	if len(counts) != 4 {
+		t.Fatalf("used %d backends, want 4", len(counts))
+	}
+	for ip, n := range counts {
+		if n != 10 {
+			t.Fatalf("backend %x got %d conns, want 10", ip, n)
+		}
+	}
+}
+
+func TestDrainRebalances(t *testing.T) {
+	r := newRig()
+	b := seeded(r, 2)
+	// Two connections, one per backend.
+	out1 := r.proc(b, syn(30000))
+	r.proc(b, syn(30001))
+	// Close the first: its backend drops to 0 connections and must receive
+	// the next one.
+	fin := &packet.Packet{Proto: packet.ProtoTCP, TCPFlags: packet.FlagFIN | packet.FlagACK,
+		SrcIP: client, DstIP: vip, SrcPort: 30000, DstPort: 80}
+	r.proc(b, fin)
+	out3 := r.proc(b, syn(30002))
+	if out3[0].DstIP != out1[0].DstIP {
+		t.Fatalf("drained backend %x not reused (got %x)", out1[0].DstIP, out3[0].DstIP)
+	}
+}
+
+func TestUnknownConnPassthrough(t *testing.T) {
+	r := newRig()
+	b := seeded(r, 2)
+	data := &packet.Packet{Proto: packet.ProtoTCP, TCPFlags: packet.FlagACK,
+		SrcIP: client, DstIP: vip, SrcPort: 39999, DstPort: 80, PayloadLen: 800}
+	out := r.proc(b, data)
+	if len(out) != 1 || out[0].DstIP != vip {
+		t.Fatalf("unknown conn mishandled: %+v", out)
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	r := newRig()
+	b := seeded(r, 2)
+	out := r.proc(b, syn(30000))
+	chosen := out[0].DstIP
+	var idx uint64
+	for i, ip := range b.Backends {
+		if ip == chosen {
+			idx = uint64(i)
+		}
+	}
+	data := &packet.Packet{Proto: packet.ProtoTCP, TCPFlags: packet.FlagACK | packet.FlagPSH,
+		SrcIP: client, DstIP: vip, SrcPort: 30000, DstPort: 80, PayloadLen: 960}
+	r.proc(b, data)
+	v, ok := r.ctx.Get(lb.ObjServerBytes, idx)
+	if !ok || v.Int < 1000 {
+		t.Fatalf("byte counter = %v,%v (SYN 40B + data 1000B expected)", v, ok)
+	}
+}
+
+func TestNoBackendsDropsConn(t *testing.T) {
+	r := newRig()
+	b := lb.New(0) // seeded with nothing
+	out := r.proc(b, syn(30000))
+	if len(out) != 0 {
+		t.Fatal("SYN accepted with no backends")
+	}
+}
+
+func TestDecls(t *testing.T) {
+	decls := lb.New(2).Decls()
+	if len(decls) != 3 {
+		t.Fatalf("decls = %d, want 3 (Table 4)", len(decls))
+	}
+	for _, d := range decls {
+		if d.ID == lb.ObjServerBytes && d.Pattern != store.WriteMostly {
+			t.Errorf("byte counter pattern = %v", d.Pattern)
+		}
+		if d.ID == lb.ObjConnMap && (d.Scope != store.ScopeFlow || d.Pattern != store.ReadHeavy) {
+			t.Errorf("conn map decl = %+v", d)
+		}
+	}
+}

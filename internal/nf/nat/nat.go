@@ -1,0 +1,107 @@
+// Package nat implements the paper's NAT (§6, Table 4). State objects:
+//
+//	available ports     cross-flow, write/read often  (List in the store)
+//	total TCP packets   cross-flow, write mostly      (counter)
+//	total packets       cross-flow, write mostly      (counter)
+//	per-conn port map   per-flow,   write rarely/read mostly
+//
+// On a new connection the NAT pops an available port from the store (the
+// store executes the pop on the NF's behalf) and records the mapping once;
+// every packet updates the L3/L4 counters and is rewritten to the external
+// address/port.
+package nat
+
+import (
+	"chc/internal/nf"
+	"chc/internal/packet"
+	"chc/internal/store"
+)
+
+// State object IDs.
+const (
+	ObjPorts   uint16 = 1 // available port pool
+	ObjTCPPkts uint16 = 2 // total TCP packets
+	ObjTotal   uint16 = 3 // total packets
+	ObjPortMap uint16 = 4 // per-connection port mapping
+)
+
+// ExternalIP is the NAT's public address in rewritten packets.
+const ExternalIP = uint32(0xC0A80001) // 192.168.0.1
+
+// NAT is the network address translator.
+type NAT struct {
+	// PortRangeStart/Count seed the available-port pool.
+	PortRangeStart int64
+	PortRangeCount int64
+}
+
+// New returns a NAT with the default port pool.
+func New() *NAT { return &NAT{PortRangeStart: 10000, PortRangeCount: 4096} }
+
+// Name implements nf.NF.
+func (n *NAT) Name() string { return "nat" }
+
+// Decls implements nf.NF (the Table 4 rows).
+func (n *NAT) Decls() []store.ObjDecl {
+	return []store.ObjDecl{
+		{ID: ObjPorts, Name: "available-ports", Scope: store.ScopeGlobal, Pattern: store.WriteReadOften},
+		{ID: ObjTCPPkts, Name: "tcp-packets", Scope: store.ScopeGlobal, Pattern: store.WriteMostly},
+		{ID: ObjTotal, Name: "total-packets", Scope: store.ScopeGlobal, Pattern: store.WriteMostly},
+		{ID: ObjPortMap, Name: "port-mapping", Scope: store.ScopeFlow, Pattern: store.ReadHeavy},
+	}
+}
+
+// SeedPorts populates the shared port pool; the deployment calls this once
+// against whatever backend the vertex uses.
+func (n *NAT) SeedPorts(apply func(store.Request)) {
+	for i := int64(0); i < n.PortRangeCount; i++ {
+		apply(store.Request{Op: store.OpPushList, Key: store.Key{Obj: ObjPorts}, Arg: store.IntVal(n.PortRangeStart + i)})
+	}
+}
+
+// Process implements nf.NF.
+func (n *NAT) Process(ctx *nf.Ctx, pkt *packet.Packet) []*packet.Packet {
+	conn := pkt.Key().Canonical().Hash()
+
+	// Per-packet counters (write-mostly, read-rarely: non-blocking ops).
+	ctx.Update(store.Request{Op: store.OpIncr, Key: store.Key{Obj: ObjTotal}, Arg: store.IntVal(1)})
+	if pkt.Proto == packet.ProtoTCP {
+		ctx.Update(store.Request{Op: store.OpIncr, Key: store.Key{Obj: ObjTCPPkts}, Arg: store.IntVal(1)})
+	}
+
+	var port int64
+	if pkt.IsSYN() {
+		// New connection: the store pops an available port on our behalf.
+		rep, ok := ctx.UpdateBlocking(store.Request{Op: store.OpPopList, Key: store.Key{Obj: ObjPorts}})
+		if !ok || !rep.OK {
+			ctx.Alert(nf.Alert{NF: n.Name(), Kind: "port-exhausted", Host: pkt.SrcIP})
+			return nil // drop: no ports available
+		}
+		port = rep.Val.Int
+		ctx.Update(store.Request{Op: store.OpSet, Key: store.Key{Obj: ObjPortMap, Sub: conn}, Arg: store.IntVal(port)})
+	} else {
+		v, ok := ctx.Get(ObjPortMap, conn)
+		if !ok {
+			// Unknown connection (mid-stream packet): forward unmodified.
+			return []*packet.Packet{pkt}
+		}
+		port = v.Int
+	}
+
+	if pkt.IsFIN() || pkt.IsRST() {
+		// Return the port to the pool and drop the mapping.
+		ctx.Update(store.Request{Op: store.OpPushList, Key: store.Key{Obj: ObjPorts}, Arg: store.IntVal(port)})
+		ctx.Update(store.Request{Op: store.OpDelete, Key: store.Key{Obj: ObjPortMap, Sub: conn}})
+	}
+
+	// Rewrite: outbound traffic is sourced from the external IP/port.
+	out := pkt.Clone()
+	if pkt.SrcIP&0xFF000000 == 0x0A000000 { // internal -> external
+		out.SrcIP = ExternalIP
+		out.SrcPort = uint16(port)
+	} else { // inbound: restore destination
+		out.DstIP = ExternalIP
+		out.DstPort = uint16(port)
+	}
+	return []*packet.Packet{out}
+}

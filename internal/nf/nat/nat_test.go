@@ -1,0 +1,139 @@
+package nat_test
+
+import (
+	"testing"
+
+	"chc/internal/nf"
+	"chc/internal/nf/nat"
+	"chc/internal/packet"
+	"chc/internal/store"
+)
+
+type rig struct {
+	ctx    *nf.Ctx
+	local  *nf.LocalState
+	alerts []nf.Alert
+	clock  uint64
+}
+
+func newRig() *rig {
+	r := &rig{local: nf.NewLocalState(1, 1)}
+	r.ctx = nf.NewCtx(nil, r.local, func(a nf.Alert) { r.alerts = append(r.alerts, a) })
+	return r
+}
+
+func (r *rig) proc(n nf.NF, p *packet.Packet) []*packet.Packet {
+	r.clock++
+	r.ctx.ResetPacket(r.clock, r.clock)
+	return n.Process(r.ctx, p)
+}
+
+const (
+	inside  = uint32(0x0A000005)
+	outside = uint32(0xC6336409)
+)
+
+func seeded(r *rig, count int64) *nat.NAT {
+	n := nat.New()
+	n.PortRangeCount = count
+	n.SeedPorts(func(req store.Request) { r.local.UpdateBlocking(r.ctx, req) })
+	return n
+}
+
+func TestDeclsMatchTable4(t *testing.T) {
+	decls := nat.New().Decls()
+	if len(decls) != 4 {
+		t.Fatalf("decls = %d, want 4 (Table 4)", len(decls))
+	}
+	byID := map[uint16]store.ObjDecl{}
+	for _, d := range decls {
+		byID[d.ID] = d
+	}
+	if d := byID[nat.ObjPorts]; d.Scope != store.ScopeGlobal || d.Pattern != store.WriteReadOften {
+		t.Errorf("available ports decl = %+v", d)
+	}
+	if d := byID[nat.ObjTCPPkts]; d.Pattern != store.WriteMostly {
+		t.Errorf("tcp counter decl = %+v", d)
+	}
+	if d := byID[nat.ObjPortMap]; d.Scope != store.ScopeFlow {
+		t.Errorf("port mapping decl = %+v", d)
+	}
+}
+
+func TestUDPCountsOnlyTotal(t *testing.T) {
+	r := newRig()
+	n := seeded(r, 4)
+	udp := &packet.Packet{Proto: packet.ProtoUDP, SrcIP: inside, DstIP: outside,
+		SrcPort: 5000, DstPort: 53, PayloadLen: 64}
+	out := r.proc(n, udp)
+	if len(out) != 1 {
+		t.Fatalf("udp dropped")
+	}
+	total, _ := r.ctx.Get(nat.ObjTotal, 0)
+	tcp, _ := r.ctx.Get(nat.ObjTCPPkts, 0)
+	if total.Int != 1 || tcp.Int != 0 {
+		t.Fatalf("total=%d tcp=%d, want 1/0", total.Int, tcp.Int)
+	}
+}
+
+func TestInboundRewrite(t *testing.T) {
+	r := newRig()
+	n := seeded(r, 4)
+	syn := &packet.Packet{Proto: packet.ProtoTCP, TCPFlags: packet.FlagSYN,
+		SrcIP: inside, DstIP: outside, SrcPort: 30000, DstPort: 80}
+	out := r.proc(n, syn)
+	port := out[0].SrcPort
+	// Server's reply: destination must be translated back via the mapping.
+	synack := &packet.Packet{Proto: packet.ProtoTCP, TCPFlags: packet.FlagSYN | packet.FlagACK,
+		SrcIP: outside, DstIP: inside, SrcPort: 80, DstPort: 30000}
+	out = r.proc(n, synack)
+	if out[0].DstIP != nat.ExternalIP || out[0].DstPort != port {
+		t.Fatalf("inbound rewrite = %x:%d, want %x:%d", out[0].DstIP, out[0].DstPort, nat.ExternalIP, port)
+	}
+}
+
+func TestUnknownFlowForwardedUnmodified(t *testing.T) {
+	r := newRig()
+	n := seeded(r, 4)
+	data := &packet.Packet{Proto: packet.ProtoTCP, TCPFlags: packet.FlagACK,
+		SrcIP: inside, DstIP: outside, SrcPort: 31000, DstPort: 80, PayloadLen: 900}
+	out := r.proc(n, data)
+	if len(out) != 1 || out[0].SrcIP != inside {
+		t.Fatalf("mid-stream unknown flow mishandled: %+v", out)
+	}
+}
+
+func TestPortsAreUnique(t *testing.T) {
+	r := newRig()
+	n := seeded(r, 8)
+	seen := map[uint16]bool{}
+	for i := 0; i < 8; i++ {
+		syn := &packet.Packet{Proto: packet.ProtoTCP, TCPFlags: packet.FlagSYN,
+			SrcIP: inside, DstIP: outside, SrcPort: uint16(40000 + i), DstPort: 80}
+		out := r.proc(n, syn)
+		if len(out) != 1 {
+			t.Fatalf("conn %d dropped", i)
+		}
+		if seen[out[0].SrcPort] {
+			t.Fatalf("port %d allocated twice", out[0].SrcPort)
+		}
+		seen[out[0].SrcPort] = true
+	}
+}
+
+func TestRSTReleasesPort(t *testing.T) {
+	r := newRig()
+	n := seeded(r, 1)
+	syn := &packet.Packet{Proto: packet.ProtoTCP, TCPFlags: packet.FlagSYN,
+		SrcIP: inside, DstIP: outside, SrcPort: 30000, DstPort: 80}
+	r.proc(n, syn)
+	rst := &packet.Packet{Proto: packet.ProtoTCP, TCPFlags: packet.FlagRST,
+		SrcIP: inside, DstIP: outside, SrcPort: 30000, DstPort: 80}
+	r.proc(n, rst)
+	syn2 := &packet.Packet{Proto: packet.ProtoTCP, TCPFlags: packet.FlagSYN,
+		SrcIP: inside, DstIP: outside, SrcPort: 30001, DstPort: 80}
+	out := r.proc(n, syn2)
+	if len(out) != 1 {
+		t.Fatal("port not recycled after RST")
+	}
+}

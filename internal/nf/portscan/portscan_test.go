@@ -1,0 +1,138 @@
+package portscan_test
+
+import (
+	"testing"
+
+	"chc/internal/nf"
+	"chc/internal/nf/portscan"
+	"chc/internal/packet"
+	"chc/internal/store"
+)
+
+type rig struct {
+	ctx    *nf.Ctx
+	alerts []nf.Alert
+	clock  uint64
+}
+
+func newRig() *rig {
+	r := &rig{}
+	local := nf.NewLocalState(2, 1)
+	r.ctx = nf.NewCtx(nil, local, func(a nf.Alert) { r.alerts = append(r.alerts, a) })
+	return r
+}
+
+func (r *rig) proc(d *portscan.Detector, p *packet.Packet) {
+	r.clock++
+	r.ctx.ResetPacket(r.clock, r.clock)
+	d.Process(r.ctx, p)
+}
+
+const scanner = uint32(0x0A0000FE)
+
+func probe(r *rig, d *portscan.Detector, i int, fail bool) {
+	dst := uint32(0xC6336400) + uint32(i+1)
+	sport := uint16(30000 + i)
+	r.proc(d, &packet.Packet{Proto: packet.ProtoTCP, TCPFlags: packet.FlagSYN,
+		SrcIP: scanner, DstIP: dst, SrcPort: sport, DstPort: 80})
+	flags := packet.FlagSYN | packet.FlagACK
+	if fail {
+		flags = packet.FlagRST
+	}
+	r.proc(d, &packet.Packet{Proto: packet.ProtoTCP, TCPFlags: flags,
+		SrcIP: dst, DstIP: scanner, SrcPort: 80, DstPort: sport})
+}
+
+func TestThresholdBoundary(t *testing.T) {
+	// Threshold = 4000, fail delta = +1386: the detector must fire on
+	// exactly the 3rd consecutive failure (3*1386 = 4158 >= 4000), not
+	// before.
+	r := newRig()
+	d := portscan.New()
+	probe(r, d, 0, true)
+	probe(r, d, 1, true)
+	if d.Blocked(scanner) {
+		t.Fatal("fired after 2 failures (2772 < 4000)")
+	}
+	probe(r, d, 2, true)
+	if !d.Blocked(scanner) {
+		t.Fatal("did not fire after 3 failures (4158 >= 4000)")
+	}
+	if len(r.alerts) != 1 {
+		t.Fatalf("alerts = %d, want exactly 1 (no re-alerts)", len(r.alerts))
+	}
+	// Further failures must not duplicate the alert.
+	probe(r, d, 3, true)
+	if len(r.alerts) != 1 {
+		t.Fatalf("re-alerted: %d", len(r.alerts))
+	}
+}
+
+func TestSuccessesOffsetFailures(t *testing.T) {
+	r := newRig()
+	d := portscan.New()
+	// Alternate success/failure: the random walk hovers around zero.
+	for i := 0; i < 10; i++ {
+		probe(r, d, i, i%2 == 0)
+	}
+	if d.Blocked(scanner) {
+		t.Fatal("balanced host blocked")
+	}
+}
+
+func TestRSTWithoutPendingIgnored(t *testing.T) {
+	r := newRig()
+	d := portscan.New()
+	// Bare RSTs with no recorded SYN must not move any likelihood.
+	for i := 0; i < 10; i++ {
+		dst := uint32(0xC6336400) + uint32(i+1)
+		r.proc(d, &packet.Packet{Proto: packet.ProtoTCP, TCPFlags: packet.FlagRST,
+			SrcIP: dst, DstIP: scanner, SrcPort: 80, DstPort: uint16(30000 + i)})
+	}
+	if d.Blocked(scanner) {
+		t.Fatal("blocked from unmatched RSTs")
+	}
+	if len(r.alerts) != 0 {
+		t.Fatalf("alerts = %v", r.alerts)
+	}
+}
+
+func TestUDPIgnored(t *testing.T) {
+	r := newRig()
+	d := portscan.New()
+	for i := 0; i < 20; i++ {
+		r.proc(d, &packet.Packet{Proto: packet.ProtoUDP,
+			SrcIP: scanner, DstIP: 0xC6336401, SrcPort: uint16(30000 + i), DstPort: 53})
+	}
+	if d.Blocked(scanner) {
+		t.Fatal("UDP traffic triggered TRW")
+	}
+}
+
+func TestForwardsAllTraffic(t *testing.T) {
+	r := newRig()
+	d := portscan.New()
+	p := &packet.Packet{Proto: packet.ProtoTCP, TCPFlags: packet.FlagACK,
+		SrcIP: scanner, DstIP: 0xC6336401, SrcPort: 30000, DstPort: 80}
+	r.clock++
+	r.ctx.ResetPacket(r.clock, r.clock)
+	out := d.Process(r.ctx, p)
+	if len(out) != 1 || out[0] != p {
+		t.Fatal("detector must forward traffic unchanged")
+	}
+}
+
+func TestDecls(t *testing.T) {
+	decls := portscan.New().Decls()
+	if len(decls) != 2 {
+		t.Fatalf("decls = %d", len(decls))
+	}
+	for _, d := range decls {
+		if d.ID == portscan.ObjLikelihood && d.Scope != store.ScopeSrcIP {
+			t.Errorf("likelihood scope = %v, want per-host", d.Scope)
+		}
+		if d.ID == portscan.ObjPending && d.Scope != store.ScopeFlow {
+			t.Errorf("pending scope = %v, want per-flow", d.Scope)
+		}
+	}
+}

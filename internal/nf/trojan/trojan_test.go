@@ -1,0 +1,144 @@
+package trojan_test
+
+import (
+	"testing"
+
+	"chc/internal/nf"
+	"chc/internal/nf/trojan"
+	"chc/internal/packet"
+	"chc/internal/store"
+)
+
+type rig struct {
+	ctx    *nf.Ctx
+	alerts []nf.Alert
+}
+
+func newRig() *rig {
+	r := &rig{}
+	local := nf.NewLocalState(3, 1)
+	r.ctx = nf.NewCtx(nil, local, func(a nf.Alert) { r.alerts = append(r.alerts, a) })
+	return r
+}
+
+const host = uint32(0x0A000042)
+const srv = uint32(0xC6336411)
+
+func conn(r *rig, d *trojan.Detector, app uint16, clock, seq uint64) {
+	r.ctx.ResetPacket(clock, seq)
+	d.Process(r.ctx, &packet.Packet{Proto: packet.ProtoTCP, TCPFlags: packet.FlagSYN,
+		SrcIP: host, DstIP: srv, SrcPort: uint16(40000 + clock), DstPort: app})
+}
+
+func TestLatestConnectionWins(t *testing.T) {
+	// SSH(10), IRC(20): no match. A later SSH(30) overwrites: still no
+	// match because now ssh > irc. Then FTP(40), IRC(50): ssh(30)<ftp(40)<
+	// irc(50) — Trojan.
+	r := newRig()
+	d := trojan.New()
+	conn(r, d, packet.PortSSH, 10, 1)
+	conn(r, d, packet.PortIRC, 20, 2)
+	if d.Detected(host) {
+		t.Fatal("SSH->IRC without FTP flagged")
+	}
+	conn(r, d, packet.PortSSH, 30, 3)
+	conn(r, d, packet.PortFTP, 40, 4)
+	if d.Detected(host) {
+		t.Fatal("flagged before IRC re-occurred")
+	}
+	conn(r, d, packet.PortIRC, 50, 5)
+	if !d.Detected(host) {
+		t.Fatal("full ordered sequence not flagged")
+	}
+}
+
+func TestAlertOnce(t *testing.T) {
+	r := newRig()
+	d := trojan.New()
+	conn(r, d, packet.PortSSH, 1, 1)
+	conn(r, d, packet.PortFTP, 2, 2)
+	conn(r, d, packet.PortIRC, 3, 3)
+	conn(r, d, packet.PortIRC, 4, 4) // still matching; must not re-alert
+	if len(r.alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1", len(r.alerts))
+	}
+}
+
+func TestNonSYNIgnored(t *testing.T) {
+	r := newRig()
+	d := trojan.New()
+	for i, app := range []uint16{packet.PortSSH, packet.PortFTP, packet.PortIRC} {
+		r.ctx.ResetPacket(uint64(i+1), uint64(i+1))
+		d.Process(r.ctx, &packet.Packet{Proto: packet.ProtoTCP,
+			TCPFlags: packet.FlagACK | packet.FlagPSH,
+			SrcIP:    host, DstIP: srv, SrcPort: 41000, DstPort: app, PayloadLen: 100})
+	}
+	if d.Detected(host) {
+		t.Fatal("data packets treated as connection starts")
+	}
+}
+
+func TestOtherAppsIgnored(t *testing.T) {
+	r := newRig()
+	d := trojan.New()
+	conn(r, d, packet.PortSSH, 1, 1)
+	conn(r, d, packet.PortHTTP, 2, 2) // not part of the signature
+	conn(r, d, packet.PortFTP, 3, 3)
+	conn(r, d, packet.PortIRC, 4, 4)
+	if !d.Detected(host) {
+		t.Fatal("interleaved HTTP should not break the signature")
+	}
+}
+
+func TestHostsIndependent(t *testing.T) {
+	r := newRig()
+	d := trojan.New()
+	other := host + 1
+	// SSH from host A, FTP+IRC from host B: neither completes a signature.
+	r.ctx.ResetPacket(1, 1)
+	d.Process(r.ctx, &packet.Packet{Proto: packet.ProtoTCP, TCPFlags: packet.FlagSYN,
+		SrcIP: host, DstIP: srv, SrcPort: 40001, DstPort: packet.PortSSH})
+	r.ctx.ResetPacket(2, 2)
+	d.Process(r.ctx, &packet.Packet{Proto: packet.ProtoTCP, TCPFlags: packet.FlagSYN,
+		SrcIP: other, DstIP: srv, SrcPort: 40002, DstPort: packet.PortFTP})
+	r.ctx.ResetPacket(3, 3)
+	d.Process(r.ctx, &packet.Packet{Proto: packet.ProtoTCP, TCPFlags: packet.FlagSYN,
+		SrcIP: other, DstIP: srv, SrcPort: 40003, DstPort: packet.PortIRC})
+	if d.Detected(host) || d.Detected(other) {
+		t.Fatal("cross-host activity merged")
+	}
+}
+
+func TestArrivalOrderModeUsesSeq(t *testing.T) {
+	// Clocks say SSH<FTP<IRC but arrival says FTP first: the arrival-order
+	// detector must not fire, the clock detector must.
+	check := func(d *trojan.Detector, want bool) {
+		r := newRig()
+		conn(r, d, packet.PortFTP, 20, 1)
+		conn(r, d, packet.PortSSH, 10, 2)
+		conn(r, d, packet.PortIRC, 30, 3)
+		if d.Detected(host) != want {
+			t.Fatalf("UseClocks=%v detected=%v want %v", d.UseClocks, d.Detected(host), want)
+		}
+	}
+	check(trojan.New(), true)
+	check(trojan.NewArrivalOrder(), false)
+}
+
+func TestOffPathConsumesTraffic(t *testing.T) {
+	r := newRig()
+	d := trojan.New()
+	r.ctx.ResetPacket(1, 1)
+	out := d.Process(r.ctx, &packet.Packet{Proto: packet.ProtoTCP, TCPFlags: packet.FlagSYN,
+		SrcIP: host, DstIP: srv, SrcPort: 40000, DstPort: packet.PortSSH})
+	if len(out) != 0 {
+		t.Fatal("off-path detector must not emit packets")
+	}
+}
+
+func TestDecls(t *testing.T) {
+	decls := trojan.New().Decls()
+	if len(decls) != 1 || decls[0].Scope != store.ScopeSrcIP || decls[0].Pattern != store.WriteReadOften {
+		t.Fatalf("decls = %+v, want per-host write/read-often (Table 4)", decls)
+	}
+}

@@ -1,0 +1,305 @@
+// Package runtime implements the CHC framework proper (§3-§5): the logical
+// chain -> physical chain compiler, the root (logical clocks, packet log,
+// the delete/XOR protocol of Fig 6, replay), scope-aware splitters with the
+// Fig 4 handover protocol, per-instance message queues with duplicate
+// suppression, vertex managers, straggler cloning, and the failover paths
+// for NF instances, roots and datastore instances.
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"chc/internal/nf"
+	"chc/internal/simnet"
+	"chc/internal/store"
+	"chc/internal/vtime"
+)
+
+// BackendKind selects how a vertex's instances manage state.
+type BackendKind uint8
+
+// Backend kinds.
+const (
+	// BackendCHC externalizes state to the store via the client library;
+	// the vertex Mode picks EO / EO+C / EO+C+NA.
+	BackendCHC BackendKind = iota
+	// BackendTraditional keeps all state NF-local (baseline "T").
+	BackendTraditional
+	// BackendLocking is the naive lock-RMW baseline of §7.1.
+	BackendLocking
+)
+
+// VertexSpec declares one logical NF in the chain DAG (§3).
+type VertexSpec struct {
+	Name      string
+	Make      func() nf.NF // one NF value per instance
+	Instances int
+	// OffPath vertices receive a copy of the previous on-path vertex's
+	// output (like the Trojan detector attached to the NAT in §7.1) and
+	// produce no downstream traffic.
+	OffPath bool
+	Backend BackendKind
+	Mode    store.Mode
+	// ServiceTime is the per-packet CPU cost of this NF; zero uses the
+	// chain default.
+	ServiceTime time.Duration
+	// Threads is the number of processing workers per instance (the paper
+	// runs multiple processing threads per NF to reach 10G; §7).
+	Threads int
+}
+
+// ChainConfig tunes the whole deployment.
+type ChainConfig struct {
+	// Seed drives all simulation randomness.
+	Seed int64
+	// LinkLatency is the one-way latency between any two components
+	// (instances, store, root). The paper's store RTTs dominate latency.
+	LinkLatency time.Duration
+	// LineRateBps models the NIC rate on inter-NF packet links.
+	LineRateBps int64
+	// DefaultServiceTime is the per-packet NF CPU cost when the vertex does
+	// not override it.
+	DefaultServiceTime time.Duration
+	// DefaultThreads is the per-instance worker count default.
+	DefaultThreads int
+
+	// ClockPersistEvery writes the root clock to the store every n packets
+	// (§7.2; n=1 every packet). Zero disables persistence.
+	ClockPersistEvery int
+	// LogInStore selects datastore packet logging (more fault tolerant,
+	// +1 RTT) instead of root-local logging (§7.2).
+	LogInStore bool
+	// RootLogCost is the per-packet cost of root-local logging (§7.2: ~1µs
+	// with one root; lower values model the paper's R parallel root
+	// instances splitting input traffic). Zero uses 1µs.
+	RootLogCost time.Duration
+	// SyncDelete makes the last on-path NF await delete-request delivery
+	// before emitting output (§5.4); async risks duplicates at the receiver.
+	SyncDelete bool
+	// XORCheck enables the Fig 6 bit-vector commit check at the root.
+	XORCheck bool
+	// DupSuppress enables clock-based duplicate suppression at instance
+	// queues (R5). Disabling it reproduces Table 5's baseline.
+	DupSuppress bool
+	// RootLogLimit drops packets at the root when the in-flight log exceeds
+	// this size (buffer-bloat guard, §5). Zero means unlimited.
+	RootLogLimit int
+
+	// StoreOpService is the per-op service time at store servers.
+	StoreOpService time.Duration
+	// CheckpointEvery enables periodic store checkpoints.
+	CheckpointEvery time.Duration
+	// FlushEvery drives periodic per-flow cache flushes at clients.
+	FlushEvery time.Duration
+}
+
+// DefaultChainConfig matches the calibration in DESIGN.md: 15µs one-way
+// link latency (30µs store RTT), 10G links, multi-threaded NFs whose
+// aggregate service rate saturates just under line rate for 1434B packets.
+func DefaultChainConfig() ChainConfig {
+	return ChainConfig{
+		Seed:               1,
+		LinkLatency:        15 * time.Microsecond,
+		LineRateBps:        10_000_000_000,
+		DefaultServiceTime: 9 * time.Microsecond,
+		DefaultThreads:     8,
+		ClockPersistEvery:  100,
+		SyncDelete:         false,
+		XORCheck:           true,
+		DupSuppress:        true,
+		RootLogLimit:       1 << 20,
+		StoreOpService:     200 * time.Nanosecond,
+		FlushEvery:         time.Millisecond,
+	}
+}
+
+// Chain is a deployed physical chain.
+type Chain struct {
+	cfg  ChainConfig
+	sim  *vtime.Sim
+	net  *simnet.Network
+	spec []VertexSpec
+
+	Root     *Root
+	Store    *store.Server
+	Vertices []*Vertex
+	Sink     *Sink
+	Metrics  *Metrics
+
+	nextInstanceID uint16
+}
+
+// Vertex is the physical realization of a VertexSpec.
+type Vertex struct {
+	Spec      VertexSpec
+	ID        uint16
+	Instances []*Instance
+	Splitter  *Splitter // routes traffic INTO this vertex's instances
+	Manager   *VertexManager
+	chain     *Chain
+
+	// Topology wiring (set by wireTopology).
+	downstream  *Vertex
+	offPathTaps []*Vertex
+}
+
+// New builds (but does not start) a chain.
+func New(cfg ChainConfig, spec ...VertexSpec) *Chain {
+	sim := vtime.NewSim(cfg.Seed)
+	net := simnet.New(sim, simnet.LinkConfig{Latency: cfg.LinkLatency})
+	c := &Chain{cfg: cfg, sim: sim, net: net, spec: spec, Metrics: NewMetrics()}
+
+	scfg := store.ServerConfig{
+		OpService:       cfg.StoreOpService,
+		CheckpointEvery: cfg.CheckpointEvery,
+		RootEndpoint:    "root0",
+	}
+	c.Store = store.NewServer(net, "store0", scfg)
+
+	c.Root = NewRoot(c, 0, "root0")
+	c.Sink = NewSink(c)
+
+	for vi, vs := range spec {
+		if vs.Instances <= 0 {
+			vs.Instances = 1
+		}
+		if vs.ServiceTime == 0 {
+			vs.ServiceTime = cfg.DefaultServiceTime
+		}
+		if vs.Threads == 0 {
+			vs.Threads = cfg.DefaultThreads
+		}
+		v := &Vertex{Spec: vs, ID: uint16(vi + 1), chain: c}
+		for k := 0; k < vs.Instances; k++ {
+			v.Instances = append(v.Instances, c.newInstance(v))
+		}
+		v.Splitter = NewSplitter(c, v)
+		v.Manager = NewVertexManager(c, v)
+		c.Vertices = append(c.Vertices, v)
+		c.Store.Declare(v.ID, mustDecls(vs))
+	}
+	c.wireTopology()
+	return c
+}
+
+func mustDecls(vs VertexSpec) []store.ObjDecl {
+	return vs.Make().Decls()
+}
+
+// Sim exposes the simulator (experiments drive it directly).
+func (c *Chain) Sim() *vtime.Sim { return c.sim }
+
+// Net exposes the simulated network.
+func (c *Chain) Net() *simnet.Network { return c.net }
+
+// Config returns the chain configuration.
+func (c *Chain) Config() ChainConfig { return c.cfg }
+
+// OnPath returns the on-path vertices in chain order.
+func (c *Chain) OnPath() []*Vertex {
+	var out []*Vertex
+	for _, v := range c.Vertices {
+		if !v.Spec.OffPath {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// lastOnPath returns the final on-path vertex.
+func (c *Chain) lastOnPath() *Vertex {
+	on := c.OnPath()
+	if len(on) == 0 {
+		return nil
+	}
+	return on[len(on)-1]
+}
+
+// wireTopology connects root -> v1 -> ... -> sink and attaches off-path
+// vertices to the preceding on-path vertex.
+func (c *Chain) wireTopology() {
+	var prevOn *Vertex
+	for _, v := range c.Vertices {
+		if v.Spec.OffPath {
+			if prevOn != nil {
+				prevOn.offPathTaps = append(prevOn.offPathTaps, v)
+			} else {
+				c.Root.offPathTaps = append(c.Root.offPathTaps, v)
+			}
+			continue
+		}
+		if prevOn == nil {
+			c.Root.downstream = v
+		} else {
+			prevOn.downstream = v
+		}
+		prevOn = v
+	}
+}
+
+// sendControl delivers a framework control message to a component.
+func (c *Chain) sendControl(to string, payload any) {
+	c.net.Send(simnet.Message{From: "framework", To: to, Payload: payload, Size: 16})
+}
+
+// Start spawns all component processes.
+func (c *Chain) Start() {
+	c.Store.Start()
+	c.Root.Start()
+	c.Sink.Start()
+	for _, v := range c.Vertices {
+		for _, inst := range v.Instances {
+			inst.Start()
+		}
+		v.Manager.Start()
+	}
+	c.registerCustomOps()
+}
+
+func (c *Chain) registerCustomOps() {
+	for _, v := range c.Vertices {
+		if p, ok := v.Spec.Make().(nf.CustomOpProvider); ok {
+			for name, fn := range p.CustomOps() {
+				c.Store.RegisterCustom(name, fn)
+			}
+		}
+	}
+}
+
+// Seed runs fn against the vertex's shared state through instance 0's
+// backend (port pools, server tables) before traffic starts.
+func (v *Vertex) Seed(fn func(apply func(store.Request))) {
+	inst := v.Instances[0]
+	done := false
+	v.chain.sim.Spawn(fmt.Sprintf("seed-v%d", v.ID), func(p *vtime.Proc) {
+		ctx := nf.NewCtx(p, inst.state, nil)
+		fn(func(r store.Request) {
+			inst.state.UpdateBlocking(ctx, r)
+		})
+		done = true
+	})
+	// Blocking seeding can take many RTTs (e.g. thousands of port pushes);
+	// advance the simulation until it finishes.
+	for i := 0; i < 100 && !done; i++ {
+		v.chain.sim.RunFor(50 * time.Millisecond)
+	}
+	if !done {
+		panic("runtime: Seed did not complete")
+	}
+}
+
+// Instance lookup by global instance ID.
+func (c *Chain) instanceByID(id uint16) *Instance {
+	for _, v := range c.Vertices {
+		for _, in := range v.Instances {
+			if in.ID == id {
+				return in
+			}
+		}
+	}
+	return nil
+}
+
+// StoreEndpoint names the store server endpoint.
+const StoreEndpoint = "store0"

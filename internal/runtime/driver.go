@@ -1,0 +1,36 @@
+package runtime
+
+import (
+	"time"
+
+	"chc/internal/trace"
+)
+
+// RunTrace schedules every trace event for injection at its arrival time
+// (relative to the current virtual instant) and drives the simulation until
+// the last arrival plus settle. It returns the virtual duration covered.
+func (c *Chain) RunTrace(tr *trace.Trace, settle time.Duration) time.Duration {
+	base := c.sim.Now()
+	for idx := range tr.Events {
+		ev := tr.Events[idx]
+		c.sim.ScheduleAt(base+ev.At, func() {
+			c.Inject(ev.Pkt, c.sim.Now())
+		})
+	}
+	horizon := base.Add(tr.Duration()).Add(settle)
+	c.sim.RunUntil(horizon)
+	return time.Duration(horizon - base)
+}
+
+// RunFor drives the simulation for a virtual duration (post-trace settling,
+// failure windows, etc.).
+func (c *Chain) RunFor(d time.Duration) { c.sim.RunFor(d) }
+
+// ThroughputBps reports an instance's processing rate over an observation
+// window: bytes processed divided by elapsed virtual time.
+func ThroughputBps(bytes uint64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / elapsed.Seconds()
+}

@@ -1,0 +1,362 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"chc/internal/nf"
+	"chc/internal/packet"
+	"chc/internal/simnet"
+	"chc/internal/store"
+	"chc/internal/vtime"
+)
+
+// PacketMsg carries a packet between chain components.
+type PacketMsg struct {
+	Pkt *packet.Packet
+	// InjectedAt is when the packet entered the chain at the root
+	// (end-to-end latency accounting).
+	InjectedAt vtime.Time
+	// SentAt is when the previous hop emitted it (queue-wait accounting).
+	SentAt vtime.Time
+}
+
+// DeleteMsg is the last-NF -> root delete request (§5): packet Clock
+// finished chain processing; Vec is the final XOR bit vector (Fig 6 step 3).
+type DeleteMsg struct {
+	Clock uint64
+	Vec   uint32
+	// Reply, when non-nil, is resolved on receipt (synchronous delete mode).
+	Reply *vtime.Future[struct{}]
+}
+
+// FlowTableQuery asks an instance for its current flow allocation (root
+// recovery, §5.4).
+type FlowTableQuery struct{}
+
+// Instance is one physical NF instance: an endpoint, worker processes, an
+// NF value and its state backend.
+type Instance struct {
+	chain    *Chain
+	vertex   *Vertex
+	ID       uint16
+	Endpoint string
+
+	nfImpl nf.NF
+	state  nf.State
+	client *store.Client // nil for non-CHC backends
+
+	procs []*vtime.Proc
+	seq   uint64
+
+	// seen implements queue-level duplicate suppression (R5): clocks this
+	// instance has already accepted.
+	seen map[uint64]struct{}
+
+	// parked buffers replicated live traffic while replayed traffic is
+	// being processed (§5.3 straggler cloning / failover bring-up).
+	buffering bool
+	parked    []PacketMsg
+
+	// ExtraDelay, if set, adds per-packet delay to THIS instance
+	// (straggler/slow-NF emulation for the R4/R5 experiments). It receives
+	// the sim's deterministic Int63n.
+	ExtraDelay func(intn func(int64) int64) time.Duration
+
+	dead bool
+
+	// Stats.
+	Processed      uint64
+	BytesProcessed uint64
+	Suppressed     uint64
+	DupSeen        uint64 // duplicates observed when suppression is OFF (Table 5)
+	// DupStateEvents counts duplicate connection-event packets (SYN,
+	// SYN-ACK, RST): the packets that would spuriously re-trigger state
+	// updates at a detector (Table 5 "duplicate state updates").
+	DupStateEvents uint64
+}
+
+// newInstance allocates an instance (not yet started).
+func (c *Chain) newInstance(v *Vertex) *Instance {
+	c.nextInstanceID++
+	id := c.nextInstanceID
+	ep := fmt.Sprintf("v%d.i%d", v.ID, id)
+	inst := &Instance{
+		chain:    c,
+		vertex:   v,
+		ID:       id,
+		Endpoint: ep,
+		nfImpl:   v.Spec.Make(),
+		seen:     make(map[uint64]struct{}),
+	}
+	switch v.Spec.Backend {
+	case BackendTraditional:
+		ls := nf.NewLocalState(v.ID, c.cfg.Seed+int64(id))
+		if p, ok := inst.nfImpl.(nf.CustomOpProvider); ok {
+			for name, fn := range p.CustomOps() {
+				ls.RegisterCustom(name, fn)
+			}
+		}
+		inst.state = ls
+	case BackendLocking:
+		inst.client = c.newClient(v, id, ep, store.Mode{})
+		inst.state = &nf.LockingState{C: inst.client}
+	default:
+		inst.client = c.newClient(v, id, ep, v.Spec.Mode)
+		inst.state = &nf.ClientState{C: inst.client}
+	}
+	return inst
+}
+
+func (c *Chain) newClient(v *Vertex, id uint16, ep string, mode store.Mode) *store.Client {
+	return store.NewClient(c.net, store.ClientConfig{
+		Vertex:     v.ID,
+		Instance:   id,
+		Endpoint:   ep,
+		Store:      StoreEndpoint,
+		Mode:       mode,
+		Decls:      v.Spec.Make().Decls(),
+		FlushEvery: c.cfg.FlushEvery,
+	})
+}
+
+// Client exposes the store client (nil for traditional instances).
+func (i *Instance) Client() *store.Client { return i.client }
+
+// NFImpl exposes the NF value (experiments inspect detector verdicts).
+func (i *Instance) NFImpl() nf.NF { return i.nfImpl }
+
+// Start spawns the worker processes.
+func (i *Instance) Start() {
+	i.dead = false
+	n := i.vertex.Spec.Threads
+	if n <= 0 {
+		n = 1
+	}
+	for w := 0; w < n; w++ {
+		name := fmt.Sprintf("%s.w%d", i.Endpoint, w)
+		i.procs = append(i.procs, i.chain.sim.Spawn(name, i.run))
+	}
+	if i.client != nil {
+		i.client.StartFlusher()
+		i.applyExclusivityDefaults()
+	}
+}
+
+// Crash fail-stops the instance: workers killed, endpoint down, local state
+// (and for CHC, only the cache) lost, outstanding retransmissions silenced.
+func (i *Instance) Crash() {
+	i.dead = true
+	for _, p := range i.procs {
+		i.chain.sim.Kill(p)
+	}
+	i.procs = nil
+	if i.client != nil {
+		i.client.StopFlusher()
+		i.client.Shutdown()
+	}
+	i.chain.net.Crash(i.Endpoint)
+}
+
+// applyExclusivityDefaults derives per-object cache permissions from the
+// upstream splitter's partitioning scope (§4.3 split-aware caching).
+func (i *Instance) applyExclusivityDefaults() {
+	split := i.vertex.Splitter
+	for _, d := range i.nfImpl.Decls() {
+		if store.StrategyFor(d) != store.StratSplitAware {
+			continue
+		}
+		i.client.SetObjExclusive(d.ID, split.GrantsExclusive(d.Scope))
+	}
+}
+
+// run is one worker loop.
+func (i *Instance) run(p *vtime.Proc) {
+	ep := i.chain.net.Endpoint(i.Endpoint)
+	ctx := nf.NewCtx(p, i.state, i.chain.Metrics.alertFn(i.vertex.Spec.Name))
+	for {
+		msg := ep.Inbox.Recv(p)
+		switch m := msg.Payload.(type) {
+		case PacketMsg:
+			i.handlePacket(p, ctx, m)
+		case *simnet.CallMsg:
+			if _, ok := m.Payload.(FlowTableQuery); ok {
+				m.Reply(i.vertex.Splitter.TableSnapshot(), 64)
+			}
+		default:
+			if i.client != nil {
+				i.client.HandleMessage(msg.Payload)
+			}
+		}
+	}
+}
+
+func (i *Instance) handlePacket(p *vtime.Proc, ctx *nf.Ctx, m PacketMsg) {
+	pkt := m.Pkt
+	clock := pkt.Meta.Clock
+	replay := pkt.Meta.Flags&packet.MetaReplay != 0
+
+	// End-of-replay control marker (Proto 0): never processed as traffic.
+	// If it is ours, stop buffering and drain; otherwise pass it down the
+	// chain behind the replayed packets (FIFO per hop; chains with multiple
+	// instances upstream of the clone inherit the paper's assumption that
+	// replay traffic reaches the clone before the marker).
+	if pkt.Proto == 0 && pkt.Meta.Flags&packet.MetaLastRp != 0 {
+		if pkt.Meta.CloneID == i.ID {
+			i.endReplay(p, ctx)
+		} else if i.vertex.downstream != nil {
+			i.vertex.downstream.Splitter.Route(i.Endpoint, pkt, p.Now())
+		}
+		return
+	}
+
+	// R5 duplicate suppression at the queue: a clock this instance already
+	// accepted is dropped before processing.
+	if _, dup := i.seen[clock]; dup {
+		i.DupSeen++
+		if pkt.IsSYN() || pkt.IsSYNACK() || pkt.IsRST() {
+			i.DupStateEvents++
+		}
+		if i.chain.cfg.DupSuppress {
+			i.Suppressed++
+			return
+		}
+	}
+	i.seen[clock] = struct{}{}
+
+	// §5.3: while a clone processes replayed traffic, replicated live
+	// traffic is buffered by the framework.
+	if i.buffering && !replay {
+		i.parked = append(i.parked, m)
+		return
+	}
+
+	// Fig 4 handover, new-instance side: the first packet of a moved flow
+	// acquires per-flow state ownership (waiting for the old instance's
+	// release if needed).
+	if pkt.Meta.Flags&packet.MetaFirst != 0 && i.client != nil {
+		sub := pkt.Key().Canonical().Hash()
+		acqStart := p.Now()
+		i.client.AcquireFlow(p, sub, 50*time.Millisecond)
+		// Handover latency: how long the moved flow's state was in transit
+		// (the §7.3 R2 "move" measurement).
+		i.chain.Metrics.Get("handover.acquire").AddAt(p.Now(), p.Now().Sub(acqStart))
+	}
+
+	start := p.Now()
+	i.process(p, ctx, pkt)
+	done := p.Now()
+	i.Processed++
+	v := i.vertex.Spec.Name
+	i.chain.Metrics.ProcTimeAt(v, done, done.Sub(start))
+	i.chain.Metrics.TotalTimeAt(v, done, done.Sub(m.SentAt))
+
+	// Fig 4 handover, old-instance side: after processing the packet marked
+	// "last", flush cached state and release ownership.
+	if pkt.Meta.Flags&packet.MetaLast != 0 && i.client != nil {
+		sub := pkt.Key().Canonical().Hash()
+		i.client.ReleaseFlow(p, sub)
+	}
+	_ = replay
+}
+
+// process runs the NF and forwards outputs.
+func (i *Instance) process(p *vtime.Proc, ctx *nf.Ctx, pkt *packet.Packet) {
+	i.seq++
+	ctx.ResetPacket(pkt.Meta.Clock, i.seq)
+
+	svc := i.vertex.Spec.ServiceTime
+	if i.ExtraDelay != nil {
+		svc += i.ExtraDelay(i.chain.sim.Rand().Int63n)
+	}
+	p.Sleep(svc)
+
+	outs := i.nfImpl.Process(ctx, pkt)
+	i.BytesProcessed += uint64(pkt.WireLen())
+	if i.vertex.Spec.OffPath {
+		// Off-path NFs consume their traffic copy; anything they return is
+		// analysis output, never forwarded.
+		outs = nil
+	}
+
+	// Fig 6 step 1: XOR (instanceID‖objID) for each object this packet
+	// updated into the carried bit vector. Only store-backed instances
+	// participate — the vector is matched against store commit signals.
+	var xor uint32
+	if i.client != nil {
+		for _, obj := range ctx.Updated {
+			xor ^= uint32(i.ID)<<16 | uint32(obj)
+		}
+	}
+
+	for _, out := range outs {
+		out.Meta.BitVec ^= xor
+		i.forward(p, out)
+	}
+	if len(outs) == 0 && !i.vertex.Spec.OffPath {
+		// The packet was consumed (dropped/absorbed) on-path: processing is
+		// complete, so run the delete protocol here instead of at the tail.
+		i.sendDelete(p, pkt.Meta.Clock, pkt.Meta.BitVec^xor)
+	}
+}
+
+// forward routes one output packet: off-path taps get copies; the last
+// on-path NF performs the delete protocol and emits to the sink.
+func (i *Instance) forward(p *vtime.Proc, out *packet.Packet) {
+	v := i.vertex
+	for _, tap := range v.offPathTaps {
+		tap.Splitter.Route(i.Endpoint, out.Clone(), p.Now())
+	}
+	if v.downstream != nil {
+		v.downstream.Splitter.Route(i.Endpoint, out, p.Now())
+		return
+	}
+	// Last on-path NF: the receiver already has this packet if the root
+	// marked it no-output during replay.
+	if out.Meta.Flags&packet.MetaNoOut != 0 {
+		return
+	}
+	// Delete request before output (§5.4 ordering).
+	i.sendDelete(p, out.Meta.Clock, out.Meta.BitVec)
+	i.chain.net.Send(simnet.Message{
+		From: i.Endpoint, To: SinkEndpoint,
+		Payload: PacketMsg{Pkt: out, SentAt: p.Now()},
+		Size:    out.WireLen(),
+	})
+}
+
+func (i *Instance) sendDelete(p *vtime.Proc, clock uint64, vec uint32) {
+	del := DeleteMsg{Clock: clock, Vec: vec}
+	if i.chain.cfg.SyncDelete {
+		// Ensure delivery before forwarding: +~1 RTT median (§7.2).
+		fut := vtime.NewFuture[struct{}](i.chain.sim)
+		del.Reply = fut
+		i.chain.net.Send(simnet.Message{From: i.Endpoint, To: i.chain.Root.Endpoint, Payload: del, Size: 16})
+		fut.WaitTimeout(p, 5*time.Millisecond)
+		return
+	}
+	i.chain.net.Send(simnet.Message{From: i.Endpoint, To: i.chain.Root.Endpoint, Payload: del, Size: 16})
+}
+
+// StartReplayTarget puts the instance into replay mode: replayed packets
+// process immediately, live replicated traffic parks until end-of-replay.
+func (i *Instance) StartReplayTarget() {
+	i.buffering = true
+}
+
+// endReplay drains parked traffic after the end-of-replay marker (§5.3:
+// "the framework hands buffered packets to the clone for processing").
+func (i *Instance) endReplay(p *vtime.Proc, ctx *nf.Ctx) {
+	i.buffering = false
+	parked := i.parked
+	i.parked = nil
+	for _, m := range parked {
+		if _, dup := i.seen[m.Pkt.Meta.Clock]; dup && i.chain.cfg.DupSuppress {
+			i.Suppressed++
+			continue
+		}
+		i.seen[m.Pkt.Meta.Clock] = struct{}{}
+		i.process(p, ctx, m.Pkt)
+		i.Processed++
+	}
+}

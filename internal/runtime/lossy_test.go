@@ -1,0 +1,73 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"chc/internal/nf/nat"
+	"chc/internal/simnet"
+	"chc/internal/store"
+)
+
+// TestLossyStoreLinkExactlyOnce: with a lossy NF<->store link, the client
+// library's retransmissions plus the server's at-most-once sequence dedup
+// and clock-based emulation must still yield EXACT shared-state counts —
+// no lost updates, no double-applied ones.
+func TestLossyStoreLinkExactlyOnce(t *testing.T) {
+	cfg := testConfig()
+	c := New(cfg, natVertex(1, BackendCHC, store.ModeEOCNA))
+	c.Start()
+	seedNAT(c, c.Vertices[0])
+
+	// 10% loss in both directions between the NAT instance and the store.
+	inst := c.Vertices[0].Instances[0]
+	lossy := simnet.LinkConfig{Latency: cfg.LinkLatency, LossProb: 0.10}
+	c.Net().SetLink(inst.Endpoint, StoreEndpoint, lossy)
+	c.Net().SetLink(StoreEndpoint, inst.Endpoint, lossy)
+
+	tr := smallTrace(30)
+	c.RunTrace(tr, 500*time.Millisecond)
+
+	if inst.Client().Retransmits == 0 {
+		t.Fatal("no retransmissions under 10% loss — test vacuous")
+	}
+	v, ok := c.Store.Engine().Get(store.Key{Vertex: 1, Obj: nat.ObjTotal})
+	if !ok || v.Int != int64(tr.Len()) {
+		t.Fatalf("total = %v,%v want exactly %d under loss", v, ok, tr.Len())
+	}
+	if int(c.Sink.Received) != tr.Len() {
+		t.Fatalf("sink %d of %d", c.Sink.Received, tr.Len())
+	}
+}
+
+// TestReorderingStoreLink: reordered delivery of async ops must not corrupt
+// commutative counters, and the TS/WAL machinery must keep store recovery
+// exact afterwards.
+func TestReorderingStoreLink(t *testing.T) {
+	cfg := testConfig()
+	cfg.CheckpointEvery = 3 * time.Millisecond
+	c := New(cfg, natVertex(1, BackendCHC, store.ModeEOCNA))
+	c.Start()
+	seedNAT(c, c.Vertices[0])
+
+	inst := c.Vertices[0].Instances[0]
+	reorder := simnet.LinkConfig{Latency: cfg.LinkLatency,
+		ReorderProb: 0.2, ReorderDelay: 200 * time.Microsecond}
+	c.Net().SetLink(inst.Endpoint, StoreEndpoint, reorder)
+
+	tr := smallTrace(30)
+	c.RunTrace(tr, 300*time.Millisecond)
+
+	v, _ := c.Store.Engine().Get(store.Key{Vertex: 1, Obj: nat.ObjTotal})
+	if v.Int != int64(tr.Len()) {
+		t.Fatalf("total = %d want %d under reordering", v.Int, tr.Len())
+	}
+	// Crash and recover the store: position-based TS replay must survive
+	// the reordered apply history.
+	took, _ := c.RecoverStore(DefaultStoreRecoveryConfig())
+	_ = took
+	v2, ok := c.Store.Engine().Get(store.Key{Vertex: 1, Obj: nat.ObjTotal})
+	if !ok || v2.Int != v.Int {
+		t.Fatalf("recovered total = %v,%v want %d", v2, ok, v.Int)
+	}
+}

@@ -1,0 +1,202 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"chc/internal/store"
+	"chc/internal/vtime"
+)
+
+// VertexManager collects per-instance statistics and runs operator-supplied
+// scaling/straggler logic (§3). The logic itself is policy — the paper's
+// contribution is correct state management during the resulting actions —
+// so the manager exposes hooks and the experiments trigger actions directly.
+type VertexManager struct {
+	chain  *Chain
+	vertex *Vertex
+	// Interval between stat collections.
+	Interval time.Duration
+	// OnStats, if set, receives periodic instance stats.
+	OnStats func(stats []InstanceStats)
+	proc    *vtime.Proc
+}
+
+// InstanceStats is one instance's periodic report.
+type InstanceStats struct {
+	ID        uint16
+	Processed uint64
+	QueueLen  int
+	Dead      bool
+}
+
+// NewVertexManager builds a manager.
+func NewVertexManager(c *Chain, v *Vertex) *VertexManager {
+	return &VertexManager{chain: c, vertex: v, Interval: 10 * time.Millisecond}
+}
+
+// Start spawns the collection loop (no-op without an OnStats hook).
+func (m *VertexManager) Start() {
+	if m.OnStats == nil {
+		return
+	}
+	m.proc = m.chain.sim.Spawn(fmt.Sprintf("vmgr-v%d", m.vertex.ID), func(p *vtime.Proc) {
+		for {
+			p.Sleep(m.Interval)
+			m.OnStats(m.Snapshot())
+		}
+	})
+}
+
+// Snapshot gathers current stats.
+func (m *VertexManager) Snapshot() []InstanceStats {
+	var out []InstanceStats
+	for _, in := range m.vertex.Instances {
+		out = append(out, InstanceStats{
+			ID:        in.ID,
+			Processed: in.Processed,
+			QueueLen:  m.chain.net.Endpoint(in.Endpoint).Inbox.Len(),
+			Dead:      in.dead,
+		})
+	}
+	return out
+}
+
+// --- Dynamic actions ---------------------------------------------------------
+
+// AddInstance scales the vertex up with a fresh instance (elastic scaling,
+// §5.1). The caller then moves flows to it via MoveFlows.
+func (c *Chain) AddInstance(v *Vertex) *Instance {
+	in := c.newInstance(v)
+	v.Instances = append(v.Instances, in)
+	in.Start()
+	v.Splitter.notifyExclusivity()
+	return in
+}
+
+// MoveFlows reallocates the given canonical flow hashes to instance to,
+// using the Fig 4 handover protocol.
+func (c *Chain) MoveFlows(v *Vertex, flowKeys []uint64, to *Instance) {
+	v.Splitter.StartMove(flowKeys, to.ID)
+}
+
+// FailoverNF replaces a crashed (or about-to-be-crashed) instance: a fresh
+// instance takes over its ID space, the datastore manager re-binds per-flow
+// state, the splitter redirects, and the root replays logged packets
+// (§5.4 "NF Failover").
+func (c *Chain) FailoverNF(old *Instance) *Instance {
+	if !old.dead {
+		old.Crash()
+	}
+	v := old.vertex
+	nu := c.newInstance(v)
+	v.Instances = append(v.Instances, nu)
+	// Datastore manager associates the failover instance's ID with the
+	// failed instance's state.
+	c.Store.Engine().ReassignOwner(old.ID, nu.ID)
+	v.Splitter.Redirect(old.ID, nu.ID)
+	nu.StartReplayTarget()
+	nu.Start()
+	// Replay brings state up to speed with in-transit packets.
+	c.sendControl(c.Root.Endpoint, ReplayCmd{CloneID: nu.ID})
+	return nu
+}
+
+// CloneStraggler deploys a clone alongside a straggler (§5.3): the clone is
+// initialized from the store (nothing to copy — state is already external),
+// replayed packets bring it up to speed, and the splitter replicates
+// incoming traffic to both.
+func (c *Chain) CloneStraggler(straggler *Instance) *Instance {
+	v := straggler.vertex
+	clone := c.newInstance(v) // per-instance ExtraDelay is not inherited
+	clone.StartReplayTarget()
+	v.Instances = append(v.Instances, clone)
+	clone.Start()
+	v.Splitter.Replicate(straggler.ID, clone.ID)
+	c.sendControl(c.Root.Endpoint, ReplayCmd{CloneID: clone.ID})
+	return clone
+}
+
+// RetainFaster ends straggler mitigation keeping the clone: the straggler
+// is killed and its traffic redirected.
+func (c *Chain) RetainFaster(straggler, clone *Instance) {
+	v := straggler.vertex
+	v.Splitter.StopReplicate(straggler.ID)
+	straggler.Crash()
+	v.Splitter.Redirect(straggler.ID, clone.ID)
+}
+
+// --- Store failover ----------------------------------------------------------
+
+// StoreRecoveryConfig models the costs of rebuilding a store instance.
+type StoreRecoveryConfig struct {
+	// PerOpCost is the time to decode and re-execute one WAL operation
+	// (dominates recovery, Fig 14).
+	PerOpCost time.Duration
+	// PerClientRTTs is how many round trips fetching each client's WAL,
+	// read-log and cached per-flow state costs.
+	PerClientRTTs int
+}
+
+// DefaultStoreRecoveryConfig mirrors the paper's replay-bound recovery.
+func DefaultStoreRecoveryConfig() StoreRecoveryConfig {
+	return StoreRecoveryConfig{PerOpCost: 1200 * time.Nanosecond, PerClientRTTs: 2}
+}
+
+// RecoverStore fail-stops the store server and rebuilds it per §5.4:
+// per-flow state from client caches, shared state from the last checkpoint
+// plus WAL re-execution with TS selection. Returns the recovery duration
+// and the number of re-executed operations.
+func (c *Chain) RecoverStore(rcfg StoreRecoveryConfig) (took time.Duration, reexec int) {
+	old := c.Store
+	old.Crash()
+
+	done := vtime.NewFuture[struct{}](c.sim)
+	c.sim.Spawn("store-recovery", func(p *vtime.Proc) {
+		start := p.Now()
+		// Gather recovery inputs from every CHC client; each costs RTTs.
+		var clients []store.ClientState
+		rtt := 2 * c.cfg.LinkLatency
+		for _, v := range c.Vertices {
+			for _, in := range v.Instances {
+				if in.client == nil || in.dead {
+					continue
+				}
+				p.Sleep(time.Duration(rcfg.PerClientRTTs) * rtt)
+				clients = append(clients, store.ClientState{
+					Instance: in.ID,
+					WAL:      in.client.WAL(),
+					ReadLog:  in.client.ReadLog(),
+					PerFlow:  in.client.CachedPerFlow(),
+				})
+			}
+		}
+		eng, n := store.RecoverEngine(store.RecoverInput{
+			Checkpoint: old.StableState().Checkpoint,
+			Clients:    clients,
+		})
+		reexec = n
+		p.Sleep(time.Duration(n) * rcfg.PerOpCost)
+
+		c.net.Restart(StoreEndpoint)
+		scfg := store.ServerConfig{
+			OpService:       c.cfg.StoreOpService,
+			CheckpointEvery: c.cfg.CheckpointEvery,
+			RootEndpoint:    c.Root.Endpoint,
+		}
+		ns := store.NewServerWithEngine(c.net, StoreEndpoint, scfg, eng)
+		for _, v := range c.Vertices {
+			ns.Declare(v.ID, v.Spec.Make().Decls())
+		}
+		ns.Start()
+		c.Store = ns
+		c.registerCustomOps()
+		took = p.Now().Sub(start)
+		done.Resolve(struct{}{})
+	})
+	c.sim.RunFor(5 * time.Second)
+	if !done.Resolved() {
+		panic("store recovery did not complete")
+	}
+	return took, reexec
+}

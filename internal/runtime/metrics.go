@@ -1,0 +1,192 @@
+package runtime
+
+import (
+	"sort"
+	"time"
+
+	"chc/internal/nf"
+	"chc/internal/vtime"
+)
+
+// SinkEndpoint is the chain egress endpoint name.
+const SinkEndpoint = "sink"
+
+// Sink terminates the chain: it collects outputs, end-to-end latencies, and
+// duplicate deliveries (what an end host would observe, §5.4).
+type Sink struct {
+	chain *Chain
+
+	Received   uint64
+	Duplicates uint64
+	seen       map[uint64]struct{}
+}
+
+// NewSink builds the sink.
+func NewSink(c *Chain) *Sink {
+	return &Sink{chain: c, seen: make(map[uint64]struct{})}
+}
+
+// Start spawns the sink process.
+func (s *Sink) Start() {
+	ep := s.chain.net.Endpoint(SinkEndpoint)
+	s.chain.sim.Spawn(SinkEndpoint, func(p *vtime.Proc) {
+		for {
+			msg := ep.Inbox.Recv(p)
+			m, ok := msg.Payload.(PacketMsg)
+			if !ok {
+				continue
+			}
+			s.Received++
+			if _, dup := s.seen[m.Pkt.Meta.Clock]; dup {
+				s.Duplicates++
+			}
+			s.seen[m.Pkt.Meta.Clock] = struct{}{}
+			if m.Pkt.IngressNs > 0 {
+				s.chain.Metrics.TotalTime("chain", p.Now().Sub(vtime.Time(m.Pkt.IngressNs)))
+			}
+		}
+	})
+}
+
+// Series is a sample reservoir with percentile queries. Samples optionally
+// carry their virtual timestamps (timeline experiments like Fig 9/13).
+type Series struct {
+	vals  []time.Duration
+	times []vtime.Time
+	cap   int
+}
+
+// Add appends a sample (dropped beyond the cap to bound memory).
+func (s *Series) Add(d time.Duration) {
+	if s.cap > 0 && len(s.vals) >= s.cap {
+		return
+	}
+	s.vals = append(s.vals, d)
+}
+
+// AddAt appends a timestamped sample.
+func (s *Series) AddAt(at vtime.Time, d time.Duration) {
+	if s.cap > 0 && len(s.vals) >= s.cap {
+		return
+	}
+	s.vals = append(s.vals, d)
+	s.times = append(s.times, at)
+}
+
+// Times returns sample timestamps (parallel to Values; empty if samples
+// were added without timestamps).
+func (s *Series) Times() []vtime.Time { return s.times }
+
+// Slice returns the samples in [from, to) index range.
+func (s *Series) Slice(from, to int) []time.Duration {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(s.vals) {
+		to = len(s.vals)
+	}
+	if from >= to {
+		return nil
+	}
+	return s.vals[from:to]
+}
+
+// PercentileOf computes a percentile over an arbitrary sample slice.
+func PercentileOf(vals []time.Duration, q float64) time.Duration {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// N returns the sample count.
+func (s *Series) N() int { return len(s.vals) }
+
+// Percentile returns the q'th percentile (q in [0,100]).
+func (s *Series) Percentile(q float64) time.Duration {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), s.vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Mean returns the average sample.
+func (s *Series) Mean() time.Duration {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / time.Duration(len(s.vals))
+}
+
+// Values returns the raw samples (CDF plotting).
+func (s *Series) Values() []time.Duration { return s.vals }
+
+// Metrics aggregates chain-wide measurements. The DES is single-threaded,
+// so no locking is needed.
+type Metrics struct {
+	series map[string]*Series
+	Alerts []nf.Alert
+}
+
+// NewMetrics builds an empty metrics collector.
+func NewMetrics() *Metrics {
+	return &Metrics{series: make(map[string]*Series)}
+}
+
+// Get returns (creating) the named series.
+func (m *Metrics) Get(name string) *Series {
+	s, ok := m.series[name]
+	if !ok {
+		s = &Series{cap: 4 << 20}
+		m.series[name] = s
+	}
+	return s
+}
+
+// ProcTime records NF processing time (dequeue -> done) for a vertex.
+func (m *Metrics) ProcTime(vertex string, d time.Duration) {
+	m.Get("proc." + vertex).Add(d)
+}
+
+// TotalTime records arrival-to-done time (includes queueing) for a vertex.
+func (m *Metrics) TotalTime(vertex string, d time.Duration) {
+	m.Get("total." + vertex).Add(d)
+}
+
+// ProcTimeAt records a timestamped processing-time sample.
+func (m *Metrics) ProcTimeAt(vertex string, at vtime.Time, d time.Duration) {
+	m.Get("proc."+vertex).AddAt(at, d)
+}
+
+// TotalTimeAt records a timestamped total-time sample.
+func (m *Metrics) TotalTimeAt(vertex string, at vtime.Time, d time.Duration) {
+	m.Get("total."+vertex).AddAt(at, d)
+}
+
+// alertFn returns the alert recorder passed to NF contexts.
+func (m *Metrics) alertFn(vertex string) func(nf.Alert) {
+	return func(a nf.Alert) {
+		m.Alerts = append(m.Alerts, a)
+	}
+}
+
+// AlertCount counts alerts of the given kind.
+func (m *Metrics) AlertCount(kind string) int {
+	n := 0
+	for _, a := range m.Alerts {
+		if a.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,301 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"chc/internal/packet"
+	"chc/internal/simnet"
+	"chc/internal/store"
+	"chc/internal/vtime"
+)
+
+// Clock persistence key: roots store their clock under vertex 0.
+const (
+	rootVertexID  uint16 = 0
+	rootClockObj  uint16 = 1
+	rootLogObj    uint16 = 2
+	localLogDelay        = 1 * time.Microsecond // §7.2: local logging ≈ 1µs/pkt
+)
+
+// ReplayCmd asks the root to replay its logged packets toward a recovering
+// or cloned instance (§5.3/§5.4).
+type ReplayCmd struct {
+	CloneID uint16
+}
+
+// rootLogEntry is one in-flight packet (§5: "at any time, the root logs all
+// packets that are being processed by one or more chain instances").
+type rootLogEntry struct {
+	pkt       *packet.Packet
+	gotDelete bool
+	finalVec  uint32
+}
+
+// Root is the chain entry: it stamps logical clocks, logs in-flight
+// packets, runs the delete/XOR protocol of Fig 6, and replays on demand.
+type Root struct {
+	chain    *Chain
+	ID       uint8
+	Endpoint string
+
+	ctr         uint64
+	log         map[uint64]*rootLogEntry
+	order       []uint64 // insertion-ordered clocks (replay iterates this)
+	commitXor   map[uint64]uint32
+	downstream  *Vertex
+	offPathTaps []*Vertex
+	proc        *vtime.Proc
+
+	// Stats.
+	Injected uint64
+	Deleted  uint64
+	Dropped  uint64
+	Replayed uint64
+}
+
+// NewRoot builds a root (not started).
+func NewRoot(c *Chain, id uint8, endpoint string) *Root {
+	return &Root{
+		chain:     c,
+		ID:        id,
+		Endpoint:  endpoint,
+		log:       make(map[uint64]*rootLogEntry),
+		commitXor: make(map[uint64]uint32),
+	}
+}
+
+// Start spawns the root process.
+func (r *Root) Start() {
+	r.proc = r.chain.sim.Spawn(r.Endpoint, r.run)
+}
+
+// Crash fail-stops the root.
+func (r *Root) Crash() {
+	if r.proc != nil {
+		r.chain.sim.Kill(r.proc)
+	}
+	r.chain.net.Crash(r.Endpoint)
+}
+
+// LogSize reports in-flight packets.
+func (r *Root) LogSize() int { return len(r.log) }
+
+// Clock returns the current counter (tests).
+func (r *Root) Clock() uint64 { return r.ctr }
+
+func (r *Root) run(p *vtime.Proc) {
+	ep := r.chain.net.Endpoint(r.Endpoint)
+	for {
+		msg := ep.Inbox.Recv(p)
+		switch m := msg.Payload.(type) {
+		case PacketMsg:
+			r.ingest(p, m)
+		case DeleteMsg:
+			r.handleDelete(m)
+		case store.CommitMsg:
+			r.handleCommit(m)
+		case ReplayCmd:
+			r.replay(p, m.CloneID)
+		}
+	}
+}
+
+// ingest stamps, persists, logs and forwards one input packet.
+func (r *Root) ingest(p *vtime.Proc, m PacketMsg) {
+	cfg := r.chain.cfg
+	if cfg.RootLogLimit > 0 && len(r.log) >= cfg.RootLogLimit {
+		// Buffer-bloat guard (§5): drop at the root.
+		r.Dropped++
+		return
+	}
+	r.ctr++
+	clock := packet.MakeClock(r.ID, r.ctr)
+	m.Pkt.Meta.Clock = clock
+	m.Pkt.Meta.BitVec = 0
+	m.Pkt.IngressNs = int64(p.Now())
+	start := p.Now()
+
+	// Clock persistence every n packets (§7.2): a blocking store write.
+	if cfg.ClockPersistEvery > 0 && r.ctr%uint64(cfg.ClockPersistEvery) == 0 {
+		req := &store.Request{Op: store.OpSet,
+			Key: store.Key{Vertex: rootVertexID, Obj: rootClockObj, Sub: uint64(r.ID)},
+			Arg: store.IntVal(int64(r.ctr))}
+		r.chain.net.Call(p, r.Endpoint, StoreEndpoint, req, 32, 10*time.Millisecond)
+	}
+
+	// Packet logging: root-local (fast) or in the datastore (survives
+	// correlated root+NF failures; §7.2 compares both).
+	if cfg.LogInStore {
+		req := &store.Request{Op: store.OpSet,
+			Key: store.Key{Vertex: rootVertexID, Obj: rootLogObj, Sub: clock},
+			Arg: store.IntVal(int64(m.Pkt.WireLen()))}
+		r.chain.net.Call(p, r.Endpoint, StoreEndpoint, req, 64, 10*time.Millisecond)
+	} else {
+		cost := cfg.RootLogCost
+		if cost == 0 {
+			cost = localLogDelay
+		}
+		p.Sleep(cost)
+	}
+	r.log[clock] = &rootLogEntry{pkt: m.Pkt}
+	r.order = append(r.order, clock)
+
+	r.Injected++
+	r.chain.Metrics.ProcTime("root", p.Now().Sub(start))
+	r.forward(p, m.Pkt, p.Now())
+}
+
+func (r *Root) forward(p *vtime.Proc, pkt *packet.Packet, now vtime.Time) {
+	for _, tap := range r.offPathTaps {
+		tap.Splitter.Route(r.Endpoint, pkt.Clone(), now)
+	}
+	if r.downstream != nil {
+		r.downstream.Splitter.Route(r.Endpoint, pkt, now)
+	}
+}
+
+// handleDelete runs Fig 6 step 4: match the final vector against the
+// accumulated store commit signals before deleting the log entry.
+func (r *Root) handleDelete(m DeleteMsg) {
+	ent, ok := r.log[m.Clock]
+	if !ok {
+		if m.Reply != nil && !m.Reply.Resolved() {
+			m.Reply.Resolve(struct{}{})
+		}
+		return
+	}
+	ent.gotDelete = true
+	ent.finalVec = m.Vec
+	r.tryDelete(m.Clock, ent)
+	if m.Reply != nil && !m.Reply.Resolved() {
+		m.Reply.Resolve(struct{}{})
+	}
+}
+
+// handleCommit accumulates Fig 6 step-2 signals from the store. Commits
+// from off-path instances are excluded: their XOR contributions travel on
+// traffic COPIES that never reach the chain tail, so counting them would
+// permanently unbalance the delete check for any packet an off-path NF
+// updated state for.
+func (r *Root) handleCommit(m store.CommitMsg) {
+	if in := r.chain.instanceByID(m.Instance); in != nil && in.vertex.Spec.OffPath {
+		return
+	}
+	r.commitXor[m.Clock] ^= uint32(m.Instance)<<16 | uint32(m.Key.Obj)
+	if ent, ok := r.log[m.Clock]; ok && ent.gotDelete {
+		r.tryDelete(m.Clock, ent)
+	}
+}
+
+func (r *Root) tryDelete(clock uint64, ent *rootLogEntry) {
+	if r.chain.cfg.XORCheck && ent.finalVec^r.commitXor[clock] != 0 {
+		// Some update this packet induced has not committed: keep the
+		// packet logged so it can be replayed (§5.4 non-blocking ops).
+		return
+	}
+	delete(r.log, clock)
+	delete(r.commitXor, clock)
+	r.Deleted++
+	// Prune the store's duplicate-suppression log for this packet.
+	r.chain.net.Send(simnet.Message{From: r.Endpoint, To: StoreEndpoint,
+		Payload: store.PruneMsg{Clock: clock}, Size: 12})
+}
+
+// replay resends every logged packet in clock order, marked as replay
+// traffic destined for cloneID; the last carries the end-of-replay marker.
+func (r *Root) replay(p *vtime.Proc, cloneID uint16) {
+	// Compact order: drop deleted clocks.
+	live := r.order[:0]
+	for _, c := range r.order {
+		if _, ok := r.log[c]; ok {
+			live = append(live, c)
+		}
+	}
+	r.order = live
+	now := p.Now()
+	for _, c := range live {
+		ent := r.log[c]
+		cp := ent.pkt.Clone()
+		cp.Meta.Flags |= packet.MetaReplay
+		cp.Meta.CloneID = cloneID
+		if ent.gotDelete {
+			// Output already reached the receiver; replay only to rebuild
+			// state (suppressing tail output).
+			cp.Meta.Flags |= packet.MetaNoOut
+		}
+		r.Replayed++
+		r.forward(p, cp, now)
+	}
+	// End-of-replay marker: a dedicated control packet (Proto 0). It flows
+	// through the chain BEHIND the replayed packets (FIFO links) and each
+	// splitter hands it to the clone directly, so the clone sees it after
+	// all replay traffic regardless of flow partitioning.
+	marker := &packet.Packet{}
+	marker.Meta.Flags = packet.MetaReplay | packet.MetaLastRp
+	marker.Meta.CloneID = cloneID
+	r.forward(p, marker, now)
+}
+
+// Inject delivers an external packet to the root (workload drivers).
+func (c *Chain) Inject(pkt *packet.Packet, at vtime.Time) {
+	c.net.Send(simnet.Message{
+		From:    "driver",
+		To:      c.Root.Endpoint,
+		Payload: PacketMsg{Pkt: pkt, SentAt: at, InjectedAt: at},
+		Size:    pkt.WireLen(),
+	})
+}
+
+// RecoverRoot replaces a crashed root: the new root reads the persisted
+// clock from the store and retrieves flow allocation from downstream
+// instances (§5.4). Returns the new root and the recovery duration.
+func (c *Chain) RecoverRoot() (newRoot *Root, took time.Duration) {
+	old := c.Root
+	old.Crash()
+	nr := NewRoot(c, old.ID, old.Endpoint)
+	nr.downstream = old.downstream
+	nr.offPathTaps = old.offPathTaps
+
+	done := vtime.NewFuture[time.Duration](c.sim)
+	c.sim.Spawn("root-recovery", func(p *vtime.Proc) {
+		start := p.Now()
+		c.net.Restart(old.Endpoint)
+		// Read the last persisted clock.
+		req := &store.Request{Op: store.OpGet,
+			Key: store.Key{Vertex: rootVertexID, Obj: rootClockObj, Sub: uint64(old.ID)}}
+		res, ok := c.net.Call(p, nr.Endpoint, StoreEndpoint, req, 32, 10*time.Millisecond)
+		last := uint64(0)
+		if ok {
+			if rep, k := res.(store.Reply); k && rep.OK {
+				last = uint64(rep.Val.Int)
+			}
+		}
+		// Restart at n + last so recycled clock values cannot collide with
+		// clocks assigned but not yet persisted (§7.2 footnote).
+		n := uint64(c.cfg.ClockPersistEvery)
+		if n == 0 {
+			n = 1
+		}
+		nr.ctr = last + n
+		// Query flow allocation from one instance of each on-path vertex.
+		for _, v := range c.OnPath() {
+			for _, in := range v.Instances {
+				if in.dead {
+					continue
+				}
+				c.net.Call(p, nr.Endpoint, in.Endpoint, FlowTableQuery{}, 16, 10*time.Millisecond)
+				break
+			}
+		}
+		took = p.Now().Sub(start)
+		nr.Start()
+		done.Resolve(took)
+	})
+	c.sim.RunFor(50 * time.Millisecond)
+	if !done.Resolved() {
+		panic(fmt.Sprintf("root recovery did not complete (live: %v)", c.sim.LiveProcs()))
+	}
+	c.Root = nr
+	return nr, took
+}

@@ -1,0 +1,331 @@
+package runtime
+
+import (
+	"chc/internal/packet"
+	"chc/internal/simnet"
+	"chc/internal/store"
+	"chc/internal/vtime"
+)
+
+// Splitter partitions traffic entering a vertex across its instances
+// (§4.1). CHC inserts one after every upstream instance; since all upstream
+// splitters share the same table, we model one splitter object per vertex
+// routing messages from whatever upstream endpoint emitted them.
+type Splitter struct {
+	chain  *Chain
+	vertex *Vertex
+
+	// scopes are the candidate partitioning granularities, coarsest first
+	// (the paper starts coarse to avoid sharing, refining only for load).
+	scopes   []store.Scope
+	scopeIdx int
+
+	// overrides pins a partition key to an instance (completed moves).
+	overrides map[uint64]uint16
+	// moves tracks in-progress Fig 4 handovers by canonical flow hash.
+	moves map[uint64]*moveState
+	// splitHosts routes these hosts' traffic per-flow across all instances
+	// (the Fig 9 shared-set H experiment).
+	splitHosts map[uint32]bool
+	// splitObjs remembers which objects were de-exclusified for splitHosts
+	// so a revert can restore their cache permissions.
+	splitObjs []uint16
+	// KeyFn, when set, overrides scope-based partitioning entirely
+	// (e.g. the R4 experiment partitions scrubbers by application).
+	KeyFn func(*packet.Packet) uint64
+	// IdxFn, when set, selects the instance index directly (strongest
+	// override; modulo the instance count).
+	IdxFn func(*packet.Packet) int
+	// redirect maps failed instance IDs to their replacements.
+	redirect map[uint16]uint16
+	// replicate mirrors a primary instance's traffic to a clone (§5.3).
+	replicate map[uint16]uint16
+
+	Routed uint64
+}
+
+type moveState struct {
+	to        uint16
+	lastSent  bool
+	firstSent bool
+}
+
+// NewSplitter builds the vertex's splitter with the scope-aware default
+// partitioning.
+func NewSplitter(c *Chain, v *Vertex) *Splitter {
+	s := &Splitter{
+		chain:      c,
+		vertex:     v,
+		overrides:  make(map[uint64]uint16),
+		moves:      make(map[uint64]*moveState),
+		splitHosts: make(map[uint32]bool),
+		redirect:   make(map[uint16]uint16),
+		replicate:  make(map[uint16]uint16),
+	}
+	// Candidate scopes: the NF's declared non-global scopes, coarsest
+	// first; always ending at flow granularity for load balance.
+	seen := map[store.Scope]bool{}
+	for _, d := range v.Spec.Make().Decls() {
+		if d.Scope != store.ScopeGlobal {
+			seen[d.Scope] = true
+		}
+	}
+	for _, sc := range []store.Scope{store.ScopeDstIP, store.ScopeSrcIP} {
+		if seen[sc] {
+			s.scopes = append(s.scopes, sc)
+		}
+	}
+	s.scopes = append(s.scopes, store.ScopeFlow)
+	return s
+}
+
+// Scope returns the active partitioning scope.
+func (s *Splitter) Scope() store.Scope { return s.scopes[s.scopeIdx] }
+
+// Refine moves to the next finer scope (the framework does this when the
+// vertex manager reports uneven load, §4.1). Returns false at the finest.
+func (s *Splitter) Refine() bool {
+	if s.scopeIdx+1 >= len(s.scopes) {
+		return false
+	}
+	s.scopeIdx++
+	s.notifyExclusivity()
+	return true
+}
+
+// GrantsExclusive reports whether the current partitioning guarantees that
+// any single key of the given scope is only accessed by one instance.
+func (s *Splitter) GrantsExclusive(objScope store.Scope) bool {
+	alive := s.aliveCount()
+	if alive <= 1 {
+		return true
+	}
+	if objScope == store.ScopeGlobal {
+		return false
+	}
+	// Partitioning at a scope coarser than or equal to the object's scope
+	// keeps each object single-writer (e.g. partition per-host, object
+	// per-host or per-flow).
+	return s.Scope() >= objScope
+}
+
+func (s *Splitter) aliveCount() int {
+	n := 0
+	for _, in := range s.vertex.Instances {
+		if !in.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// notifyExclusivity pushes recomputed per-object cache permissions to every
+// instance's client library (§4.3: the framework notifies the client-side
+// library when to cache or flush).
+func (s *Splitter) notifyExclusivity() {
+	for _, in := range s.vertex.Instances {
+		if in.client == nil || in.dead {
+			continue
+		}
+		in.applyExclusivityDefaults()
+	}
+}
+
+// partKey maps a packet to its partitioning key under scope sc. Host scopes
+// key on the "inside" host so both directions of its flows colocate.
+func partKey(pkt *packet.Packet, sc store.Scope) uint64 {
+	switch sc {
+	case store.ScopeSrcIP:
+		return uint64(insideHost(pkt))
+	case store.ScopeDstIP:
+		return uint64(outsideHost(pkt))
+	default:
+		return pkt.Key().Canonical().Hash()
+	}
+}
+
+func insideHost(pkt *packet.Packet) uint32 {
+	if pkt.SrcIP&0xFF000000 == 0x0A000000 {
+		return pkt.SrcIP
+	}
+	return pkt.DstIP
+}
+
+func outsideHost(pkt *packet.Packet) uint32 {
+	if pkt.SrcIP&0xFF000000 == 0x0A000000 {
+		return pkt.DstIP
+	}
+	return pkt.SrcIP
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// instanceFor picks the target instance for a partition key.
+func (s *Splitter) instanceFor(key uint64) *Instance {
+	insts := s.vertex.Instances
+	if id, ok := s.overrides[key]; ok {
+		if in := s.chain.instanceByID(s.resolve(id)); in != nil {
+			return in
+		}
+	}
+	idx := int(mix(key) % uint64(len(insts)))
+	return s.chain.instanceByID(s.resolve(insts[idx].ID))
+}
+
+func (s *Splitter) resolve(id uint16) uint16 {
+	for {
+		nid, ok := s.redirect[id]
+		if !ok {
+			return id
+		}
+		id = nid
+	}
+}
+
+// Route delivers pkt to the owning instance, applying handover marks,
+// host-split routing and straggler replication.
+func (s *Splitter) Route(from string, pkt *packet.Packet, now vtime.Time) {
+	s.Routed++
+
+	// End-of-replay marker: deliver straight to the clone when it lives in
+	// this vertex; otherwise push it through an instance toward the next
+	// vertex, behind the replayed traffic.
+	if pkt.Proto == 0 && pkt.Meta.Flags&packet.MetaLastRp != 0 {
+		if clone := s.chain.instanceByID(pkt.Meta.CloneID); clone != nil && clone.vertex == s.vertex {
+			s.deliver(from, clone, pkt, now)
+			return
+		}
+		s.deliver(from, s.instanceFor(0), pkt, now)
+		return
+	}
+
+	flowKey := pkt.Key().Canonical().Hash()
+
+	// In-progress move for this flow (Fig 4)?
+	if mv, ok := s.moves[flowKey]; ok {
+		if !mv.lastSent {
+			mv.lastSent = true
+			old := s.instanceFor(flowKey)
+			marked := pkt.Clone()
+			marked.Meta.Flags |= packet.MetaLast
+			s.deliver(from, old, marked, now)
+			// Subsequent packets go to the new instance.
+			s.overrides[flowKey] = mv.to
+			return
+		}
+		target := s.chain.instanceByID(s.resolve(mv.to))
+		if !mv.firstSent {
+			mv.firstSent = true
+			marked := pkt.Clone()
+			marked.Meta.Flags |= packet.MetaFirst
+			s.deliver(from, target, marked, now)
+			delete(s.moves, flowKey)
+			return
+		}
+		s.deliver(from, target, pkt, now)
+		return
+	}
+
+	var target *Instance
+	switch {
+	case s.IdxFn != nil:
+		insts := s.vertex.Instances
+		idx := s.IdxFn(pkt) % len(insts)
+		target = s.chain.instanceByID(s.resolve(insts[idx].ID))
+	case s.KeyFn != nil:
+		target = s.instanceFor(s.KeyFn(pkt))
+	case len(s.splitHosts) > 0 && s.splitHosts[insideHost(pkt)]:
+		// Shared-set hosts: flow-granularity spray across instances.
+		insts := s.vertex.Instances
+		idx := int(mix(flowKey) % uint64(len(insts)))
+		target = s.chain.instanceByID(s.resolve(insts[idx].ID))
+	default:
+		target = s.instanceFor(partKey(pkt, s.Scope()))
+	}
+	s.deliver(from, target, pkt, now)
+	if cloneID, ok := s.replicate[target.ID]; ok {
+		if clone := s.chain.instanceByID(cloneID); clone != nil {
+			s.deliver(from, clone, pkt.Clone(), now)
+		}
+	}
+}
+
+func (s *Splitter) deliver(from string, target *Instance, pkt *packet.Packet, now vtime.Time) {
+	s.chain.net.Send(simnet.Message{
+		From:    from,
+		To:      target.Endpoint,
+		Payload: PacketMsg{Pkt: pkt, SentAt: now},
+		Size:    pkt.WireLen(),
+	})
+}
+
+// StartMove initiates Fig 4 handovers for the given canonical flow hashes
+// toward instance to. The next matching packet carries the "last" mark to
+// the old instance; the one after carries "first" to the new one.
+func (s *Splitter) StartMove(flowKeys []uint64, to uint16) {
+	for _, k := range flowKeys {
+		s.moves[k] = &moveState{to: to}
+	}
+}
+
+// SetSplitHosts routes the given hosts' traffic per-flow across instances
+// (creating cross-instance sharing for their per-host state) and notifies
+// instance caches: affected entries are flushed and served by blocking
+// store ops until exclusivity returns. Passing nil reverts to scope
+// partitioning and restores cache permission for the previously split set.
+func (s *Splitter) SetSplitHosts(hosts []uint32, objs []uint16) {
+	prev := s.splitHosts
+	prevObjs := s.splitObjs
+	s.splitHosts = make(map[uint32]bool)
+	for _, h := range hosts {
+		s.splitHosts[h] = true
+	}
+	s.splitObjs = objs
+	for _, in := range s.vertex.Instances {
+		if in.client == nil || in.dead {
+			continue
+		}
+		// Revert the previous split set first.
+		for _, obj := range prevObjs {
+			for h := range prev {
+				if !s.splitHosts[h] {
+					in.client.SetExclusive(obj, uint64(h), s.GrantsExclusive(store.ScopeSrcIP))
+				}
+			}
+		}
+		for _, obj := range objs {
+			for _, h := range hosts {
+				in.client.SetExclusive(obj, uint64(h), false)
+			}
+		}
+	}
+}
+
+// Redirect reroutes a failed instance's traffic to its replacement.
+func (s *Splitter) Redirect(from, to uint16) { s.redirect[from] = to }
+
+// Replicate mirrors primary's traffic to clone (straggler mitigation).
+func (s *Splitter) Replicate(primary, clone uint16) { s.replicate[primary] = clone }
+
+// StopReplicate ends mirroring for primary.
+func (s *Splitter) StopReplicate(primary uint16) { delete(s.replicate, primary) }
+
+// FlowTable is the splitter state a recovering root retrieves (§5.4).
+type FlowTable struct {
+	Scope     store.Scope
+	Overrides map[uint64]uint16
+}
+
+// TableSnapshot returns a copy of the routing state.
+func (s *Splitter) TableSnapshot() FlowTable {
+	ov := make(map[uint64]uint16, len(s.overrides))
+	for k, v := range s.overrides {
+		ov[k] = v
+	}
+	return FlowTable{Scope: s.Scope(), Overrides: ov}
+}

@@ -1,0 +1,262 @@
+// Package simnet provides a simulated message network on top of the vtime
+// discrete-event kernel. It stands in for the paper's CloudLab testbed
+// (10G NICs + Mellanox VMA kernel bypass): endpoints exchange messages over
+// links with configurable one-way latency, jitter, bandwidth (serialization
+// delay + NIC queueing), loss, duplication and reordering, plus scheduled
+// crashes and partitions for failure injection.
+//
+// All latency results in the CHC paper are RTT-dominated, so modeling the
+// network at this level preserves the shape of every evaluation result while
+// staying deterministic (see DESIGN.md §1).
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"chc/internal/vtime"
+)
+
+// Message is a unit of delivery between endpoints.
+type Message struct {
+	From    string
+	To      string
+	Payload any
+	Size    int // wire bytes; used for bandwidth/serialization modeling
+}
+
+// LinkConfig describes one direction of a link.
+type LinkConfig struct {
+	Latency      time.Duration // propagation, one-way
+	Jitter       time.Duration // uniform in [0, Jitter)
+	BandwidthBps int64         // 0 means infinite (no serialization delay)
+	LossProb     float64
+	DupProb      float64
+	ReorderProb  float64 // probability a message gets ReorderDelay extra
+	ReorderDelay time.Duration
+}
+
+// link is the runtime state for one directed endpoint pair.
+type link struct {
+	cfg    LinkConfig
+	txFree vtime.Time // when the link's transmitter is next idle
+	up     bool
+
+	// Stats
+	Sent, Delivered, Dropped, Duplicated, Reordered uint64
+}
+
+// Endpoint is a named attachment point with an inbox of messages.
+type Endpoint struct {
+	name  string
+	net   *Network
+	Inbox *vtime.Mailbox[Message]
+	down  bool
+}
+
+// Name returns the endpoint name.
+func (e *Endpoint) Name() string { return e.name }
+
+// Down reports whether the endpoint is crashed.
+func (e *Endpoint) Down() bool { return e.down }
+
+// Network is a set of endpoints and directed links.
+type Network struct {
+	sim        *vtime.Sim
+	endpoints  map[string]*Endpoint
+	links      map[[2]string]*link
+	defaultCfg LinkConfig
+}
+
+// New creates a network whose unspecified links use def.
+func New(sim *vtime.Sim, def LinkConfig) *Network {
+	return &Network{
+		sim:        sim,
+		endpoints:  make(map[string]*Endpoint),
+		links:      make(map[[2]string]*link),
+		defaultCfg: def,
+	}
+}
+
+// Sim returns the underlying simulator.
+func (n *Network) Sim() *vtime.Sim { return n.sim }
+
+// Endpoint returns (creating on first use) the named endpoint.
+func (n *Network) Endpoint(name string) *Endpoint {
+	if e, ok := n.endpoints[name]; ok {
+		return e
+	}
+	e := &Endpoint{name: name, net: n, Inbox: vtime.NewMailbox[Message](n.sim, name+".inbox")}
+	n.endpoints[name] = e
+	return e
+}
+
+// SetLink configures the directed link from -> to.
+func (n *Network) SetLink(from, to string, cfg LinkConfig) {
+	n.links[[2]string{from, to}] = &link{cfg: cfg, up: true}
+}
+
+// SetLinkBoth configures both directions with the same config.
+func (n *Network) SetLinkBoth(a, b string, cfg LinkConfig) {
+	n.SetLink(a, b, cfg)
+	n.SetLink(b, a, cfg)
+}
+
+func (n *Network) linkFor(from, to string) *link {
+	key := [2]string{from, to}
+	if l, ok := n.links[key]; ok {
+		return l
+	}
+	l := &link{cfg: n.defaultCfg, up: true}
+	n.links[key] = l
+	return l
+}
+
+// SetLinkUp raises or cuts the directed link from -> to (partition control).
+func (n *Network) SetLinkUp(from, to string, up bool) {
+	n.linkFor(from, to).up = up
+}
+
+// Crash marks an endpoint down: all traffic to or from it is dropped and its
+// inbox is cleared. Used for fail-stop failure injection.
+func (n *Network) Crash(name string) {
+	e := n.Endpoint(name)
+	e.down = true
+	e.Inbox.Drain()
+}
+
+// Restart brings a crashed endpoint back (with an empty inbox, as a fresh
+// process would have).
+func (n *Network) Restart(name string) {
+	e := n.Endpoint(name)
+	e.down = false
+	e.Inbox.Drain()
+}
+
+// LinkStats returns delivery statistics for the directed link.
+func (n *Network) LinkStats(from, to string) (sent, delivered, dropped uint64) {
+	l := n.linkFor(from, to)
+	return l.Sent, l.Delivered, l.Dropped
+}
+
+// Send transmits msg from msg.From to msg.To, applying the link model.
+// It never blocks; delivery (if any) is scheduled on the destination inbox.
+func (n *Network) Send(msg Message) {
+	src := n.Endpoint(msg.From)
+	dst := n.Endpoint(msg.To)
+	l := n.linkFor(msg.From, msg.To)
+	l.Sent++
+	if src.down || dst.down || !l.up {
+		l.Dropped++
+		return
+	}
+	rng := n.sim.Rand()
+	if l.cfg.LossProb > 0 && rng.Float64() < l.cfg.LossProb {
+		l.Dropped++
+		return
+	}
+	delay := l.cfg.Latency
+	if l.cfg.Jitter > 0 {
+		delay += time.Duration(rng.Int63n(int64(l.cfg.Jitter)))
+	}
+	// Serialization: the transmitter is busy for size*8/bandwidth; messages
+	// queue behind each other (NIC queueing).
+	if l.cfg.BandwidthBps > 0 && msg.Size > 0 {
+		tx := time.Duration(int64(msg.Size) * 8 * int64(time.Second) / l.cfg.BandwidthBps)
+		start := n.sim.Now()
+		if l.txFree > start {
+			start = l.txFree
+		}
+		l.txFree = start.Add(tx)
+		delay += l.txFree.Sub(n.sim.Now())
+	}
+	if l.cfg.ReorderProb > 0 && rng.Float64() < l.cfg.ReorderProb {
+		delay += l.cfg.ReorderDelay
+		l.Reordered++
+	}
+	deliver := func(m Message) {
+		n.sim.Schedule(delay, func() {
+			// Re-check destination liveness at delivery time.
+			if dst.down {
+				l.Dropped++
+				return
+			}
+			l.Delivered++
+			dst.Inbox.Send(m)
+		})
+	}
+	deliver(msg)
+	if l.cfg.DupProb > 0 && rng.Float64() < l.cfg.DupProb {
+		l.Duplicated++
+		deliver(msg)
+	}
+}
+
+// Call performs a simulated RPC: it sends req from client to server carrying
+// a reply future, then blocks p until the server resolves the future or the
+// timeout elapses. Servers receive a *CallMsg and must call Reply exactly
+// once (or never, to model a lost reply).
+func (n *Network) Call(p *vtime.Proc, from, to string, payload any, size int, timeout time.Duration) (any, bool) {
+	fut := vtime.NewFuture[any](n.sim)
+	cm := &CallMsg{Payload: payload, fut: fut, net: n, from: from, to: to}
+	n.Send(Message{From: from, To: to, Payload: cm, Size: size})
+	return fut.WaitTimeout(p, timeout)
+}
+
+// CallMsg is the payload wrapper for simulated RPCs.
+type CallMsg struct {
+	Payload any
+	fut     *vtime.Future[any]
+	net     *Network
+	from    string // original caller
+	to      string // original callee (the replier)
+}
+
+// From returns the calling endpoint's name.
+func (c *CallMsg) From() string { return c.from }
+
+// Reply resolves the caller's future after the return path latency of the
+// link to->from. replySize models the reply message size.
+func (c *CallMsg) Reply(v any, replySize int) {
+	l := c.net.linkFor(c.to, c.from)
+	src := c.net.Endpoint(c.to)
+	dst := c.net.Endpoint(c.from)
+	l.Sent++
+	if src.down || dst.down || !l.up {
+		l.Dropped++
+		return
+	}
+	rng := c.net.sim.Rand()
+	if l.cfg.LossProb > 0 && rng.Float64() < l.cfg.LossProb {
+		l.Dropped++
+		return
+	}
+	delay := l.cfg.Latency
+	if l.cfg.Jitter > 0 {
+		delay += time.Duration(rng.Int63n(int64(l.cfg.Jitter)))
+	}
+	if l.cfg.BandwidthBps > 0 && replySize > 0 {
+		tx := time.Duration(int64(replySize) * 8 * int64(time.Second) / l.cfg.BandwidthBps)
+		start := c.net.sim.Now()
+		if l.txFree > start {
+			start = l.txFree
+		}
+		l.txFree = start.Add(tx)
+		delay += l.txFree.Sub(c.net.sim.Now())
+	}
+	l.Delivered++
+	fut := c.fut
+	c.net.sim.Schedule(delay, func() {
+		if dst.down {
+			return
+		}
+		if !fut.Resolved() {
+			fut.Resolve(v)
+		}
+	})
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (m Message) String() string {
+	return fmt.Sprintf("%s->%s (%dB) %T", m.From, m.To, m.Size, m.Payload)
+}

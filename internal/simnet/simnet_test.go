@@ -1,0 +1,199 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"chc/internal/vtime"
+)
+
+func newNet(seed int64, lat time.Duration) (*vtime.Sim, *Network) {
+	sim := vtime.NewSim(seed)
+	return sim, New(sim, LinkConfig{Latency: lat})
+}
+
+func TestDeliveryLatency(t *testing.T) {
+	sim, n := newNet(1, 15*time.Microsecond)
+	dst := n.Endpoint("b")
+	var at vtime.Time
+	sim.Spawn("recv", func(p *vtime.Proc) {
+		dst.Inbox.Recv(p)
+		at = p.Now()
+	})
+	n.Send(Message{From: "a", To: "b", Payload: "x"})
+	sim.Run()
+	if at != vtime.Time(15*time.Microsecond) {
+		t.Fatalf("delivered at %v, want 15µs", at)
+	}
+}
+
+func TestFIFOPerLink(t *testing.T) {
+	sim, n := newNet(1, 10*time.Microsecond)
+	dst := n.Endpoint("b")
+	var got []int
+	sim.Spawn("recv", func(p *vtime.Proc) {
+		for i := 0; i < 5; i++ {
+			m := dst.Inbox.Recv(p)
+			got = append(got, m.Payload.(int))
+		}
+	})
+	for i := 0; i < 5; i++ {
+		n.Send(Message{From: "a", To: "b", Payload: i})
+	}
+	sim.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order %v", got)
+		}
+	}
+}
+
+func TestLoss(t *testing.T) {
+	sim, n := newNet(7, time.Microsecond)
+	n.SetLink("a", "b", LinkConfig{Latency: time.Microsecond, LossProb: 1.0})
+	n.Send(Message{From: "a", To: "b", Payload: 1})
+	sim.Run()
+	if n.Endpoint("b").Inbox.Len() != 0 {
+		t.Fatal("lossy link delivered a message")
+	}
+	_, _, dropped := n.LinkStats("a", "b")
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestCrashDropsTraffic(t *testing.T) {
+	sim, n := newNet(1, time.Microsecond)
+	n.Crash("b")
+	n.Send(Message{From: "a", To: "b", Payload: 1})
+	sim.Run()
+	if n.Endpoint("b").Inbox.Len() != 0 {
+		t.Fatal("crashed endpoint received a message")
+	}
+	n.Restart("b")
+	n.Send(Message{From: "a", To: "b", Payload: 2})
+	sim.Run()
+	if n.Endpoint("b").Inbox.Len() != 1 {
+		t.Fatal("restarted endpoint did not receive")
+	}
+}
+
+func TestCrashAtDeliveryTime(t *testing.T) {
+	// A message in flight to an endpoint that crashes before delivery must
+	// be dropped (fail-stop model).
+	sim, n := newNet(1, 100*time.Microsecond)
+	n.Send(Message{From: "a", To: "b", Payload: 1})
+	sim.Schedule(50*time.Microsecond, func() { n.Crash("b") })
+	sim.Run()
+	if n.Endpoint("b").Inbox.Len() != 0 {
+		t.Fatal("message delivered to endpoint that crashed in flight")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	sim, n := newNet(1, time.Microsecond)
+	n.SetLinkUp("a", "b", false)
+	n.Send(Message{From: "a", To: "b", Payload: 1})
+	// Reverse direction should be unaffected.
+	n.Send(Message{From: "b", To: "a", Payload: 2})
+	sim.Run()
+	if n.Endpoint("b").Inbox.Len() != 0 {
+		t.Fatal("partitioned link delivered")
+	}
+	if n.Endpoint("a").Inbox.Len() != 1 {
+		t.Fatal("reverse direction was affected")
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	// 10Gbps link: a 1250-byte message takes 1µs to serialize. Two messages
+	// sent back-to-back: second delivers one serialization time later.
+	sim := vtime.NewSim(1)
+	n := New(sim, LinkConfig{Latency: 5 * time.Microsecond, BandwidthBps: 10_000_000_000})
+	dst := n.Endpoint("b")
+	var times []vtime.Time
+	sim.Spawn("recv", func(p *vtime.Proc) {
+		for i := 0; i < 2; i++ {
+			dst.Inbox.Recv(p)
+			times = append(times, p.Now())
+		}
+	})
+	n.Send(Message{From: "a", To: "b", Payload: 1, Size: 1250})
+	n.Send(Message{From: "a", To: "b", Payload: 2, Size: 1250})
+	sim.Run()
+	if len(times) != 2 {
+		t.Fatalf("delivered %d", len(times))
+	}
+	if times[0] != vtime.Time(6*time.Microsecond) {
+		t.Fatalf("first at %v, want 6µs", times[0])
+	}
+	if times[1] != vtime.Time(7*time.Microsecond) {
+		t.Fatalf("second at %v, want 7µs (queued behind first)", times[1])
+	}
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	sim, n := newNet(1, 10*time.Microsecond)
+	srv := n.Endpoint("server")
+	sim.Spawn("server", func(p *vtime.Proc) {
+		m := srv.Inbox.Recv(p)
+		cm := m.Payload.(*CallMsg)
+		p.Sleep(2 * time.Microsecond) // service time
+		cm.Reply(cm.Payload.(int)*2, 64)
+	})
+	var got any
+	var ok bool
+	var rtt time.Duration
+	sim.Spawn("client", func(p *vtime.Proc) {
+		start := p.Now()
+		got, ok = n.Call(p, "client", "server", 21, 64, time.Second)
+		rtt = p.Now().Sub(start)
+	})
+	sim.Run()
+	if !ok || got.(int) != 42 {
+		t.Fatalf("rpc = %v,%v", got, ok)
+	}
+	want := 22 * time.Microsecond // 10 out + 2 service + 10 back
+	if rtt != want {
+		t.Fatalf("rtt = %v, want %v", rtt, want)
+	}
+}
+
+func TestRPCTimeout(t *testing.T) {
+	sim, n := newNet(1, 10*time.Microsecond)
+	// No server process: call must time out.
+	var ok bool
+	sim.Spawn("client", func(p *vtime.Proc) {
+		_, ok = n.Call(p, "client", "server", 1, 64, 50*time.Microsecond)
+	})
+	sim.Run()
+	if ok {
+		t.Fatal("call should have timed out")
+	}
+}
+
+func TestDuplication(t *testing.T) {
+	sim := vtime.NewSim(3)
+	n := New(sim, LinkConfig{Latency: time.Microsecond, DupProb: 1.0})
+	n.Send(Message{From: "a", To: "b", Payload: 9})
+	sim.Run()
+	if got := n.Endpoint("b").Inbox.Len(); got != 2 {
+		t.Fatalf("inbox = %d, want 2 (original + duplicate)", got)
+	}
+}
+
+func TestReorderAddsDelay(t *testing.T) {
+	sim := vtime.NewSim(3)
+	n := New(sim, LinkConfig{Latency: time.Microsecond, ReorderProb: 1.0, ReorderDelay: 40 * time.Microsecond})
+	dst := n.Endpoint("b")
+	var at vtime.Time
+	sim.Spawn("recv", func(p *vtime.Proc) {
+		dst.Inbox.Recv(p)
+		at = p.Now()
+	})
+	n.Send(Message{From: "a", To: "b", Payload: 1})
+	sim.Run()
+	if at != vtime.Time(41*time.Microsecond) {
+		t.Fatalf("delivered at %v, want 41µs", at)
+	}
+}

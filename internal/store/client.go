@@ -1,0 +1,669 @@
+package store
+
+import (
+	"time"
+
+	"chc/internal/simnet"
+	"chc/internal/vtime"
+)
+
+// Mode selects the state-management model of §7.1, so the same NF code can
+// run as a "traditional" NF or under the three externalization models.
+type Mode struct {
+	// Cache enables the Table 1 caching strategies (model #2, "EO+C").
+	Cache bool
+	// NoAckWait makes non-blocking operations return without waiting for the
+	// store ACK; the client library retransmits on timeout (model #3, "+NA").
+	NoAckWait bool
+}
+
+// Modes from Figure 8/10.
+var (
+	ModeEO    = Mode{}                             // externalized ops only
+	ModeEOC   = Mode{Cache: true}                  // + caching
+	ModeEOCNA = Mode{Cache: true, NoAckWait: true} // + no ACK wait
+)
+
+// ClientConfig configures a client-side datastore library instance (§6:
+// "NFs are implemented using our CHC library that provides ... client side
+// datastore handling, retransmissions of un-ACK'd state updates").
+type ClientConfig struct {
+	Vertex   uint16
+	Instance uint16
+	Endpoint string // this NF instance's endpoint (for callbacks/ACKs)
+	Store    string // store server endpoint
+	Mode     Mode
+	Decls    []ObjDecl
+	// RPCTimeout bounds blocking store calls.
+	RPCTimeout time.Duration
+	// AckTimeout triggers retransmission of un-ACK'd async ops.
+	AckTimeout time.Duration
+	// FlushEvery drives periodic non-blocking flush of cached per-flow
+	// objects (Table 1). Zero keeps flush purely event-driven (handover).
+	FlushEvery time.Duration
+}
+
+// WalOp is one entry of the client-side write-ahead log of shared-state
+// update operations (§5.4).
+type WalOp struct {
+	Clock uint64
+	Req   Request
+}
+
+// ReadRecord logs a shared-state read: the value returned and the TS vector
+// the store attached (§5.4 Case 2).
+type ReadRecord struct {
+	Key   Key
+	Val   Value
+	TS    map[uint16]uint64
+	Clock uint64
+}
+
+type cacheEntry struct {
+	val        Value
+	valid      bool
+	exclusive  bool      // split-aware objects: may cache while exclusive
+	exclSet    bool      // exclusive was set per-sub (overrides the per-obj default)
+	pending    []Request // locally applied, unflushed ops (per-flow cache)
+	registered bool      // update callback registered with the store
+}
+
+// Client is the per-instance datastore library. Its blocking methods must be
+// called from the owning NF instance's simulation process; HandleMessage
+// must be invoked by the instance's event loop for store-pushed messages.
+type Client struct {
+	cfg   ClientConfig
+	net   *simnet.Network
+	decls map[uint16]ObjDecl
+	cache map[Key]*cacheEntry
+
+	// Async-op retransmission state.
+	seq     uint64
+	pending map[uint64]AsyncOp
+
+	// Recovery metadata.
+	wal       []WalOp
+	readLog   []ReadRecord
+	flushProc *vtime.Proc
+
+	// Handover waits: per-flow keys whose release we are waiting on.
+	ownerWait map[Key]*vtime.Future[struct{}]
+
+	// Per-object exclusivity defaults (set by the framework from the
+	// upstream splitter's partitioning); per-sub cache entries override.
+	objExcl map[uint16]bool
+
+	// shutdown stops retransmissions after the instance crashes.
+	shutdown bool
+
+	// Stats for the experiment harness.
+	BlockingOps uint64
+	AsyncOps    uint64
+	CacheHits   uint64
+	CacheMisses uint64
+	Retransmits uint64
+	FlushedOps  uint64
+}
+
+// NewClient builds a client library instance.
+func NewClient(net *simnet.Network, cfg ClientConfig) *Client {
+	if cfg.RPCTimeout == 0 {
+		cfg.RPCTimeout = 10 * time.Millisecond
+	}
+	if cfg.AckTimeout == 0 {
+		cfg.AckTimeout = 1 * time.Millisecond
+	}
+	c := &Client{
+		cfg:       cfg,
+		net:       net,
+		decls:     make(map[uint16]ObjDecl),
+		cache:     make(map[Key]*cacheEntry),
+		pending:   make(map[uint64]AsyncOp),
+		ownerWait: make(map[Key]*vtime.Future[struct{}]),
+		objExcl:   make(map[uint16]bool),
+	}
+	for _, d := range cfg.Decls {
+		c.decls[d.ID] = d
+	}
+	return c
+}
+
+// Config returns the client configuration.
+func (c *Client) Config() ClientConfig { return c.cfg }
+
+// WAL returns the client-side write-ahead log (store recovery input).
+func (c *Client) WAL() []WalOp { return c.wal }
+
+// PendingAcks reports async operations not yet acknowledged.
+func (c *Client) PendingAcks() int { return len(c.pending) }
+
+// Shutdown stops retransmission of outstanding async ops (instance crash:
+// a dead NF cannot keep retrying; replay regenerates anything lost).
+func (c *Client) Shutdown() {
+	c.shutdown = true
+	c.pending = make(map[uint64]AsyncOp)
+}
+
+// ReadLog returns logged shared reads with their TS vectors.
+func (c *Client) ReadLog() []ReadRecord { return c.readLog }
+
+// StartFlusher spawns the periodic cache flusher if configured.
+func (c *Client) StartFlusher() {
+	if c.cfg.FlushEvery <= 0 {
+		return
+	}
+	c.flushProc = c.net.Sim().Spawn(c.cfg.Endpoint+".flush", func(p *vtime.Proc) {
+		for {
+			p.Sleep(c.cfg.FlushEvery)
+			c.FlushAll()
+		}
+	})
+}
+
+// StopFlusher kills the flusher (instance crash).
+func (c *Client) StopFlusher() {
+	if c.flushProc != nil {
+		c.net.Sim().Kill(c.flushProc)
+	}
+}
+
+func (c *Client) key(obj uint16, sub uint64) Key {
+	return Key{Vertex: c.cfg.Vertex, Obj: obj, Sub: sub}
+}
+
+func (c *Client) decl(obj uint16) ObjDecl {
+	if d, ok := c.decls[obj]; ok {
+		return d
+	}
+	return ObjDecl{ID: obj, Scope: ScopeGlobal, Pattern: WriteReadOften}
+}
+
+func (c *Client) entry(k Key) *cacheEntry {
+	e, ok := c.cache[k]
+	if !ok {
+		e = &cacheEntry{}
+		c.cache[k] = e
+	}
+	return e
+}
+
+// cacheable reports whether ops on k may be absorbed by the local cache
+// under the current mode, strategy and exclusivity (Table 1).
+func (c *Client) cacheable(d ObjDecl, e *cacheEntry) bool {
+	if !c.cfg.Mode.Cache {
+		return false
+	}
+	switch StrategyFor(d) {
+	case StratCachePerFlow:
+		return true
+	case StratSplitAware:
+		if e.exclSet {
+			return e.exclusive
+		}
+		return c.objExcl[d.ID]
+	default:
+		return false
+	}
+}
+
+// SetObjExclusive marks ALL subs of a split-aware object as exclusively
+// accessed by this instance (per-sub SetExclusive overrides). The framework
+// derives this from the splitter's partitioning scope. Losing object-level
+// exclusivity flushes every cached sub of the object.
+func (c *Client) SetObjExclusive(obj uint16, exclusive bool) {
+	was := c.objExcl[obj]
+	c.objExcl[obj] = exclusive
+	if was && !exclusive {
+		for k, e := range c.cache {
+			if k.Obj == obj && !e.exclSet && len(e.pending) > 0 {
+				c.flushEntry(k, e)
+				e.valid = false
+			}
+		}
+	}
+}
+
+// SetExclusive marks a split-aware object (obj,sub) as exclusively accessed
+// by this instance (or not). The framework calls this when the upstream
+// splitter's partitioning changes (§4.3: "CHC notifies the client-side
+// library when to cache or flush the state"). Losing exclusivity flushes.
+func (c *Client) SetExclusive(obj uint16, sub uint64, exclusive bool) {
+	k := c.key(obj, sub)
+	e := c.entry(k)
+	wasExcl := e.exclusive
+	if !e.exclSet {
+		wasExcl = c.objExcl[obj]
+	}
+	if wasExcl && !exclusive {
+		c.flushEntry(k, e)
+		e.valid = false
+	}
+	e.exclusive = exclusive
+	e.exclSet = true
+}
+
+// call performs a blocking RPC to the store.
+func (c *Client) call(p *vtime.Proc, req *Request) (Reply, bool) {
+	c.BlockingOps++
+	size := 24 + req.Arg.wireSize()
+	res, ok := c.net.Call(p, c.cfg.Endpoint, c.cfg.Store, req, size, c.cfg.RPCTimeout)
+	if !ok {
+		return Reply{}, false
+	}
+	return res.(Reply), true
+}
+
+// async issues a fire-and-forget op with framework retransmission (§4.3:
+// "NFs do not even wait for the ACK ... the framework handles operation
+// retransmission if an ACK is not received before a timeout").
+func (c *Client) async(req *Request) {
+	c.AsyncOps++
+	c.seq++
+	op := AsyncOp{Req: req, Seq: c.seq, From: c.cfg.Endpoint}
+	c.pending[op.Seq] = op
+	c.sendAsync(op)
+}
+
+func (c *Client) sendAsync(op AsyncOp) {
+	c.net.Send(simnet.Message{
+		From: c.cfg.Endpoint, To: c.cfg.Store, Payload: op,
+		Size: 24 + op.Req.Arg.wireSize(),
+	})
+	seq := op.Seq
+	c.net.Sim().Schedule(c.cfg.AckTimeout, func() {
+		if c.shutdown {
+			return
+		}
+		if p, ok := c.pending[seq]; ok {
+			c.Retransmits++
+			c.sendAsync(p)
+		}
+	})
+}
+
+// HandleMessage dispatches store-pushed messages (ACKs, callbacks, owner
+// notifications, WAL truncation). The NF instance event loop calls this for
+// any inbox payload the framework itself does not consume. It reports
+// whether the message was a store-protocol message.
+func (c *Client) HandleMessage(payload any) bool {
+	switch m := payload.(type) {
+	case AckMsg:
+		delete(c.pending, m.Seq)
+		return true
+	case CallbackMsg:
+		// Read-heavy cache refresh pushed by the store.
+		e := c.entry(m.Key)
+		e.val = m.Val
+		e.valid = true
+		return true
+	case OwnerMsg:
+		if w, ok := c.ownerWait[m.Key]; ok && m.Owner == 0 {
+			delete(c.ownerWait, m.Key)
+			w.Resolve(struct{}{})
+		}
+		return true
+	case TruncateMsg:
+		c.truncate(m.TS)
+		return true
+	}
+	return false
+}
+
+// truncate drops the WAL prefix covered by a checkpoint. The TS clock is a
+// position marker: everything up to and including its LAST occurrence in
+// the issue-ordered WAL has been executed by the store.
+func (c *Client) truncate(ts map[uint16]uint64) {
+	upto := ts[c.cfg.Instance]
+	if upto == 0 {
+		return
+	}
+	cut := -1
+	for i := len(c.wal) - 1; i >= 0; i-- {
+		if c.wal[i].Clock == upto {
+			cut = i
+			break
+		}
+	}
+	if cut >= 0 {
+		c.wal = append([]WalOp(nil), c.wal[cut+1:]...)
+	}
+	// Reads issued at or before the covered clock can no longer win the TS
+	// selection against the checkpoint; drop them (over-retention is safe,
+	// so the numeric comparison here errs toward keeping).
+	keptR := c.readLog[:0]
+	for _, r := range c.readLog {
+		if r.Clock > upto {
+			keptR = append(keptR, r)
+		}
+	}
+	c.readLog = keptR
+}
+
+// logWal appends a shared-state mutation to the client WAL.
+func (c *Client) logWal(req Request) {
+	if req.Clock == 0 {
+		return
+	}
+	c.wal = append(c.wal, WalOp{Clock: req.Clock, Req: req})
+}
+
+// --- State operations used by NF code ---------------------------------------
+
+// Get reads object (obj,sub). Per Table 1 it serves from cache when
+// permitted; read-heavy objects register a store callback on first read.
+func (c *Client) Get(p *vtime.Proc, obj uint16, sub uint64, clock uint64) (Value, bool) {
+	d := c.decl(obj)
+	k := c.key(obj, sub)
+	e := c.entry(k)
+	strat := StrategyFor(d)
+	if c.cfg.Mode.Cache && e.valid &&
+		(strat == StratCacheCallback || c.cacheable(d, e)) {
+		c.CacheHits++
+		return e.val, !e.val.IsNil()
+	}
+	c.CacheMisses++
+	req := &Request{Op: OpGet, Key: k, Clock: clock, Instance: c.cfg.Instance}
+	if d.Scope != ScopeFlow {
+		req.WantTS = true
+	}
+	if c.cfg.Mode.Cache && strat == StratCacheCallback && !e.registered {
+		req.RegisterCB = true
+	}
+	rep, ok := c.call(p, req)
+	if !ok {
+		return Value{}, false
+	}
+	if req.RegisterCB {
+		e.registered = true
+	}
+	if rep.OK && c.cfg.Mode.Cache && (strat == StratCacheCallback || c.cacheable(d, e)) {
+		e.val = rep.Val
+		e.valid = true
+	}
+	if d.Scope != ScopeFlow && rep.TS != nil {
+		c.readLog = append(c.readLog, ReadRecord{Key: k, Val: rep.Val.Copy(), TS: rep.TS, Clock: clock})
+	}
+	return rep.Val, rep.OK
+}
+
+// Update issues a mutating op with the routing dictated by the object's
+// strategy and the client mode. Result-needed ops (pop, min-incr, CAS,
+// custom with result) must use UpdateBlocking instead.
+func (c *Client) Update(p *vtime.Proc, req Request) {
+	d := c.decl(req.Key.Obj)
+	e := c.entry(req.Key)
+	req.Instance = c.cfg.Instance
+	if c.cacheable(d, e) {
+		// Absorb locally; flushed later as operations (not values), so the
+		// store's duplicate suppression still sees packet clocks.
+		c.ensureCached(p, e, &req)
+		c.applyLocal(e, &req)
+		e.pending = append(e.pending, req)
+		return
+	}
+	c.logWal(req)
+	if c.cfg.Mode.NoAckWait {
+		r := req
+		c.async(&r)
+		return
+	}
+	// Non-blocking op, but wait for the ACK (models #1/#2): one RTT, no
+	// lock contention since the store serializes (§4.3).
+	r := req
+	rep, ok := c.call(p, &r)
+	if ok && rep.OK && c.cfg.Mode.Cache && StrategyFor(d) == StratCacheCallback {
+		// The updater receives the updated object in its reply (§4.3).
+		e.val = rep.Val
+		e.valid = true
+	}
+}
+
+// UpdateBlocking issues a mutating op and returns its result (port pops,
+// least-loaded picks, CAS outcomes, non-deterministic values).
+func (c *Client) UpdateBlocking(p *vtime.Proc, req Request) (Reply, bool) {
+	d := c.decl(req.Key.Obj)
+	e := c.entry(req.Key)
+	req.Instance = c.cfg.Instance
+	// Custom and non-deterministic ops always execute at the store (the
+	// client library cannot evaluate them); everything else may be absorbed
+	// by a cache the strategy permits.
+	if c.cacheable(d, e) && req.Op != OpNonDet && req.Op != OpCustom {
+		c.ensureCached(p, e, &req)
+		rep := ApplyToValue(&e.val, &req)
+		e.valid = true
+		e.pending = append(e.pending, req)
+		return rep, true
+	}
+	c.logWal(req)
+	rep, ok := c.call(p, &req)
+	if ok && rep.OK && c.cfg.Mode.Cache && StrategyFor(d) == StratCacheCallback {
+		e.val = rep.Val
+		e.valid = true
+	}
+	return rep, ok
+}
+
+// applyLocal applies a cached-object mutation to the local copy.
+func (c *Client) applyLocal(e *cacheEntry, req *Request) {
+	ApplyToValue(&e.val, req)
+	e.valid = true
+}
+
+// ensureCached initializes a cache entry from the store before the first
+// locally-applied mutation, so cached ops build on the store's value
+// ("the datastore's client-side library caches them at the relevant
+// instance", §4.3). Full overwrites (Set) skip the fetch.
+func (c *Client) ensureCached(p *vtime.Proc, e *cacheEntry, req *Request) {
+	if e.valid || req.Op == OpSet {
+		return
+	}
+	get := &Request{Op: OpGet, Key: req.Key, Instance: c.cfg.Instance}
+	if rep, ok := c.call(p, get); ok && rep.OK {
+		e.val = rep.Val
+	}
+	e.valid = true
+}
+
+// ApplyToValue executes req against a local value, mirroring engine
+// semantics for the cacheable op subset.
+func ApplyToValue(v *Value, req *Request) Reply {
+	switch req.Op {
+	case OpSet:
+		*v = req.Arg.Copy()
+		return Reply{Val: v.Copy(), OK: true}
+	case OpDelete:
+		existed := !v.IsNil()
+		*v = Value{}
+		return Reply{OK: existed}
+	case OpIncr:
+		v.Kind = KindInt
+		v.Int += req.Arg.Int
+		return Reply{Val: IntVal(v.Int), OK: true}
+	case OpPushList:
+		v.Kind = KindList
+		v.List = append(v.List, req.Arg.Int)
+		return Reply{Val: IntVal(int64(len(v.List))), OK: true}
+	case OpPopList:
+		if len(v.List) == 0 {
+			return Reply{OK: false}
+		}
+		x := v.List[0]
+		v.List = v.List[1:]
+		return Reply{Val: IntVal(x), OK: true}
+	case OpCAS:
+		if v.Equal(req.Arg) {
+			*v = req.Arg2.Copy()
+			return Reply{Val: v.Copy(), OK: true}
+		}
+		return Reply{Val: v.Copy(), OK: false}
+	case OpMapSet:
+		ensureMapValue(v)
+		v.Map[req.Field] = req.Arg.Int
+		return Reply{Val: IntVal(req.Arg.Int), OK: true}
+	case OpMapIncr:
+		ensureMapValue(v)
+		v.Map[req.Field] += req.Arg.Int
+		return Reply{Val: IntVal(v.Map[req.Field]), OK: true}
+	case OpMapGet:
+		if v.Map == nil {
+			return Reply{OK: false}
+		}
+		x, ok := v.Map[req.Field]
+		return Reply{Val: IntVal(x), OK: ok}
+	case OpMapMinIncr:
+		if len(v.Map) == 0 {
+			return Reply{OK: false}
+		}
+		minKey := ""
+		var minV int64
+		first := true
+		for k, x := range v.Map {
+			if first || x < minV || (x == minV && k < minKey) {
+				minKey, minV, first = k, x, false
+			}
+		}
+		v.Map[minKey] += req.Arg.Int
+		return Reply{Val: StringVal(minKey), OK: true}
+	default:
+		return Reply{OK: false}
+	}
+}
+
+func ensureMapValue(v *Value) {
+	if v.Map == nil {
+		v.Kind = KindMap
+		v.Map = make(map[string]int64)
+	}
+}
+
+// NonDet fetches a store-computed non-deterministic value (Appendix A),
+// memoized by packet clock for replay stability. Always blocking.
+func (c *Client) NonDet(p *vtime.Proc, obj uint16, sub uint64, kind NonDetKind, clock uint64) (int64, bool) {
+	req := Request{Op: OpNonDet, Key: c.key(obj, sub), NDKind: kind, Clock: clock, Instance: c.cfg.Instance}
+	rep, ok := c.call(p, &req)
+	if !ok || !rep.OK {
+		return 0, false
+	}
+	return rep.Val.Int, true
+}
+
+// --- Flush and handover ------------------------------------------------------
+
+// flushEntry sends an entry's pending ops to the store (non-blocking) and
+// clears them. Per §7.3 R2, handover "flushes only operations".
+func (c *Client) flushEntry(k Key, e *cacheEntry) int {
+	n := len(e.pending)
+	for i := range e.pending {
+		req := e.pending[i]
+		req.Key = k
+		c.logWal(req)
+		r := req
+		c.async(&r)
+	}
+	c.FlushedOps += uint64(n)
+	e.pending = nil
+	return n
+}
+
+// FlushAll flushes every cached object's pending ops.
+func (c *Client) FlushAll() int {
+	n := 0
+	for k, e := range c.cache {
+		if len(e.pending) > 0 {
+			n += c.flushEntry(k, e)
+		}
+	}
+	return n
+}
+
+// FlushObject flushes one object's pending ops (Fig 4 step 5 prelude).
+func (c *Client) FlushObject(obj uint16, sub uint64) int {
+	k := c.key(obj, sub)
+	if e, ok := c.cache[k]; ok {
+		return c.flushEntry(k, e)
+	}
+	return 0
+}
+
+// ReleaseFlow implements the old-instance side of Fig 4 steps 1/5: flush
+// cached per-flow state for the flow's objects and disassociate ownership.
+func (c *Client) ReleaseFlow(p *vtime.Proc, sub uint64) {
+	for _, d := range c.decls {
+		if d.Scope != ScopeFlow {
+			continue
+		}
+		k := c.key(d.ID, sub)
+		if e, ok := c.cache[k]; ok {
+			c.flushEntry(k, e)
+			e.valid = false
+		}
+		req := Request{Op: OpDisassoc, Key: k, Instance: c.cfg.Instance}
+		c.call(p, &req)
+	}
+}
+
+// AcquireFlow implements the new-instance side of Fig 4 steps 3/6/7: try to
+// associate each per-flow object; on conflict, register an ownership watch
+// and wait until the old instance releases, then associate. Returns false
+// on timeout.
+func (c *Client) AcquireFlow(p *vtime.Proc, sub uint64, timeout time.Duration) bool {
+	for _, d := range c.decls {
+		if d.Scope != ScopeFlow {
+			continue
+		}
+		k := c.key(d.ID, sub)
+		req := Request{Op: OpAssociate, Key: k, Instance: c.cfg.Instance, WatchOwner: true}
+		rep, ok := c.call(p, &req)
+		if !ok {
+			return false
+		}
+		if rep.Conflict {
+			// Wait for the store's handover notification (Fig 4 step 6).
+			fut := vtime.NewFuture[struct{}](c.net.Sim())
+			c.ownerWait[k] = fut
+			if _, ok := fut.WaitTimeout(p, timeout); !ok {
+				delete(c.ownerWait, k)
+				return false
+			}
+			req2 := Request{Op: OpAssociate, Key: k, Instance: c.cfg.Instance}
+			rep2, ok2 := c.call(p, &req2)
+			if !ok2 || rep2.Conflict {
+				return false
+			}
+			c.seedCache(k, rep2.Val)
+		} else {
+			c.seedCache(k, rep.Val)
+		}
+	}
+	return true
+}
+
+// seedCache installs the store's value for a per-flow object acquired in a
+// handover, so subsequent reads hit locally.
+func (c *Client) seedCache(k Key, v Value) {
+	if !c.cfg.Mode.Cache {
+		return
+	}
+	e := c.entry(k)
+	e.val = v
+	e.valid = !v.IsNil()
+}
+
+// CachedPerFlow returns this client's cached per-flow entries; the recovery
+// manager reads these when a store instance fails (§5.4: "query the last
+// updated value of the cached per-flow state from all NF instances").
+func (c *Client) CachedPerFlow() map[Key]Value {
+	out := make(map[Key]Value)
+	for k, e := range c.cache {
+		d := c.decl(k.Obj)
+		if d.Scope == ScopeFlow && e.valid {
+			out[k] = e.val.Copy()
+		}
+	}
+	return out
+}
+
+// InvalidateAll clears the cache (used by tests and failover bring-up).
+func (c *Client) InvalidateAll() {
+	c.cache = make(map[Key]*cacheEntry)
+}

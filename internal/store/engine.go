@@ -1,0 +1,574 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Op is an operation type the store executes on behalf of NF instances
+// (Table 2 plus the metadata and non-deterministic-value operations of
+// §5.4 / Appendix A).
+type Op uint8
+
+// Operations.
+const (
+	OpGet Op = iota
+	OpSet
+	OpDelete
+	OpIncr       // increment/decrement by Arg.Int; returns new value
+	OpPushList   // push Arg.Int; returns new length
+	OpPopList    // pop front; returns popped value, OK=false when empty
+	OpCAS        // compare (Arg) and update (Arg2); returns final value, OK=applied
+	OpMapSet     // Map[Field] = Arg.Int
+	OpMapGet     // returns Map[Field]
+	OpMapIncr    // Map[Field] += Arg.Int; returns new value
+	OpMapMinIncr // pick min-valued map key, increment it, return its name
+	OpCustom     // registered custom operation named by Custom
+	OpNonDet     // store-computed non-deterministic value (Appendix A)
+	OpAssociate  // ownership metadata: bind key to Instance
+	OpDisassoc   // ownership metadata: release key from Instance
+)
+
+func (o Op) String() string {
+	names := [...]string{"get", "set", "delete", "incr", "pushlist", "poplist",
+		"cas", "mapset", "mapget", "mapincr", "mapminincr", "custom", "nondet",
+		"associate", "disassoc"}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Mutates reports whether the op changes state (and therefore participates
+// in duplicate suppression and commit signaling).
+func (o Op) Mutates() bool {
+	switch o {
+	case OpGet, OpMapGet, OpAssociate, OpDisassoc:
+		return false
+	}
+	return true
+}
+
+// NonDetKind selects what OpNonDet computes.
+type NonDetKind uint8
+
+// Non-deterministic value kinds.
+const (
+	NDRandom NonDetKind = iota // a pseudo-random int64
+	NDTime                     // current time (virtual nanoseconds)
+)
+
+// Request is one operation against the store.
+type Request struct {
+	Op       Op
+	Key      Key
+	Field    string // for map ops
+	Arg      Value
+	Arg2     Value      // second operand (CAS new value)
+	Custom   string     // custom op name for OpCustom
+	NDKind   NonDetKind // for OpNonDet
+	Clock    uint64     // logical clock of the inducing packet; 0 = none
+	Instance uint16     // issuing NF instance
+	WantTS   bool       // include the TS vector in the reply (reads, Fig 7)
+	NonBlock bool       // non-blocking semantics (§4.3)
+
+	// Server-side registrations piggybacked on operations (DES protocol).
+	RegisterCB bool // register for update callbacks on Key (read-heavy cache)
+	WatchOwner bool // notify when Key's ownership changes (handover, Fig 4)
+}
+
+// Reply is the result of a Request.
+type Reply struct {
+	Val      Value
+	OK       bool
+	Emulated bool // duplicate-suppressed: Val replays the logged result (Fig 5b)
+	Conflict bool // ownership conflict: key bound to another instance
+	TS       map[uint16]uint64
+}
+
+// CustomOp is a developer-loaded operation (§4.3 "Developers can also load
+// custom operations"). It mutates cur in place and returns the result value
+// sent back to the caller.
+type CustomOp func(cur *Value, arg Value) (result Value, ok bool)
+
+// Hooks let the embedding server observe engine effects. All hooks are
+// invoked synchronously from Apply with no shard lock held.
+type Hooks struct {
+	// OnCommit fires after a mutating op with a clock commits (Fig 6 step 2:
+	// the store signals the root with the packet clock and instance‖object).
+	OnCommit func(clock uint64, instance uint16, key Key)
+	// OnUpdate fires after any mutation with the new value (drives the
+	// read-heavy cache callbacks of Table 1).
+	OnUpdate func(key Key, val Value, by uint16)
+	// OnOwnerChange fires when ownership metadata changes (drives the Fig 4
+	// step 6 handover notification).
+	OnOwnerChange func(key Key, owner uint16)
+}
+
+type entry struct {
+	val   Value
+	owner uint16 // 0 = shared / unowned
+}
+
+type shard struct {
+	mu   sync.Mutex
+	data map[Key]*entry
+}
+
+// Engine is one datastore instance: a sharded in-memory KV store executing
+// offloaded operations. Each key maps to exactly one shard ("each state
+// object is only handled by a single thread", §4.3); shards synchronize
+// independently so the engine scales across real CPUs for the §7.1 datastore
+// benchmark, while under the DES it is driven by a single server process.
+type Engine struct {
+	shards  []shard
+	mask    uint64
+	customs map[string]CustomOp
+	hooks   Hooks
+
+	// Duplicate-suppression log: clock -> key -> result value of the update
+	// that clock induced (§5.3). Pruned when the root deletes the packet.
+	logMu  sync.Mutex
+	updLog map[uint64]map[Key]Value
+
+	// Non-deterministic value support.
+	rng   *rand.Rand
+	rngMu sync.Mutex
+	nowFn func() int64
+
+	// TS: per-instance clock of the last executed update (Fig 7).
+	tsMu sync.Mutex
+	ts   map[uint16]uint64
+
+	// Emulated counts duplicate-suppressed (emulated) operations — the
+	// would-be duplicate state updates of Table 5 — total and per vertex.
+	Emulated         uint64
+	emulMu           sync.Mutex
+	EmulatedByVertex map[uint16]uint64
+}
+
+// NewEngine creates an engine with nshards shards (rounded up to a power of
+// two).
+func NewEngine(nshards int) *Engine {
+	n := 1
+	for n < nshards {
+		n <<= 1
+	}
+	e := &Engine{
+		shards:  make([]shard, n),
+		mask:    uint64(n - 1),
+		customs: make(map[string]CustomOp),
+		updLog:  make(map[uint64]map[Key]Value),
+		ts:      make(map[uint16]uint64),
+		rng:     rand.New(rand.NewSource(1)),
+		nowFn:   func() int64 { return 0 },
+	}
+	for i := range e.shards {
+		e.shards[i].data = make(map[Key]*entry)
+	}
+	return e
+}
+
+// SetHooks installs observer hooks (server wiring).
+func (e *Engine) SetHooks(h Hooks) { e.hooks = h }
+
+// SetNowFn sets the time source for NDTime values (virtual time in DES).
+func (e *Engine) SetNowFn(f func() int64) { e.nowFn = f }
+
+// SetSeed reseeds the non-deterministic value generator.
+func (e *Engine) SetSeed(seed int64) { e.rng = rand.New(rand.NewSource(seed)) }
+
+// RegisterCustom installs a named custom operation.
+func (e *Engine) RegisterCustom(name string, fn CustomOp) { e.customs[name] = fn }
+
+func (e *Engine) shardFor(k Key) *shard {
+	h := uint64(k.Vertex)<<48 ^ uint64(k.Obj)<<32 ^ k.Sub
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return &e.shards[h&e.mask]
+}
+
+// lookupDup returns the logged result for (clock,key), if any.
+func (e *Engine) lookupDup(clock uint64, k Key) (Value, bool) {
+	e.logMu.Lock()
+	defer e.logMu.Unlock()
+	m, ok := e.updLog[clock]
+	if !ok {
+		return Value{}, false
+	}
+	v, ok := m[k]
+	return v, ok
+}
+
+func (e *Engine) logDup(clock uint64, k Key, result Value) {
+	e.logMu.Lock()
+	defer e.logMu.Unlock()
+	m, ok := e.updLog[clock]
+	if !ok {
+		m = make(map[Key]Value, 2)
+		e.updLog[clock] = m
+	}
+	m[k] = result.Copy()
+}
+
+// PruneClock discards duplicate-suppression log entries for a packet whose
+// processing completed (root "delete", §5).
+func (e *Engine) PruneClock(clock uint64) {
+	e.logMu.Lock()
+	delete(e.updLog, clock)
+	e.logMu.Unlock()
+}
+
+// PendingClocks reports how many clocks have logged updates (tests/metrics).
+func (e *Engine) PendingClocks() int {
+	e.logMu.Lock()
+	defer e.logMu.Unlock()
+	return len(e.updLog)
+}
+
+// Apply executes one request. It is safe for concurrent use.
+func (e *Engine) Apply(req *Request) Reply {
+	sh := e.shardFor(req.Key)
+	sh.mu.Lock()
+
+	// Duplicate suppression: a mutating op whose (clock,key) was already
+	// applied is emulated — return the logged result without re-applying
+	// (Fig 5b). NonDet values are memoized the same way (Appendix A).
+	if req.Clock != 0 && (req.Op.Mutates() || req.Op == OpNonDet) {
+		if v, ok := e.lookupDup(req.Clock, req.Key); ok {
+			e.emulMu.Lock()
+			e.Emulated++
+			if e.EmulatedByVertex == nil {
+				e.EmulatedByVertex = make(map[uint16]uint64)
+			}
+			e.EmulatedByVertex[req.Key.Vertex]++
+			e.emulMu.Unlock()
+			sh.mu.Unlock()
+			return Reply{Val: v, OK: true, Emulated: true}
+		}
+	}
+
+	ent, exists := sh.data[req.Key]
+
+	// Ownership checks: a key bound to an instance rejects access from
+	// others (§4.3 state metadata).
+	if exists && ent.owner != 0 && req.Instance != 0 && ent.owner != req.Instance {
+		switch req.Op {
+		case OpAssociate, OpDisassoc:
+			// Handled below: association conflict reported there.
+		default:
+			sh.mu.Unlock()
+			return Reply{Conflict: true}
+		}
+	}
+
+	var rep Reply
+	var ownerChanged bool
+	var newOwner uint16
+
+	switch req.Op {
+	case OpGet:
+		if exists {
+			rep = Reply{Val: ent.val.Copy(), OK: true}
+		} else {
+			rep = Reply{OK: false}
+		}
+	case OpSet:
+		if !exists {
+			ent = &entry{}
+			sh.data[req.Key] = ent
+		}
+		ent.val = req.Arg.Copy()
+		rep = Reply{Val: ent.val.Copy(), OK: true}
+	case OpDelete:
+		delete(sh.data, req.Key)
+		rep = Reply{OK: exists}
+	case OpIncr:
+		if !exists {
+			ent = &entry{val: IntVal(0)}
+			sh.data[req.Key] = ent
+		}
+		ent.val.Kind = KindInt
+		ent.val.Int += req.Arg.Int
+		rep = Reply{Val: IntVal(ent.val.Int), OK: true}
+	case OpPushList:
+		if !exists {
+			ent = &entry{val: Value{Kind: KindList}}
+			sh.data[req.Key] = ent
+		}
+		ent.val.Kind = KindList
+		ent.val.List = append(ent.val.List, req.Arg.Int)
+		rep = Reply{Val: IntVal(int64(len(ent.val.List))), OK: true}
+	case OpPopList:
+		if !exists || len(ent.val.List) == 0 {
+			rep = Reply{OK: false}
+		} else {
+			v := ent.val.List[0]
+			ent.val.List = ent.val.List[1:]
+			rep = Reply{Val: IntVal(v), OK: true}
+		}
+	case OpCAS:
+		if !exists {
+			ent = &entry{}
+			sh.data[req.Key] = ent
+		}
+		if ent.val.Equal(req.Arg) {
+			ent.val = req.Arg2.Copy()
+			rep = Reply{Val: ent.val.Copy(), OK: true}
+		} else {
+			rep = Reply{Val: ent.val.Copy(), OK: false}
+		}
+	case OpMapSet:
+		ent = e.ensureMap(sh, req.Key, ent, exists)
+		ent.val.Map[req.Field] = req.Arg.Int
+		rep = Reply{Val: IntVal(req.Arg.Int), OK: true}
+	case OpMapGet:
+		if !exists || ent.val.Map == nil {
+			rep = Reply{OK: false}
+		} else if v, ok := ent.val.Map[req.Field]; ok {
+			rep = Reply{Val: IntVal(v), OK: true}
+		} else {
+			rep = Reply{OK: false}
+		}
+	case OpMapIncr:
+		ent = e.ensureMap(sh, req.Key, ent, exists)
+		ent.val.Map[req.Field] += req.Arg.Int
+		rep = Reply{Val: IntVal(ent.val.Map[req.Field]), OK: true}
+	case OpMapMinIncr:
+		if !exists || len(ent.val.Map) == 0 {
+			rep = Reply{OK: false}
+		} else {
+			minKey := ""
+			var minV int64
+			first := true
+			for k, v := range ent.val.Map {
+				if first || v < minV || (v == minV && k < minKey) {
+					minKey, minV, first = k, v, false
+				}
+			}
+			ent.val.Map[minKey] += req.Arg.Int
+			rep = Reply{Val: StringVal(minKey), OK: true}
+		}
+	case OpCustom:
+		fn, ok := e.customs[req.Custom]
+		if !ok {
+			rep = Reply{OK: false}
+		} else {
+			if !exists {
+				ent = &entry{}
+				sh.data[req.Key] = ent
+			}
+			res, ok := fn(&ent.val, req.Arg)
+			rep = Reply{Val: res, OK: ok}
+		}
+	case OpNonDet:
+		var v Value
+		switch req.NDKind {
+		case NDTime:
+			v = IntVal(e.nowFn())
+		default:
+			e.rngMu.Lock()
+			v = IntVal(e.rng.Int63())
+			e.rngMu.Unlock()
+		}
+		rep = Reply{Val: v, OK: true}
+	case OpAssociate:
+		if !exists {
+			ent = &entry{}
+			sh.data[req.Key] = ent
+		}
+		if ent.owner == 0 || ent.owner == req.Instance {
+			if ent.owner != req.Instance {
+				ent.owner = req.Instance
+				ownerChanged, newOwner = true, ent.owner
+			}
+			rep = Reply{OK: true, Val: ent.val.Copy()}
+		} else {
+			rep = Reply{Conflict: true}
+		}
+	case OpDisassoc:
+		if exists && ent.owner == req.Instance {
+			ent.owner = 0
+			ownerChanged, newOwner = true, 0
+			rep = Reply{OK: true}
+		} else {
+			rep = Reply{OK: exists && ent.owner == 0}
+		}
+	default:
+		rep = Reply{OK: false}
+	}
+
+	mutated := rep.OK && req.Op.Mutates()
+
+	// Track TS: the clock of the last UPDATE operation executed on behalf
+	// of each instance (Fig 7 metadata). The clock is a position marker in
+	// the instance's issue-ordered WAL, so it is overwritten (not maxed):
+	// cache flushes can legitimately deliver older clocks later.
+	if mutated && req.Clock != 0 && req.Instance != 0 {
+		e.tsMu.Lock()
+		e.ts[req.Instance] = req.Clock
+		e.tsMu.Unlock()
+	}
+
+	if req.WantTS {
+		rep.TS = e.TS()
+	}
+	var updVal Value
+	if mutated && e.hooks.OnUpdate != nil && ent != nil {
+		updVal = ent.val.Copy()
+	}
+	sh.mu.Unlock()
+
+	// Log for duplicate suppression after releasing the shard lock.
+	if req.Clock != 0 && rep.OK && !rep.Emulated && (req.Op.Mutates() || req.Op == OpNonDet) {
+		e.logDup(req.Clock, req.Key, rep.Val)
+	}
+
+	if mutated {
+		if e.hooks.OnCommit != nil && req.Clock != 0 {
+			e.hooks.OnCommit(req.Clock, req.Instance, req.Key)
+		}
+		if e.hooks.OnUpdate != nil {
+			e.hooks.OnUpdate(req.Key, updVal, req.Instance)
+		}
+	}
+	if ownerChanged && e.hooks.OnOwnerChange != nil {
+		e.hooks.OnOwnerChange(req.Key, newOwner)
+	}
+	return rep
+}
+
+func (e *Engine) ensureMap(sh *shard, k Key, ent *entry, exists bool) *entry {
+	if !exists {
+		ent = &entry{val: Value{Kind: KindMap, Map: make(map[string]int64)}}
+		sh.data[k] = ent
+		return ent
+	}
+	if ent.val.Map == nil {
+		ent.val.Kind = KindMap
+		ent.val.Map = make(map[string]int64)
+	}
+	return ent
+}
+
+// TS returns a copy of the per-instance last-executed-update clock vector.
+func (e *Engine) TS() map[uint16]uint64 {
+	e.tsMu.Lock()
+	defer e.tsMu.Unlock()
+	out := make(map[uint16]uint64, len(e.ts))
+	for inst, c := range e.ts {
+		out[inst] = c
+	}
+	return out
+}
+
+// ReassignOwner transfers every key owned by from to to — the datastore
+// manager's action on NF failover (§5.4: "associates the failover
+// instance's ID with relevant state"). Returns the number of keys moved.
+func (e *Engine) ReassignOwner(from, to uint16) int {
+	n := 0
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for _, ent := range sh.data {
+			if ent.owner == from {
+				ent.owner = to
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Owner returns the owning instance of key (0 if shared or absent).
+func (e *Engine) Owner(k Key) uint16 {
+	sh := e.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ent, ok := sh.data[k]; ok {
+		return ent.owner
+	}
+	return 0
+}
+
+// Get is a convenience read without a Request (tests, recovery).
+func (e *Engine) Get(k Key) (Value, bool) {
+	sh := e.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ent, ok := sh.data[k]; ok {
+		return ent.val.Copy(), true
+	}
+	return Value{}, false
+}
+
+// Len returns the number of stored keys.
+func (e *Engine) Len() int {
+	n := 0
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		n += len(sh.data)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Snapshot captures entries matching filter (nil = all), with ownership and
+// the TS vector — the periodic checkpoint of §5.4.
+type Snapshot struct {
+	Entries map[Key]Value
+	Owners  map[Key]uint16
+	TS      map[uint16]uint64
+}
+
+// Snapshot deep-copies matching state.
+func (e *Engine) Snapshot(filter func(Key) bool) *Snapshot {
+	s := &Snapshot{
+		Entries: make(map[Key]Value),
+		Owners:  make(map[Key]uint16),
+		TS:      make(map[uint16]uint64),
+	}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for k, ent := range sh.data {
+			if filter != nil && !filter(k) {
+				continue
+			}
+			s.Entries[k] = ent.val.Copy()
+			if ent.owner != 0 {
+				s.Owners[k] = ent.owner
+			}
+		}
+		sh.mu.Unlock()
+	}
+	e.tsMu.Lock()
+	for inst, c := range e.ts {
+		s.TS[inst] = c
+	}
+	e.tsMu.Unlock()
+	return s
+}
+
+// Restore loads a snapshot into an empty engine (store-instance recovery).
+func (e *Engine) Restore(s *Snapshot) {
+	for k, v := range s.Entries {
+		sh := e.shardFor(k)
+		sh.mu.Lock()
+		ent := &entry{val: v.Copy()}
+		if o, ok := s.Owners[k]; ok {
+			ent.owner = o
+		}
+		sh.data[k] = ent
+		sh.mu.Unlock()
+	}
+	e.tsMu.Lock()
+	for inst, c := range s.TS {
+		e.ts[inst] = c
+	}
+	e.tsMu.Unlock()
+}

@@ -1,0 +1,137 @@
+package store
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestStrategyForTable1 checks the full Table 1 decision matrix.
+func TestStrategyForTable1(t *testing.T) {
+	cases := []struct {
+		scope   Scope
+		pattern AccessPattern
+		want    Strategy
+	}{
+		// "Any scope; write mostly, read rarely" -> non-blocking, no caching.
+		{ScopeFlow, WriteMostly, StratNonBlocking},
+		{ScopeSrcIP, WriteMostly, StratNonBlocking},
+		{ScopeGlobal, WriteMostly, StratNonBlocking},
+		// "Per-flow; any" -> caching with periodic non-blocking flush.
+		{ScopeFlow, ReadHeavy, StratCachePerFlow},
+		{ScopeFlow, WriteReadOften, StratCachePerFlow},
+		// "Cross-flow; write rarely (read heavy)" -> caching with callbacks.
+		{ScopeSrcIP, ReadHeavy, StratCacheCallback},
+		{ScopeGlobal, ReadHeavy, StratCacheCallback},
+		// "Cross-flow; write/read often" -> depends on the traffic split.
+		{ScopeSrcIP, WriteReadOften, StratSplitAware},
+		{ScopeDstIP, WriteReadOften, StratSplitAware},
+		{ScopeGlobal, WriteReadOften, StratSplitAware},
+	}
+	for _, c := range cases {
+		got := StrategyFor(ObjDecl{ID: 1, Scope: c.scope, Pattern: c.pattern})
+		if got != c.want {
+			t.Errorf("StrategyFor(%v,%v) = %v, want %v", c.scope, c.pattern, got, c.want)
+		}
+	}
+}
+
+func TestScopeOrdering(t *testing.T) {
+	if !ScopeFlow.Finer(ScopeSrcIP) || !ScopeSrcIP.Finer(ScopeGlobal) {
+		t.Fatal("scope fineness ordering broken")
+	}
+	if ScopeGlobal.Finer(ScopeFlow) {
+		t.Fatal("global finer than flow?")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if ScopeFlow.String() != "flow" || ScopeGlobal.String() != "global" {
+		t.Fatal("scope strings")
+	}
+	if WriteMostly.String() == "" || ReadHeavy.String() == "" || WriteReadOften.String() == "" {
+		t.Fatal("pattern strings")
+	}
+	for _, s := range []Strategy{StratNonBlocking, StratCachePerFlow, StratCacheCallback, StratSplitAware} {
+		if s.String() == "?" {
+			t.Fatalf("strategy %d has no name", s)
+		}
+	}
+	k := Key{Vertex: 3, Obj: 7, Sub: 0xABC}
+	if k.String() != "v3/o7/abc" {
+		t.Fatalf("key string = %q", k.String())
+	}
+}
+
+// TestValueCopyIsolation: mutating a copy never affects the original.
+func TestValueCopyIsolation(t *testing.T) {
+	v := Value{Kind: KindMap, Map: map[string]int64{"a": 1}}
+	c := v.Copy()
+	c.Map["a"] = 99
+	c.Map["b"] = 2
+	if v.Map["a"] != 1 || len(v.Map) != 1 {
+		t.Fatal("map copy aliases original")
+	}
+	l := ListVal(1, 2, 3)
+	cl := l.Copy()
+	cl.List[0] = 99
+	if l.List[0] != 1 {
+		t.Fatal("list copy aliases original")
+	}
+	b := BytesVal([]byte("abc"))
+	cb := b.Copy()
+	cb.Bytes[0] = 'z'
+	if b.Bytes[0] != 'a' {
+		t.Fatal("bytes copy aliases original")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{IntVal(1), IntVal(1), true},
+		{IntVal(1), IntVal(2), false},
+		{IntVal(1), FloatVal(1), false},
+		{Value{}, Value{}, true},
+		{StringVal("x"), StringVal("x"), true},
+		{ListVal(1, 2), ListVal(1, 2), true},
+		{ListVal(1, 2), ListVal(2, 1), false},
+		{MapVal(map[string]int64{"a": 1}), MapVal(map[string]int64{"a": 1}), true},
+		{MapVal(map[string]int64{"a": 1}), MapVal(map[string]int64{"a": 2}), false},
+		{MapVal(map[string]int64{"a": 1}), MapVal(map[string]int64{"b": 1}), false},
+	}
+	for i, c := range cases {
+		if c.a.Equal(c.b) != c.want {
+			t.Errorf("case %d: Equal(%v,%v) != %v", i, c.a, c.b, c.want)
+		}
+	}
+}
+
+// Property: Copy is always Equal to the original.
+func TestCopyEqualProperty(t *testing.T) {
+	if err := quick.Check(func(i int64, bs []byte, ls []int64) bool {
+		vals := []Value{IntVal(i), BytesVal(bs), {Kind: KindList, List: ls}}
+		for _, v := range vals {
+			if !v.Copy().Equal(v) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if IntVal(5).String() != "5" {
+		t.Fatal("int string")
+	}
+	if !(Value{}).IsNil() {
+		t.Fatal("zero value should be nil")
+	}
+	m := MapVal(map[string]int64{"b": 2, "a": 1})
+	if m.String() != "{a:1 b:2}" {
+		t.Fatalf("map string = %q (must be sorted)", m.String())
+	}
+}

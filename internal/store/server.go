@@ -1,0 +1,355 @@
+package store
+
+import (
+	"time"
+
+	"chc/internal/simnet"
+	"chc/internal/vtime"
+)
+
+// Protocol messages exchanged between store servers, clients and the chain
+// root. Blocking operations travel as simnet RPCs carrying *Request; the
+// remaining one-way messages are below.
+
+// AsyncOp is a non-blocking operation whose issuer does not wait for the
+// reply (§4.3 model #3): the framework retransmits until ACKed.
+type AsyncOp struct {
+	Req  *Request
+	Seq  uint64
+	From string // client endpoint for the ACK
+}
+
+// AckMsg acknowledges an AsyncOp.
+type AckMsg struct{ Seq uint64 }
+
+// CallbackMsg pushes a new value of a cached read-heavy object to a
+// registered instance (Table 1 "caching w/ callbacks").
+type CallbackMsg struct {
+	Key Key
+	Val Value
+}
+
+// OwnerMsg notifies a waiting instance that key ownership changed
+// (Fig 4 step 6: state handover notification).
+type OwnerMsg struct {
+	Key   Key
+	Owner uint16
+}
+
+// CommitMsg is the Fig 6 step-2 signal from the store to the root: the
+// update induced by packet Clock at Instance on Key has committed.
+type CommitMsg struct {
+	Clock    uint64
+	Instance uint16
+	Key      Key
+}
+
+// PruneMsg tells the store a packet finished chain processing: its
+// duplicate-suppression log entries can be dropped (§5.3).
+type PruneMsg struct{ Clock uint64 }
+
+// TruncateMsg tells clients a checkpoint covered ops up to TS; WAL entries
+// at or before their instance's clock can be discarded.
+type TruncateMsg struct{ TS map[uint16]uint64 }
+
+// ServerConfig tunes a simulated store server.
+type ServerConfig struct {
+	// OpService is the per-operation service time. The paper's store does
+	// ~5.1M ops/s across 4 threads (§7.1), i.e. ~0.78µs per op per thread.
+	OpService time.Duration
+	// CheckpointEvery enables periodic shared-state checkpoints (§5.4).
+	// Zero disables checkpointing.
+	CheckpointEvery time.Duration
+	// RootEndpoint receives CommitMsg signals; empty disables them.
+	RootEndpoint string
+}
+
+// DefaultServerConfig mirrors the paper's prototype datastore.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{OpService: 200 * time.Nanosecond}
+}
+
+// Stable is the durable part of a store instance that survives a crash of
+// the serving process: the latest checkpoint (the paper checkpoints to
+// stable storage / a replica; a crashed instance's in-memory state is lost
+// but its last checkpoint is recoverable).
+type Stable struct {
+	Checkpoint *Snapshot
+	CkptTime   vtime.Time
+}
+
+// Server is a simulated datastore instance: an Engine behind a simnet
+// endpoint, processing offloaded operations serially (one event-loop
+// process, matching the paper's lock-free one-thread-per-object design).
+type Server struct {
+	Name   string
+	net    *simnet.Network
+	engine *Engine
+	cfg    ServerConfig
+	decls  map[uint16]map[uint16]ObjDecl // vertex -> obj -> decl
+
+	// callback registry: key -> instance -> client endpoint
+	callbacks map[Key]map[uint16]string
+	// ownership-change watchers: key -> instance -> client endpoint
+	ownWatch map[Key]map[uint16]string
+	// appliedSeqs dedups retransmitted async ops per client endpoint
+	// (at-most-once execution even after the packet's duplicate-
+	// suppression log entry was pruned by a root delete).
+	appliedSeqs map[string]map[uint64]struct{}
+
+	stable  *Stable
+	proc    *vtime.Proc
+	ckpProc *vtime.Proc
+	locks   *lockTable // naive-baseline lock manager (lock.go)
+
+	// stats
+	OpsServed   uint64
+	AsyncServed uint64
+}
+
+// NewServerWithEngine creates a server around an existing engine (store
+// failover: the recovered engine from RecoverEngine becomes the new
+// instance's state).
+func NewServerWithEngine(net *simnet.Network, name string, cfg ServerConfig, eng *Engine) *Server {
+	s := NewServer(net, name, cfg)
+	s.engine = eng
+	eng.SetNowFn(func() int64 { return int64(net.Sim().Now()) })
+	eng.SetHooks(Hooks{
+		OnCommit:      s.onCommit,
+		OnUpdate:      s.onUpdate,
+		OnOwnerChange: s.onOwnerChange,
+	})
+	return s
+}
+
+// NewServer creates a store server attached to endpoint name.
+func NewServer(net *simnet.Network, name string, cfg ServerConfig) *Server {
+	if cfg.OpService == 0 {
+		cfg.OpService = DefaultServerConfig().OpService
+	}
+	s := &Server{
+		Name:        name,
+		net:         net,
+		engine:      NewEngine(16),
+		cfg:         cfg,
+		decls:       make(map[uint16]map[uint16]ObjDecl),
+		callbacks:   make(map[Key]map[uint16]string),
+		ownWatch:    make(map[Key]map[uint16]string),
+		appliedSeqs: make(map[string]map[uint64]struct{}),
+		stable:      &Stable{},
+	}
+	s.engine.SetNowFn(func() int64 { return int64(net.Sim().Now()) })
+	s.engine.SetHooks(Hooks{
+		OnCommit:      s.onCommit,
+		OnUpdate:      s.onUpdate,
+		OnOwnerChange: s.onOwnerChange,
+	})
+	return s
+}
+
+// Engine exposes the underlying engine (recovery, tests).
+func (s *Server) Engine() *Engine { return s.engine }
+
+// StableState returns the crash-surviving checkpoint area.
+func (s *Server) StableState() *Stable { return s.stable }
+
+// Declare registers a vertex's state objects so the server can tell shared
+// from per-flow state (checkpoint filtering) and strategy from pattern.
+func (s *Server) Declare(vertex uint16, decls []ObjDecl) {
+	m := s.decls[vertex]
+	if m == nil {
+		m = make(map[uint16]ObjDecl)
+		s.decls[vertex] = m
+	}
+	for _, d := range decls {
+		m[d.ID] = d
+	}
+}
+
+func (s *Server) declOf(k Key) (ObjDecl, bool) {
+	m, ok := s.decls[k.Vertex]
+	if !ok {
+		return ObjDecl{}, false
+	}
+	d, ok := m[k.Obj]
+	return d, ok
+}
+
+// isShared reports whether k holds cross-flow state (checkpointed) as
+// opposed to per-flow state (recovered from NF caches).
+func (s *Server) isShared(k Key) bool {
+	if d, ok := s.declOf(k); ok {
+		return d.Scope != ScopeFlow
+	}
+	return true
+}
+
+// RegisterCustom forwards to the engine.
+func (s *Server) RegisterCustom(name string, fn CustomOp) { s.engine.RegisterCustom(name, fn) }
+
+// Start spawns the server process (and checkpointer, if configured).
+func (s *Server) Start() {
+	sim := s.net.Sim()
+	s.proc = sim.Spawn(s.Name, s.run)
+	if s.cfg.CheckpointEvery > 0 {
+		s.ckpProc = sim.Spawn(s.Name+".ckpt", s.runCheckpointer)
+	}
+}
+
+// Crash fail-stops the server: processes killed, endpoint down, in-memory
+// engine state lost. The Stable checkpoint survives.
+func (s *Server) Crash() {
+	sim := s.net.Sim()
+	if s.proc != nil {
+		sim.Kill(s.proc)
+	}
+	if s.ckpProc != nil {
+		sim.Kill(s.ckpProc)
+	}
+	s.net.Crash(s.Name)
+}
+
+func (s *Server) run(p *vtime.Proc) {
+	ep := s.net.Endpoint(s.Name)
+	for {
+		msg := ep.Inbox.Recv(p)
+		switch pl := msg.Payload.(type) {
+		case *simnet.CallMsg:
+			switch inner := pl.Payload.(type) {
+			case LockGetReq:
+				s.handleLockGet(p, pl, inner)
+				continue
+			case SetUnlockReq:
+				s.handleSetUnlock(p, pl, inner)
+				continue
+			}
+			req, ok := pl.Payload.(*Request)
+			if !ok {
+				continue
+			}
+			p.Sleep(s.cfg.OpService)
+			s.OpsServed++
+			if req.RegisterCB {
+				s.registerCallback(req.Key, req.Instance, pl.From())
+			}
+			if req.WatchOwner {
+				s.registerOwnerWatch(req.Key, req.Instance, pl.From())
+			}
+			rep := s.engine.Apply(req)
+			pl.Reply(rep, 16+rep.Val.wireSize())
+		case AsyncOp:
+			p.Sleep(s.cfg.OpService)
+			s.AsyncServed++
+			seen := s.appliedSeqs[pl.From]
+			if seen == nil {
+				seen = make(map[uint64]struct{})
+				s.appliedSeqs[pl.From] = seen
+			}
+			if _, dup := seen[pl.Seq]; !dup {
+				seen[pl.Seq] = struct{}{}
+				s.engine.Apply(pl.Req)
+			}
+			s.net.Send(simnet.Message{From: s.Name, To: pl.From, Payload: AckMsg{Seq: pl.Seq}, Size: 12})
+		case PruneMsg:
+			s.engine.PruneClock(pl.Clock)
+		}
+	}
+}
+
+func (s *Server) runCheckpointer(p *vtime.Proc) {
+	for {
+		p.Sleep(s.cfg.CheckpointEvery)
+		s.checkpoint()
+	}
+}
+
+// checkpoint snapshots shared state + TS into stable storage and tells
+// clients to truncate their WALs.
+func (s *Server) checkpoint() {
+	snap := s.engine.Snapshot(s.isShared)
+	s.stable.Checkpoint = snap
+	s.stable.CkptTime = s.net.Sim().Now()
+	ts := snap.TS
+	for _, insts := range s.callbackClients() {
+		for _, ep := range insts {
+			s.net.Send(simnet.Message{From: s.Name, To: ep, Payload: TruncateMsg{TS: ts}, Size: 8 * (len(ts) + 1)})
+		}
+	}
+}
+
+// callbackClients lists known client endpoints (via callback registry).
+// Truncation is best-effort: clients that never registered keep their WAL,
+// which is safe (re-execution is idempotent via duplicate suppression).
+func (s *Server) callbackClients() map[Key]map[uint16]string { return s.callbacks }
+
+func (s *Server) registerCallback(k Key, inst uint16, ep string) {
+	m := s.callbacks[k]
+	if m == nil {
+		m = make(map[uint16]string)
+		s.callbacks[k] = m
+	}
+	m[inst] = ep
+}
+
+func (s *Server) registerOwnerWatch(k Key, inst uint16, ep string) {
+	m := s.ownWatch[k]
+	if m == nil {
+		m = make(map[uint16]string)
+		s.ownWatch[k] = m
+	}
+	m[inst] = ep
+}
+
+// onCommit implements Fig 6 step 2: signal the root that the update induced
+// by Clock committed, carrying instance‖object for the XOR check.
+func (s *Server) onCommit(clock uint64, instance uint16, key Key) {
+	if s.cfg.RootEndpoint == "" {
+		return
+	}
+	s.net.Send(simnet.Message{
+		From: s.Name, To: s.cfg.RootEndpoint,
+		Payload: CommitMsg{Clock: clock, Instance: instance, Key: key},
+		Size:    20,
+	})
+}
+
+// onUpdate fans out new values of callback-registered (read-heavy) objects
+// to every registered instance except the updater, which already receives
+// the updated object in its op reply (§4.3).
+func (s *Server) onUpdate(key Key, val Value, by uint16) {
+	m, ok := s.callbacks[key]
+	if !ok {
+		return
+	}
+	for inst, ep := range m {
+		if inst == by {
+			continue
+		}
+		s.net.Send(simnet.Message{
+			From: s.Name, To: ep,
+			Payload: CallbackMsg{Key: key, Val: val.Copy()},
+			Size:    16 + val.wireSize(),
+		})
+	}
+}
+
+// onOwnerChange notifies handover watchers (Fig 4 step 6) and clears them.
+func (s *Server) onOwnerChange(key Key, owner uint16) {
+	m, ok := s.ownWatch[key]
+	if !ok {
+		return
+	}
+	for inst, ep := range m {
+		if inst == owner {
+			continue // the new owner caused this change
+		}
+		s.net.Send(simnet.Message{
+			From: s.Name, To: ep,
+			Payload: OwnerMsg{Key: key, Owner: owner},
+			Size:    16,
+		})
+	}
+	if owner == 0 {
+		delete(s.ownWatch, key)
+	}
+}

@@ -1,0 +1,164 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates Value's payload.
+type Kind uint8
+
+// Value kinds.
+const (
+	KindNil Kind = iota
+	KindInt
+	KindFloat
+	KindBytes
+	KindList
+	KindMap
+)
+
+// Value is the tagged union stored at each key. The CHC store offloads
+// operations (Table 2) that interpret these kinds: counters are Int/Float,
+// the NAT's available-port pool is a List, the load balancer's per-server
+// load table and the Trojan detector's per-host app-arrival table are Maps.
+type Value struct {
+	Kind  Kind
+	Int   int64
+	Float float64
+	Bytes []byte
+	List  []int64
+	Map   map[string]int64
+}
+
+// IntVal returns an integer value.
+func IntVal(v int64) Value { return Value{Kind: KindInt, Int: v} }
+
+// FloatVal returns a float value.
+func FloatVal(v float64) Value { return Value{Kind: KindFloat, Float: v} }
+
+// BytesVal returns a bytes value.
+func BytesVal(b []byte) Value { return Value{Kind: KindBytes, Bytes: b} }
+
+// StringVal returns a bytes value from a string.
+func StringVal(s string) Value { return Value{Kind: KindBytes, Bytes: []byte(s)} }
+
+// ListVal returns a list value.
+func ListVal(xs ...int64) Value { return Value{Kind: KindList, List: xs} }
+
+// MapVal returns a map value.
+func MapVal(m map[string]int64) Value { return Value{Kind: KindMap, Map: m} }
+
+// IsNil reports an absent value.
+func (v Value) IsNil() bool { return v.Kind == KindNil }
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNil:
+		return "nil"
+	case KindInt:
+		return fmt.Sprintf("%d", v.Int)
+	case KindFloat:
+		return fmt.Sprintf("%g", v.Float)
+	case KindBytes:
+		return fmt.Sprintf("%q", v.Bytes)
+	case KindList:
+		return fmt.Sprintf("%v", v.List)
+	case KindMap:
+		keys := make([]string, 0, len(v.Map))
+		for k := range v.Map {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		b.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s:%d", k, v.Map[k])
+		}
+		b.WriteByte('}')
+		return b.String()
+	default:
+		return "?"
+	}
+}
+
+// Copy returns a deep copy of v.
+func (v Value) Copy() Value {
+	out := v
+	if v.Bytes != nil {
+		out.Bytes = append([]byte(nil), v.Bytes...)
+	}
+	if v.List != nil {
+		out.List = append([]int64(nil), v.List...)
+	}
+	if v.Map != nil {
+		out.Map = make(map[string]int64, len(v.Map))
+		for k, x := range v.Map {
+			out.Map[k] = x
+		}
+	}
+	return out
+}
+
+// Equal reports deep equality.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindNil:
+		return true
+	case KindInt:
+		return v.Int == o.Int
+	case KindFloat:
+		return v.Float == o.Float
+	case KindBytes:
+		return string(v.Bytes) == string(o.Bytes)
+	case KindList:
+		if len(v.List) != len(o.List) {
+			return false
+		}
+		for i := range v.List {
+			if v.List[i] != o.List[i] {
+				return false
+			}
+		}
+		return true
+	case KindMap:
+		if len(v.Map) != len(o.Map) {
+			return false
+		}
+		for k, x := range v.Map {
+			y, ok := o.Map[k]
+			if !ok || x != y {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// wireSize approximates the encoded size of a value for simnet bandwidth
+// accounting. The paper benchmarks its store with 64-bit values.
+func (v Value) wireSize() int {
+	switch v.Kind {
+	case KindBytes:
+		return len(v.Bytes) + 2
+	case KindList:
+		return len(v.List)*8 + 2
+	case KindMap:
+		n := 2
+		for k := range v.Map {
+			n += len(k) + 8
+		}
+		return n
+	default:
+		return 8
+	}
+}

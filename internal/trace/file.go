@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"chc/internal/packet"
+	"chc/internal/vtime"
+)
+
+// Trace file format (replaces pcap for this repo's offline tooling):
+//
+//	magic "CHCT" | version u8 | count u64
+//	per event: time-delta varint (ns) | packet length u16 | packet bytes
+//
+// Packet bytes use the packet wire codec (CHC shim + IPv4 + L4, headers
+// only, snap-length-0 style).
+
+var traceMagic = [4]byte{'C', 'H', 'C', 'T'}
+
+const traceVersion = 1
+
+// ErrBadMagic reports a non-trace file.
+var ErrBadMagic = errors.New("trace: bad magic")
+
+// WriteTo serializes the trace.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return written, err
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return written, err
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(len(t.Events)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return written, err
+	}
+	var prev vtime.Time
+	var varintBuf [binary.MaxVarintLen64]byte
+	pktBuf := make([]byte, 128)
+	for _, e := range t.Events {
+		delta := int64(e.At - prev)
+		prev = e.At
+		n := binary.PutVarint(varintBuf[:], delta)
+		if _, err := bw.Write(varintBuf[:n]); err != nil {
+			return written, err
+		}
+		m, err := e.Pkt.Marshal(pktBuf)
+		if err != nil {
+			return written, fmt.Errorf("trace: marshal: %w", err)
+		}
+		var lb [2]byte
+		binary.BigEndian.PutUint16(lb[:], uint16(m))
+		if _, err := bw.Write(lb[:]); err != nil {
+			return written, err
+		}
+		if _, err := bw.Write(pktBuf[:m]); err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// Read parses a trace file written by WriteTo.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != traceMagic {
+		return nil, ErrBadMagic
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	count := binary.BigEndian.Uint64(hdr[:])
+	tr := &Trace{Events: make([]Event, 0, count)}
+	var now vtime.Time
+	pktBuf := make([]byte, 256)
+	for i := uint64(0); i < count; i++ {
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d delta: %w", i, err)
+		}
+		now += vtime.Time(delta)
+		var lb [2]byte
+		if _, err := io.ReadFull(br, lb[:]); err != nil {
+			return nil, err
+		}
+		plen := int(binary.BigEndian.Uint16(lb[:]))
+		if plen > len(pktBuf) {
+			pktBuf = make([]byte, plen)
+		}
+		if _, err := io.ReadFull(br, pktBuf[:plen]); err != nil {
+			return nil, err
+		}
+		var p packet.Packet
+		if _, err := p.Unmarshal(pktBuf[:plen]); err != nil {
+			return nil, fmt.Errorf("trace: event %d packet: %w", i, err)
+		}
+		tr.Events = append(tr.Events, Event{At: now, Pkt: &p})
+	}
+	return tr, nil
+}

@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"chc/internal/packet"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 7, Flows: 100, PktsPerFlowMean: 8, PayloadMedian: 512, Hosts: 8, Servers: 4})
+	b := Generate(Config{Seed: 7, Flows: 100, PktsPerFlowMean: 8, PayloadMedian: 512, Hosts: 8, Servers: 4})
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Events {
+		if *a.Events[i].Pkt != *b.Events[i].Pkt {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestGenerateFlowStructure(t *testing.T) {
+	tr := Generate(Config{Seed: 1, Flows: 50, PktsPerFlowMean: 10, PayloadMedian: 1394, Hosts: 8, Servers: 4})
+	// Every flow must open with a SYN and close with FINs; count per flow.
+	type stats struct{ syn, synack, fin, data int }
+	flows := make(map[packet.FlowKey]*stats)
+	for _, e := range tr.Events {
+		k := e.Pkt.Key().Canonical()
+		s, ok := flows[k]
+		if !ok {
+			s = &stats{}
+			flows[k] = s
+		}
+		switch {
+		case e.Pkt.IsSYN():
+			s.syn++
+		case e.Pkt.IsSYNACK():
+			s.synack++
+		case e.Pkt.IsFIN():
+			s.fin++
+		case e.Pkt.PayloadLen > 0:
+			s.data++
+		}
+	}
+	if len(flows) != 50 {
+		t.Fatalf("flows = %d, want 50", len(flows))
+	}
+	for k, s := range flows {
+		if s.syn != 1 || s.synack != 1 || s.fin != 2 || s.data < 1 {
+			t.Fatalf("flow %v malformed: %+v", k, *s)
+		}
+	}
+}
+
+func TestGenerateAppMix(t *testing.T) {
+	tr := Generate(Config{Seed: 1, Flows: 500, PktsPerFlowMean: 4, PayloadMedian: 256, Hosts: 16, Servers: 8})
+	counts := make(map[packet.App]int)
+	for _, e := range tr.Events {
+		if e.Pkt.IsSYN() {
+			counts[packet.AppOf(e.Pkt)]++
+		}
+	}
+	if counts[packet.AppHTTP] == 0 || counts[packet.AppSSH] == 0 ||
+		counts[packet.AppFTP] == 0 || counts[packet.AppIRC] == 0 {
+		t.Fatalf("app mix missing classes: %v", counts)
+	}
+	if counts[packet.AppHTTP] < counts[packet.AppSSH] {
+		t.Fatalf("HTTP (%d) should dominate SSH (%d)", counts[packet.AppHTTP], counts[packet.AppSSH])
+	}
+}
+
+func TestPaceCBR(t *testing.T) {
+	tr := Generate(Config{Seed: 1, Flows: 20, PktsPerFlowMean: 4, PayloadMedian: 1000, Hosts: 4, Servers: 2})
+	bps := int64(1_000_000_000)
+	tr.Pace(bps)
+	// Offered rate must be within 1% of the target.
+	dur := tr.Duration()
+	got := float64(tr.Bytes()*8) / dur.Seconds()
+	if got < float64(bps)*0.99 || got > float64(bps)*1.01 {
+		t.Fatalf("paced rate = %.0f bps, want ~%d", got, bps)
+	}
+	// Strictly non-decreasing times.
+	for i := 1; i < len(tr.Events); i++ {
+		if tr.Events[i].At < tr.Events[i-1].At {
+			t.Fatal("times decrease")
+		}
+	}
+}
+
+func TestInjectTrojanOrdering(t *testing.T) {
+	tr := Generate(Config{Seed: 1, Flows: 100, PktsPerFlowMean: 4, PayloadMedian: 512, Hosts: 8, Servers: 4})
+	sigs := InjectTrojan(tr, 3, 9)
+	if len(sigs) != 3 {
+		t.Fatalf("sigs = %d", len(sigs))
+	}
+	for _, sig := range sigs {
+		// For the signature host, SSH SYN must precede FTP SYN precede IRC SYN.
+		order := []packet.App{}
+		for _, e := range tr.Events {
+			if e.Pkt.SrcIP == sig.Host && e.Pkt.IsSYN() {
+				order = append(order, packet.AppOf(e.Pkt))
+			}
+		}
+		want := []packet.App{packet.AppSSH, packet.AppFTP, packet.AppIRC}
+		if len(order) != 3 {
+			t.Fatalf("host %x: %d conns, want 3", sig.Host, len(order))
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("host %x order = %v, want %v", sig.Host, order, want)
+			}
+		}
+	}
+}
+
+func TestInjectBenignOrdering(t *testing.T) {
+	tr := Generate(Config{Seed: 1, Flows: 100, PktsPerFlowMean: 4, PayloadMedian: 512, Hosts: 8, Servers: 4})
+	sigs := InjectBenignTrojanLike(tr, 2, 9)
+	for _, sig := range sigs {
+		var first packet.App
+		for _, e := range tr.Events {
+			if e.Pkt.SrcIP == sig.Host && e.Pkt.IsSYN() {
+				first = packet.AppOf(e.Pkt)
+				break
+			}
+		}
+		if first != packet.AppIRC {
+			t.Fatalf("benign sequence should start with IRC, got %v", first)
+		}
+	}
+}
+
+func TestInjectPortscan(t *testing.T) {
+	tr := Generate(Config{Seed: 1, Flows: 50, PktsPerFlowMean: 4, PayloadMedian: 512, Hosts: 8, Servers: 4})
+	scanner := HostIP(250)
+	before := tr.Len()
+	InjectPortscan(tr, scanner, 40, 0.9, before/2, 11)
+	syns, rsts := 0, 0
+	for _, e := range tr.Events {
+		if e.Pkt.SrcIP == scanner && e.Pkt.IsSYN() {
+			syns++
+		}
+		if e.Pkt.DstIP == scanner && e.Pkt.IsRST() {
+			rsts++
+		}
+	}
+	if syns != 40 {
+		t.Fatalf("scanner SYNs = %d, want 40", syns)
+	}
+	if rsts < 25 {
+		t.Fatalf("RSTs = %d, want most of 40 at 0.9 fail rate", rsts)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	tr := Generate(Config{Seed: 3, Flows: 64, PktsPerFlowMean: 6, PayloadMedian: 700, Hosts: 8, Servers: 4})
+	tr.Pace(5_000_000_000)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), tr.Len())
+	}
+	for i := range tr.Events {
+		if got.Events[i].At != tr.Events[i].At {
+			t.Fatalf("event %d time %v != %v", i, got.Events[i].At, tr.Events[i].At)
+		}
+		if *got.Events[i].Pkt != *tr.Events[i].Pkt {
+			t.Fatalf("event %d packet differs", i)
+		}
+	}
+}
+
+func TestReadBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("nope-not-a-trace"))); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTraceStats(t *testing.T) {
+	tr := Generate(Config{Seed: 1, Flows: 10, PktsPerFlowMean: 4, PayloadMedian: 500, Hosts: 4, Servers: 2})
+	if tr.Bytes() <= 0 {
+		t.Fatal("no bytes")
+	}
+	tr.Pace(1_000_000_000)
+	if tr.Duration() <= 0 {
+		t.Fatal("no duration")
+	}
+	_ = time.Duration(0)
+}
