@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet fmt-check fmt bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+fmt:
+	gofmt -w .
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+ci: build vet fmt-check test

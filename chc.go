@@ -57,10 +57,33 @@ type (
 	ObjDecl = store.ObjDecl
 	// Value is the store's tagged union value.
 	Value = store.Value
-	// Request is one offloaded state operation.
+	// Request is one offloaded state operation. NF code should not build
+	// these directly anymore — declare typed handles instead; the raw form
+	// remains for baselines and deployment seeding plumbing.
 	Request = store.Request
 	// Mode selects the state-management model (EO / EO+C / EO+C+NA).
 	Mode = store.Mode
+)
+
+// Typed state handles: the declarative NF-facing state API. An NF registers
+// each object once through a DeclSet at construction time and uses the
+// returned handle in Process — the framework routes every call through the
+// configured backend and picks the Table 1 strategy from the declaration.
+type (
+	// DeclSet accumulates an NF's state-object declarations.
+	DeclSet = nf.DeclSet
+	// Counter is an integer counter handle (Incr/IncrGet/Value).
+	Counter = nf.Counter
+	// Gauge is a per-key scalar handle (Set/Get/Delete/CAS).
+	Gauge = nf.Gauge
+	// Map is a field-table handle (Set/Incr/MinIncr/Snapshot).
+	Map = nf.Map
+	// Pool is a shared resource-list handle (Push/Pop).
+	Pool = nf.Pool
+	// NonDet draws replay-stable non-deterministic values (Appendix A).
+	NonDet = nf.NonDet
+	// Seeder applies raw seeding requests during deployment bring-up.
+	Seeder = nf.Seeder
 )
 
 // Deployment.

@@ -32,7 +32,9 @@ func main() {
 	chain.Start()
 
 	// 3. Seed shared state: the NAT's available-port pool lives in the
-	// external store, shared by every instance of the vertex.
+	// external store, shared by every instance of the vertex. (The NAT
+	// itself accesses state through typed handles declared in nat.New —
+	// see examples/custom_nf for writing an NF against that API.)
 	chain.Vertices[0].Seed(func(apply func(store.Request)) {
 		nfnat.New().SeedPorts(apply)
 	})

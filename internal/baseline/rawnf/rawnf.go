@@ -1,0 +1,306 @@
+// Package rawnf preserves the pre-handle implementations of the paper's
+// four NFs (Table 4), written directly against store.Request literals.
+//
+// The typed handle API (internal/nf/handles.go) is the supported way to
+// write NF state access; these raw versions exist as the baseline the
+// handle-based NFs are pinned against: the parity test in
+// internal/experiments proves both produce byte-identical experiment
+// output under every state-management model. Object IDs are imported from
+// the real NF packages so the two implementations address the same keys by
+// construction.
+package rawnf
+
+import (
+	"fmt"
+
+	"chc/internal/nf"
+	nflb "chc/internal/nf/lb"
+	nfnat "chc/internal/nf/nat"
+	nfps "chc/internal/nf/portscan"
+	nftrojan "chc/internal/nf/trojan"
+	"chc/internal/packet"
+	"chc/internal/store"
+)
+
+// --- NAT ---------------------------------------------------------------------
+
+// NAT is the raw-Request NAT.
+type NAT struct {
+	PortRangeStart int64
+	PortRangeCount int64
+}
+
+// NewNAT returns a raw NAT with the default port pool.
+func NewNAT() *NAT { return &NAT{PortRangeStart: 10000, PortRangeCount: 4096} }
+
+// Name implements nf.NF.
+func (n *NAT) Name() string { return "nat" }
+
+// Decls implements nf.NF.
+func (n *NAT) Decls() []store.ObjDecl {
+	return []store.ObjDecl{
+		{ID: nfnat.ObjPorts, Name: "available-ports", Scope: store.ScopeGlobal, Pattern: store.WriteReadOften},
+		{ID: nfnat.ObjTCPPkts, Name: "tcp-packets", Scope: store.ScopeGlobal, Pattern: store.WriteMostly},
+		{ID: nfnat.ObjTotal, Name: "total-packets", Scope: store.ScopeGlobal, Pattern: store.WriteMostly},
+		{ID: nfnat.ObjPortMap, Name: "port-mapping", Scope: store.ScopeFlow, Pattern: store.ReadHeavy},
+	}
+}
+
+// SeedPorts populates the shared port pool.
+func (n *NAT) SeedPorts(apply func(store.Request)) {
+	for i := int64(0); i < n.PortRangeCount; i++ {
+		apply(store.Request{Op: store.OpPushList, Key: store.Key{Obj: nfnat.ObjPorts}, Arg: store.IntVal(n.PortRangeStart + i)})
+	}
+}
+
+// Process implements nf.NF.
+func (n *NAT) Process(ctx *nf.Ctx, pkt *packet.Packet) []*packet.Packet {
+	conn := pkt.Key().Canonical().Hash()
+
+	ctx.Update(store.Request{Op: store.OpIncr, Key: store.Key{Obj: nfnat.ObjTotal}, Arg: store.IntVal(1)})
+	if pkt.Proto == packet.ProtoTCP {
+		ctx.Update(store.Request{Op: store.OpIncr, Key: store.Key{Obj: nfnat.ObjTCPPkts}, Arg: store.IntVal(1)})
+	}
+
+	var port int64
+	if pkt.IsSYN() {
+		rep, ok := ctx.UpdateBlocking(store.Request{Op: store.OpPopList, Key: store.Key{Obj: nfnat.ObjPorts}})
+		if !ok || !rep.OK {
+			ctx.Alert(nf.Alert{NF: n.Name(), Kind: "port-exhausted", Host: pkt.SrcIP})
+			return nil
+		}
+		port = rep.Val.Int
+		ctx.Update(store.Request{Op: store.OpSet, Key: store.Key{Obj: nfnat.ObjPortMap, Sub: conn}, Arg: store.IntVal(port)})
+	} else {
+		v, ok := ctx.Get(nfnat.ObjPortMap, conn)
+		if !ok {
+			return []*packet.Packet{pkt}
+		}
+		port = v.Int
+	}
+
+	if pkt.IsFIN() || pkt.IsRST() {
+		ctx.Update(store.Request{Op: store.OpPushList, Key: store.Key{Obj: nfnat.ObjPorts}, Arg: store.IntVal(port)})
+		ctx.Update(store.Request{Op: store.OpDelete, Key: store.Key{Obj: nfnat.ObjPortMap, Sub: conn}})
+	}
+
+	out := pkt.Clone()
+	if pkt.SrcIP&0xFF000000 == 0x0A000000 {
+		out.SrcIP = nfnat.ExternalIP
+		out.SrcPort = uint16(port)
+	} else {
+		out.DstIP = nfnat.ExternalIP
+		out.DstPort = uint16(port)
+	}
+	return []*packet.Packet{out}
+}
+
+// --- Portscan ----------------------------------------------------------------
+
+// Portscan is the raw-Request TRW detector.
+type Portscan struct {
+	blocked map[uint32]bool
+}
+
+// NewPortscan returns a raw detector.
+func NewPortscan() *Portscan { return &Portscan{blocked: make(map[uint32]bool)} }
+
+// Name implements nf.NF.
+func (d *Portscan) Name() string { return "portscan" }
+
+// Decls implements nf.NF.
+func (d *Portscan) Decls() []store.ObjDecl {
+	return []store.ObjDecl{
+		{ID: nfps.ObjLikelihood, Name: "host-likelihood", Scope: store.ScopeSrcIP, Pattern: store.WriteReadOften},
+		{ID: nfps.ObjPending, Name: "pending-conn", Scope: store.ScopeFlow, Pattern: store.WriteReadOften},
+	}
+}
+
+// Blocked reports whether the detector has flagged host.
+func (d *Portscan) Blocked(host uint32) bool { return d.blocked[host] }
+
+// Process implements nf.NF.
+func (d *Portscan) Process(ctx *nf.Ctx, pkt *packet.Packet) []*packet.Packet {
+	conn := pkt.Key().Canonical().Hash()
+	switch {
+	case pkt.IsSYN():
+		ctx.Update(store.Request{Op: store.OpSet, Key: store.Key{Obj: nfps.ObjPending, Sub: conn},
+			Arg: store.IntVal(int64(pkt.SrcIP))})
+	case pkt.IsSYNACK():
+		if v, ok := ctx.Get(nfps.ObjPending, conn); ok {
+			host := uint32(v.Int)
+			d.updateLikelihood(ctx, host, nfps.SuccessDelta)
+			ctx.Update(store.Request{Op: store.OpDelete, Key: store.Key{Obj: nfps.ObjPending, Sub: conn}})
+		}
+	case pkt.IsRST():
+		if v, ok := ctx.Get(nfps.ObjPending, conn); ok {
+			host := uint32(v.Int)
+			d.updateLikelihood(ctx, host, nfps.FailDelta)
+			ctx.Update(store.Request{Op: store.OpDelete, Key: store.Key{Obj: nfps.ObjPending, Sub: conn}})
+		}
+	}
+	return []*packet.Packet{pkt}
+}
+
+func (d *Portscan) updateLikelihood(ctx *nf.Ctx, host uint32, delta int64) {
+	rep, ok := ctx.UpdateBlocking(store.Request{Op: store.OpIncr,
+		Key: store.Key{Obj: nfps.ObjLikelihood, Sub: uint64(host)}, Arg: store.IntVal(delta)})
+	if !ok || !rep.OK {
+		return
+	}
+	if rep.Val.Int >= nfps.Threshold && !d.blocked[host] {
+		d.blocked[host] = true
+		ctx.Alert(nf.Alert{NF: d.Name(), Kind: "scanner-detected", Host: host})
+	}
+}
+
+// --- Trojan ------------------------------------------------------------------
+
+// Map fields (kept in sync with the trojan package's unexported names).
+const (
+	fieldSSH = "ssh"
+	fieldFTP = "ftp"
+	fieldIRC = "irc"
+)
+
+// Trojan is the raw-Request Trojan detector.
+type Trojan struct {
+	UseClocks bool
+	detected  map[uint32]bool
+}
+
+// NewTrojan returns a raw clock-ordered detector.
+func NewTrojan() *Trojan { return &Trojan{UseClocks: true, detected: make(map[uint32]bool)} }
+
+// Name implements nf.NF.
+func (d *Trojan) Name() string { return "trojan" }
+
+// Decls implements nf.NF.
+func (d *Trojan) Decls() []store.ObjDecl {
+	return []store.ObjDecl{
+		{ID: nftrojan.ObjArrivals, Name: "app-arrivals", Scope: store.ScopeSrcIP, Pattern: store.WriteReadOften},
+	}
+}
+
+// Detected reports whether host was flagged.
+func (d *Trojan) Detected(host uint32) bool { return d.detected[host] }
+
+// Process implements nf.NF.
+func (d *Trojan) Process(ctx *nf.Ctx, pkt *packet.Packet) []*packet.Packet {
+	if !pkt.IsSYN() {
+		return nil
+	}
+	var field string
+	switch packet.AppOf(pkt) {
+	case packet.AppSSH:
+		field = fieldSSH
+	case packet.AppFTP:
+		field = fieldFTP
+	case packet.AppIRC:
+		field = fieldIRC
+	default:
+		return nil
+	}
+	host := uint64(pkt.SrcIP)
+	order := ctx.Clock
+	if !d.UseClocks {
+		order = ctx.Seq
+	}
+	ctx.UpdateBlocking(store.Request{Op: store.OpMapSet,
+		Key: store.Key{Obj: nftrojan.ObjArrivals, Sub: host}, Field: field, Arg: store.IntVal(int64(order))})
+	v, ok := ctx.Get(nftrojan.ObjArrivals, host)
+	if !ok || v.Map == nil {
+		return nil
+	}
+	ssh, okS := v.Map[fieldSSH]
+	ftp, okF := v.Map[fieldFTP]
+	irc, okI := v.Map[fieldIRC]
+	if okS && okF && okI && ssh < ftp && ftp < irc {
+		if !d.detected[uint32(host)] {
+			d.detected[uint32(host)] = true
+			ctx.Alert(nf.Alert{NF: d.Name(), Kind: "trojan-detected", Host: uint32(host)})
+		}
+	}
+	return nil
+}
+
+// --- Load balancer -----------------------------------------------------------
+
+// LB is the raw-Request load balancer.
+type LB struct {
+	Backends []uint32
+}
+
+// NewLB returns a raw balancer over n synthetic backends.
+func NewLB(n int) *LB {
+	b := &LB{}
+	for i := 0; i < n; i++ {
+		b.Backends = append(b.Backends, 0xC0A86400|uint32(i+1))
+	}
+	return b
+}
+
+// Name implements nf.NF.
+func (b *LB) Name() string { return "lb" }
+
+// Decls implements nf.NF.
+func (b *LB) Decls() []store.ObjDecl {
+	return []store.ObjDecl{
+		{ID: nflb.ObjServerConns, Name: "server-conns", Scope: store.ScopeGlobal, Pattern: store.WriteReadOften},
+		{ID: nflb.ObjServerBytes, Name: "server-bytes", Scope: store.ScopeGlobal, Pattern: store.WriteMostly},
+		{ID: nflb.ObjConnMap, Name: "conn-server", Scope: store.ScopeFlow, Pattern: store.ReadHeavy},
+	}
+}
+
+func serverField(i int) string { return fmt.Sprintf("s%03d", i) }
+
+// SeedServers zeroes the per-server connection counts.
+func (b *LB) SeedServers(apply func(store.Request)) {
+	for i := range b.Backends {
+		apply(store.Request{Op: store.OpMapSet, Key: store.Key{Obj: nflb.ObjServerConns},
+			Field: serverField(i), Arg: store.IntVal(0)})
+	}
+}
+
+// Process implements nf.NF.
+func (b *LB) Process(ctx *nf.Ctx, pkt *packet.Packet) []*packet.Packet {
+	conn := pkt.Key().Canonical().Hash()
+	var serverIdx int64 = -1
+
+	if pkt.IsSYN() {
+		rep, ok := ctx.UpdateBlocking(store.Request{Op: store.OpMapMinIncr,
+			Key: store.Key{Obj: nflb.ObjServerConns}, Arg: store.IntVal(1)})
+		if !ok || !rep.OK {
+			return nil
+		}
+		var idx int
+		if _, err := fmt.Sscanf(string(rep.Val.Bytes), "s%03d", &idx); err != nil {
+			return nil
+		}
+		serverIdx = int64(idx)
+		ctx.Update(store.Request{Op: store.OpSet, Key: store.Key{Obj: nflb.ObjConnMap, Sub: conn},
+			Arg: store.IntVal(serverIdx)})
+	} else {
+		v, ok := ctx.Get(nflb.ObjConnMap, conn)
+		if !ok {
+			return []*packet.Packet{pkt}
+		}
+		serverIdx = v.Int
+	}
+
+	ctx.Update(store.Request{Op: store.OpIncr,
+		Key: store.Key{Obj: nflb.ObjServerBytes, Sub: uint64(serverIdx)},
+		Arg: store.IntVal(int64(pkt.WireLen()))})
+
+	if pkt.IsFIN() || pkt.IsRST() {
+		ctx.Update(store.Request{Op: store.OpMapIncr, Key: store.Key{Obj: nflb.ObjServerConns},
+			Field: serverField(int(serverIdx)), Arg: store.IntVal(-1)})
+		ctx.Update(store.Request{Op: store.OpDelete, Key: store.Key{Obj: nflb.ObjConnMap, Sub: conn}})
+	}
+
+	out := pkt.Clone()
+	if int(serverIdx) < len(b.Backends) {
+		out.DstIP = b.Backends[serverIdx]
+	}
+	return []*packet.Packet{out}
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"chc/internal/baseline/rawnf"
+	"chc/internal/nf"
+	nflb "chc/internal/nf/lb"
+	nfnat "chc/internal/nf/nat"
+	nfps "chc/internal/nf/portscan"
+	nftrojan "chc/internal/nf/trojan"
+	"chc/internal/runtime"
+	"chc/internal/store"
+)
+
+// parityChain builds the §7.1 chain (NAT -> Trojan off-path -> portscan ->
+// LB) from either handle-based NFs or their raw-Request twins in
+// internal/baseline/rawnf, seeded identically.
+func parityChain(seed int64, mode store.Mode, raw bool) *runtime.Chain {
+	pick := func(handle, rawMk func() nf.NF) func() nf.NF {
+		if raw {
+			return rawMk
+		}
+		return handle
+	}
+	ch := runtime.New(latencyConfig(seed),
+		runtime.VertexSpec{Name: "nat",
+			Make:    pick(func() nf.NF { return nfnat.New() }, func() nf.NF { return rawnf.NewNAT() }),
+			Backend: runtime.BackendCHC, Mode: mode},
+		runtime.VertexSpec{Name: "trojan",
+			Make:    pick(func() nf.NF { return nftrojan.New() }, func() nf.NF { return rawnf.NewTrojan() }),
+			Backend: runtime.BackendCHC, Mode: mode, OffPath: true},
+		runtime.VertexSpec{Name: "portscan",
+			Make:    pick(func() nf.NF { return nfps.New() }, func() nf.NF { return rawnf.NewPortscan() }),
+			Backend: runtime.BackendCHC, Mode: mode},
+		runtime.VertexSpec{Name: "lb",
+			Make:    pick(func() nf.NF { return nflb.New(8) }, func() nf.NF { return rawnf.NewLB(8) }),
+			Backend: runtime.BackendCHC, Mode: mode},
+	)
+	ch.Start()
+	if raw {
+		ch.Vertices[0].Seed(func(apply func(store.Request)) { rawnf.NewNAT().SeedPorts(apply) })
+		ch.Vertices[3].Seed(func(apply func(store.Request)) { rawnf.NewLB(8).SeedServers(apply) })
+	} else {
+		ch.Vertices[0].Seed(func(apply func(store.Request)) { nfnat.New().SeedPorts(apply) })
+		ch.Vertices[3].Seed(func(apply func(store.Request)) { nflb.New(8).SeedServers(apply) })
+	}
+	return ch
+}
+
+// chainDigest renders everything an experiment reports — root/sink
+// accounting, alerts, per-instance work, latency percentiles, and the full
+// final store state — as one comparable string.
+func chainDigest(ch *runtime.Chain) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "root injected=%d deleted=%d dropped=%d inflight=%d\n",
+		ch.Root.Injected, ch.Root.Deleted, ch.Root.Dropped, ch.Root.LogSize())
+	fmt.Fprintf(&b, "sink received=%d duplicates=%d\n", ch.Sink.Received, ch.Sink.Duplicates)
+	for _, a := range ch.Metrics.Alerts {
+		fmt.Fprintf(&b, "alert %s/%s host=%08x clock=%d\n", a.NF, a.Kind, a.Host, a.Clock)
+	}
+	for _, v := range ch.Vertices {
+		for _, in := range v.Instances {
+			fmt.Fprintf(&b, "inst %s processed=%d bytes=%d suppressed=%d\n",
+				in.Endpoint, in.Processed, in.BytesProcessed, in.Suppressed)
+		}
+	}
+	for _, name := range []string{"proc.nat", "proc.trojan", "proc.portscan", "proc.lb", "total.chain"} {
+		s := ch.Metrics.Get(name)
+		fmt.Fprintf(&b, "series %s n=%d p50=%v p95=%v\n", name, s.N(), s.Percentile(50), s.Percentile(95))
+	}
+	snap := ch.Store.Engine().Snapshot(nil)
+	keys := make([]store.Key, 0, len(snap.Entries))
+	for k := range snap.Entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, c := keys[i], keys[j]
+		if a.Vertex != c.Vertex {
+			return a.Vertex < c.Vertex
+		}
+		if a.Obj != c.Obj {
+			return a.Obj < c.Obj
+		}
+		return a.Sub < c.Sub
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&b, "kv %s=%s\n", k, snap.Entries[k])
+	}
+	return b.String()
+}
+
+// firstDiff locates the first differing line of two digests.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		av, bv := "<eof>", "<eof>"
+		if i < len(al) {
+			av = al[i]
+		}
+		if i < len(bl) {
+			bv = bl[i]
+		}
+		if av != bv {
+			return fmt.Sprintf("line %d:\n  handle: %s\n  raw:    %s", i+1, av, bv)
+		}
+	}
+	return "identical"
+}
+
+// TestHandleRawParity pins the API redesign: handle-based NFs must produce
+// byte-identical experiment output to the seed's raw-Request NFs under all
+// three state-management models. In +NA mode it also proves the coalescing
+// path was exercised while parity held.
+func TestHandleRawParity(t *testing.T) {
+	modes := []struct {
+		name string
+		mode store.Mode
+	}{
+		{"EO", store.ModeEO},
+		{"EO+C", store.ModeEOC},
+		{"EO+C+NA", store.ModeEOCNA},
+	}
+	o := Opts{Seed: 42, Flows: 60}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			run := func(raw bool) (string, *runtime.Chain) {
+				ch := parityChain(o.Seed, m.mode, raw)
+				tr := background(o, 1394)
+				tr.Pace(2_000_000_000)
+				ch.RunTrace(tr, 300*time.Millisecond)
+				return chainDigest(ch), ch
+			}
+			hd, hch := run(false)
+			rd, _ := run(true)
+			if hd != rd {
+				t.Fatalf("handle/raw output diverged under %s at %s", m.name, firstDiff(hd, rd))
+			}
+			if m.mode.NoAckWait {
+				if n := hch.Metrics.Counter("client.coalesced_ops"); n == 0 {
+					t.Fatal("coalescing path never fired under +NA (parity proved nothing)")
+				} else {
+					t.Logf("+NA coalesced %d ops into %d batched sends (async sends: %d)",
+						n, hch.Metrics.Counter("client.batched_sends"), hch.Metrics.Counter("client.async_ops"))
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,66 @@
+package nf
+
+import "testing"
+
+// noteUpdateLinear is the pre-bitmap implementation, kept for benchmark
+// comparison.
+func (c *Ctx) noteUpdateLinear(obj uint16) {
+	for _, o := range c.Updated {
+		if o == obj {
+			return
+		}
+	}
+	c.Updated = append(c.Updated, obj)
+}
+
+// benchObjs mimics a busy NF touching a handful of objects repeatedly per
+// packet (the paper's NFs declare 1-4 objects; chained deployments see the
+// same object updated many times).
+var benchObjs = []uint16{1, 2, 3, 4, 1, 2, 1, 1, 3, 2, 4, 1}
+
+func BenchmarkNoteUpdateBitmap(b *testing.B) {
+	ctx := &Ctx{}
+	for i := 0; i < b.N; i++ {
+		ctx.ResetPacket(uint64(i), uint64(i))
+		for _, o := range benchObjs {
+			ctx.noteUpdate(o)
+		}
+	}
+}
+
+func BenchmarkNoteUpdateLinear(b *testing.B) {
+	ctx := &Ctx{}
+	for i := 0; i < b.N; i++ {
+		ctx.Clock, ctx.Seq = uint64(i), uint64(i)
+		ctx.Updated = ctx.Updated[:0]
+		for _, o := range benchObjs {
+			ctx.noteUpdateLinear(o)
+		}
+	}
+}
+
+// BenchmarkNoteUpdateWide stresses the dedup with a wider working set
+// (16 distinct objects), where the linear scan's O(n) per call bites.
+func BenchmarkNoteUpdateWide(b *testing.B) {
+	ctx := &Ctx{}
+	b.Run("bitmap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctx.ResetPacket(uint64(i), uint64(i))
+			for rep := 0; rep < 4; rep++ {
+				for o := uint16(1); o <= 16; o++ {
+					ctx.noteUpdate(o)
+				}
+			}
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctx.Updated = ctx.Updated[:0]
+			for rep := 0; rep < 4; rep++ {
+				for o := uint16(1); o <= 16; o++ {
+					ctx.noteUpdateLinear(o)
+				}
+			}
+		}
+	})
+}

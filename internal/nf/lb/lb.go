@@ -28,6 +28,11 @@ const (
 type Balancer struct {
 	// Backends are the server addresses; index is the stored server id.
 	Backends []uint32
+
+	decls       nf.DeclSet
+	serverConns nf.Map
+	serverBytes nf.Counter
+	connMap     nf.Gauge
 }
 
 // New returns a balancer over n synthetic backends.
@@ -36,30 +41,26 @@ func New(n int) *Balancer {
 	for i := 0; i < n; i++ {
 		b.Backends = append(b.Backends, 0xC0A86400|uint32(i+1)) // 192.168.100.x
 	}
+	b.serverConns = b.decls.Map(ObjServerConns, "server-conns", store.ScopeGlobal, store.WriteReadOften)
+	b.serverBytes = b.decls.Counter(ObjServerBytes, "server-bytes", store.ScopeGlobal, store.WriteMostly)
+	b.connMap = b.decls.Gauge(ObjConnMap, "conn-server", store.ScopeFlow, store.ReadHeavy)
 	return b
 }
 
 // Name implements nf.NF.
 func (b *Balancer) Name() string { return "lb" }
 
-// Decls implements nf.NF.
-func (b *Balancer) Decls() []store.ObjDecl {
-	return []store.ObjDecl{
-		{ID: ObjServerConns, Name: "server-conns", Scope: store.ScopeGlobal, Pattern: store.WriteReadOften},
-		{ID: ObjServerBytes, Name: "server-bytes", Scope: store.ScopeGlobal, Pattern: store.WriteMostly},
-		{ID: ObjConnMap, Name: "conn-server", Scope: store.ScopeFlow, Pattern: store.ReadHeavy},
-	}
-}
+// Decls implements nf.NF (declared once in New).
+func (b *Balancer) Decls() []store.ObjDecl { return b.decls.List() }
 
 // serverField is the map key for backend i.
 func serverField(i int) string { return fmt.Sprintf("s%03d", i) }
 
 // SeedServers initializes the per-server connection counts to zero so
 // min-increment sees every backend.
-func (b *Balancer) SeedServers(apply func(store.Request)) {
+func (b *Balancer) SeedServers(seed nf.Seeder) {
 	for i := range b.Backends {
-		apply(store.Request{Op: store.OpMapSet, Key: store.Key{Obj: ObjServerConns},
-			Field: serverField(i), Arg: store.IntVal(0)})
+		b.serverConns.SeedSet(seed, serverField(i), 0)
 	}
 }
 
@@ -70,35 +71,30 @@ func (b *Balancer) Process(ctx *nf.Ctx, pkt *packet.Packet) []*packet.Packet {
 
 	if pkt.IsSYN() {
 		// The store picks the least-loaded backend and bumps its count.
-		rep, ok := ctx.UpdateBlocking(store.Request{Op: store.OpMapMinIncr,
-			Key: store.Key{Obj: ObjServerConns}, Arg: store.IntVal(1)})
-		if !ok || !rep.OK {
+		field, ok := b.serverConns.MinIncr(ctx, 0, 1)
+		if !ok {
 			return nil
 		}
 		var idx int
-		if _, err := fmt.Sscanf(string(rep.Val.Bytes), "s%03d", &idx); err != nil {
+		if _, err := fmt.Sscanf(field, "s%03d", &idx); err != nil {
 			return nil
 		}
 		serverIdx = int64(idx)
-		ctx.Update(store.Request{Op: store.OpSet, Key: store.Key{Obj: ObjConnMap, Sub: conn},
-			Arg: store.IntVal(serverIdx)})
+		b.connMap.Set(ctx, conn, serverIdx)
 	} else {
-		v, ok := ctx.Get(ObjConnMap, conn)
+		v, ok := b.connMap.Get(ctx, conn)
 		if !ok {
 			return []*packet.Packet{pkt}
 		}
-		serverIdx = v.Int
+		serverIdx = v
 	}
 
 	// Every packet: the chosen server's byte counter (write-mostly).
-	ctx.Update(store.Request{Op: store.OpIncr,
-		Key: store.Key{Obj: ObjServerBytes, Sub: uint64(serverIdx)},
-		Arg: store.IntVal(int64(pkt.WireLen()))})
+	b.serverBytes.IncrAt(ctx, uint64(serverIdx), int64(pkt.WireLen()))
 
 	if pkt.IsFIN() || pkt.IsRST() {
-		ctx.Update(store.Request{Op: store.OpMapIncr, Key: store.Key{Obj: ObjServerConns},
-			Field: serverField(int(serverIdx)), Arg: store.IntVal(-1)})
-		ctx.Update(store.Request{Op: store.OpDelete, Key: store.Key{Obj: ObjConnMap, Sub: conn}})
+		b.serverConns.Incr(ctx, 0, serverField(int(serverIdx)), -1)
+		b.connMap.Delete(ctx, conn)
 	}
 
 	out := pkt.Clone()

@@ -33,29 +33,35 @@ type NAT struct {
 	// PortRangeStart/Count seed the available-port pool.
 	PortRangeStart int64
 	PortRangeCount int64
+
+	decls   nf.DeclSet
+	ports   nf.Pool
+	tcpPkts nf.Counter
+	total   nf.Counter
+	portMap nf.Gauge
 }
 
 // New returns a NAT with the default port pool.
-func New() *NAT { return &NAT{PortRangeStart: 10000, PortRangeCount: 4096} }
+func New() *NAT {
+	n := &NAT{PortRangeStart: 10000, PortRangeCount: 4096}
+	n.ports = n.decls.Pool(ObjPorts, "available-ports", store.ScopeGlobal, store.WriteReadOften)
+	n.tcpPkts = n.decls.Counter(ObjTCPPkts, "tcp-packets", store.ScopeGlobal, store.WriteMostly)
+	n.total = n.decls.Counter(ObjTotal, "total-packets", store.ScopeGlobal, store.WriteMostly)
+	n.portMap = n.decls.Gauge(ObjPortMap, "port-mapping", store.ScopeFlow, store.ReadHeavy)
+	return n
+}
 
 // Name implements nf.NF.
 func (n *NAT) Name() string { return "nat" }
 
-// Decls implements nf.NF (the Table 4 rows).
-func (n *NAT) Decls() []store.ObjDecl {
-	return []store.ObjDecl{
-		{ID: ObjPorts, Name: "available-ports", Scope: store.ScopeGlobal, Pattern: store.WriteReadOften},
-		{ID: ObjTCPPkts, Name: "tcp-packets", Scope: store.ScopeGlobal, Pattern: store.WriteMostly},
-		{ID: ObjTotal, Name: "total-packets", Scope: store.ScopeGlobal, Pattern: store.WriteMostly},
-		{ID: ObjPortMap, Name: "port-mapping", Scope: store.ScopeFlow, Pattern: store.ReadHeavy},
-	}
-}
+// Decls implements nf.NF (the Table 4 rows, declared once in New).
+func (n *NAT) Decls() []store.ObjDecl { return n.decls.List() }
 
 // SeedPorts populates the shared port pool; the deployment calls this once
 // against whatever backend the vertex uses.
-func (n *NAT) SeedPorts(apply func(store.Request)) {
+func (n *NAT) SeedPorts(seed nf.Seeder) {
 	for i := int64(0); i < n.PortRangeCount; i++ {
-		apply(store.Request{Op: store.OpPushList, Key: store.Key{Obj: ObjPorts}, Arg: store.IntVal(n.PortRangeStart + i)})
+		n.ports.SeedPush(seed, n.PortRangeStart+i)
 	}
 }
 
@@ -64,34 +70,34 @@ func (n *NAT) Process(ctx *nf.Ctx, pkt *packet.Packet) []*packet.Packet {
 	conn := pkt.Key().Canonical().Hash()
 
 	// Per-packet counters (write-mostly, read-rarely: non-blocking ops).
-	ctx.Update(store.Request{Op: store.OpIncr, Key: store.Key{Obj: ObjTotal}, Arg: store.IntVal(1)})
+	n.total.Incr(ctx, 1)
 	if pkt.Proto == packet.ProtoTCP {
-		ctx.Update(store.Request{Op: store.OpIncr, Key: store.Key{Obj: ObjTCPPkts}, Arg: store.IntVal(1)})
+		n.tcpPkts.Incr(ctx, 1)
 	}
 
 	var port int64
 	if pkt.IsSYN() {
 		// New connection: the store pops an available port on our behalf.
-		rep, ok := ctx.UpdateBlocking(store.Request{Op: store.OpPopList, Key: store.Key{Obj: ObjPorts}})
-		if !ok || !rep.OK {
+		p, ok := n.ports.Pop(ctx)
+		if !ok {
 			ctx.Alert(nf.Alert{NF: n.Name(), Kind: "port-exhausted", Host: pkt.SrcIP})
 			return nil // drop: no ports available
 		}
-		port = rep.Val.Int
-		ctx.Update(store.Request{Op: store.OpSet, Key: store.Key{Obj: ObjPortMap, Sub: conn}, Arg: store.IntVal(port)})
+		port = p
+		n.portMap.Set(ctx, conn, port)
 	} else {
-		v, ok := ctx.Get(ObjPortMap, conn)
+		p, ok := n.portMap.Get(ctx, conn)
 		if !ok {
 			// Unknown connection (mid-stream packet): forward unmodified.
 			return []*packet.Packet{pkt}
 		}
-		port = v.Int
+		port = p
 	}
 
 	if pkt.IsFIN() || pkt.IsRST() {
 		// Return the port to the pool and drop the mapping.
-		ctx.Update(store.Request{Op: store.OpPushList, Key: store.Key{Obj: ObjPorts}, Arg: store.IntVal(port)})
-		ctx.Update(store.Request{Op: store.OpDelete, Key: store.Key{Obj: ObjPortMap, Sub: conn}})
+		n.ports.Push(ctx, port)
+		n.portMap.Delete(ctx, conn)
 	}
 
 	// Rewrite: outbound traffic is sourced from the external IP/port.

@@ -26,6 +26,11 @@ type Alert struct {
 	Clock uint64
 }
 
+// updBitsWords sizes the per-packet updated-object bitmap: object IDs below
+// updBitsWords*64 dedup in O(1) on the hot path; larger IDs (unused by the
+// paper's NFs, whose IDs are single digits) fall back to a linear scan.
+const updBitsWords = 4
+
 // Ctx carries per-packet processing context into NF code: the simulation
 // process (for blocking state access), the packet's logical clock, the
 // arrival sequence number at this instance (what a framework WITHOUT
@@ -39,6 +44,9 @@ type Ctx struct {
 	// mutated; the framework XORs (instanceID‖objID) per entry into the
 	// packet's bit vector (Fig 6 step 1). Reset per packet.
 	Updated []uint16
+	// updBits dedups noteUpdate for object IDs < updBitsWords*64 without
+	// scanning Updated per mutation.
+	updBits [updBitsWords]uint64
 	alert   func(Alert)
 }
 
@@ -46,9 +54,19 @@ type Ctx struct {
 func (c *Ctx) ResetPacket(clock, seq uint64) {
 	c.Clock, c.Seq = clock, seq
 	c.Updated = c.Updated[:0]
+	c.updBits = [updBitsWords]uint64{}
 }
 
 func (c *Ctx) noteUpdate(obj uint16) {
+	if obj < updBitsWords*64 {
+		w, bit := obj>>6, uint64(1)<<(obj&63)
+		if c.updBits[w]&bit != 0 {
+			return
+		}
+		c.updBits[w] |= bit
+		c.Updated = append(c.Updated, obj)
+		return
+	}
 	for _, o := range c.Updated {
 		if o == obj {
 			return

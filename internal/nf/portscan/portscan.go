@@ -35,21 +35,25 @@ const (
 // observes, emitting alerts for hosts judged to be scanners.
 type Detector struct {
 	blocked map[uint32]bool
+
+	decls      nf.DeclSet
+	likelihood nf.Counter
+	pending    nf.Gauge
 }
 
 // New returns a detector.
-func New() *Detector { return &Detector{blocked: make(map[uint32]bool)} }
+func New() *Detector {
+	d := &Detector{blocked: make(map[uint32]bool)}
+	d.likelihood = d.decls.Counter(ObjLikelihood, "host-likelihood", store.ScopeSrcIP, store.WriteReadOften)
+	d.pending = d.decls.Gauge(ObjPending, "pending-conn", store.ScopeFlow, store.WriteReadOften)
+	return d
+}
 
 // Name implements nf.NF.
 func (d *Detector) Name() string { return "portscan" }
 
-// Decls implements nf.NF.
-func (d *Detector) Decls() []store.ObjDecl {
-	return []store.ObjDecl{
-		{ID: ObjLikelihood, Name: "host-likelihood", Scope: store.ScopeSrcIP, Pattern: store.WriteReadOften},
-		{ID: ObjPending, Name: "pending-conn", Scope: store.ScopeFlow, Pattern: store.WriteReadOften},
-	}
-}
+// Decls implements nf.NF (declared once in New).
+func (d *Detector) Decls() []store.ObjDecl { return d.decls.List() }
 
 // Blocked reports whether the detector has flagged host.
 func (d *Detector) Blocked(host uint32) bool { return d.blocked[host] }
@@ -62,19 +66,18 @@ func (d *Detector) Process(ctx *nf.Ctx, pkt *packet.Packet) []*packet.Packet {
 	conn := pkt.Key().Canonical().Hash()
 	switch {
 	case pkt.IsSYN():
-		ctx.Update(store.Request{Op: store.OpSet, Key: store.Key{Obj: ObjPending, Sub: conn},
-			Arg: store.IntVal(int64(pkt.SrcIP))})
+		d.pending.Set(ctx, conn, int64(pkt.SrcIP))
 	case pkt.IsSYNACK():
-		if v, ok := ctx.Get(ObjPending, conn); ok {
-			host := uint32(v.Int)
+		if v, ok := d.pending.Get(ctx, conn); ok {
+			host := uint32(v)
 			d.updateLikelihood(ctx, host, SuccessDelta)
-			ctx.Update(store.Request{Op: store.OpDelete, Key: store.Key{Obj: ObjPending, Sub: conn}})
+			d.pending.Delete(ctx, conn)
 		}
 	case pkt.IsRST():
-		if v, ok := ctx.Get(ObjPending, conn); ok {
-			host := uint32(v.Int)
+		if v, ok := d.pending.Get(ctx, conn); ok {
+			host := uint32(v)
 			d.updateLikelihood(ctx, host, FailDelta)
-			ctx.Update(store.Request{Op: store.OpDelete, Key: store.Key{Obj: ObjPending, Sub: conn}})
+			d.pending.Delete(ctx, conn)
 		}
 	}
 	return []*packet.Packet{pkt}
@@ -83,12 +86,11 @@ func (d *Detector) Process(ctx *nf.Ctx, pkt *packet.Packet) []*packet.Packet {
 // updateLikelihood applies the TRW step and raises an alert on threshold
 // crossing. The increment is offloaded; the result comes back with the op.
 func (d *Detector) updateLikelihood(ctx *nf.Ctx, host uint32, delta int64) {
-	rep, ok := ctx.UpdateBlocking(store.Request{Op: store.OpIncr,
-		Key: store.Key{Obj: ObjLikelihood, Sub: uint64(host)}, Arg: store.IntVal(delta)})
-	if !ok || !rep.OK {
+	likelihood, ok := d.likelihood.IncrGetAt(ctx, uint64(host), delta)
+	if !ok {
 		return
 	}
-	if rep.Val.Int >= Threshold && !d.blocked[host] {
+	if likelihood >= Threshold && !d.blocked[host] {
 		d.blocked[host] = true
 		ctx.Alert(nf.Alert{NF: d.Name(), Kind: "scanner-detected", Host: host})
 	}

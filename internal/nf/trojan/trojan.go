@@ -38,23 +38,28 @@ type Detector struct {
 	// arrival order (the no-chain-ordering baseline).
 	UseClocks bool
 	detected  map[uint32]bool
+
+	decls    nf.DeclSet
+	arrivals nf.Map
 }
 
 // New returns a CHC-configured detector (logical clocks).
-func New() *Detector { return &Detector{UseClocks: true, detected: make(map[uint32]bool)} }
+func New() *Detector { return newDetector(true) }
 
 // NewArrivalOrder returns the baseline detector using arrival order.
-func NewArrivalOrder() *Detector { return &Detector{detected: make(map[uint32]bool)} }
+func NewArrivalOrder() *Detector { return newDetector(false) }
+
+func newDetector(useClocks bool) *Detector {
+	d := &Detector{UseClocks: useClocks, detected: make(map[uint32]bool)}
+	d.arrivals = d.decls.Map(ObjArrivals, "app-arrivals", store.ScopeSrcIP, store.WriteReadOften)
+	return d
+}
 
 // Name implements nf.NF.
 func (d *Detector) Name() string { return "trojan" }
 
-// Decls implements nf.NF.
-func (d *Detector) Decls() []store.ObjDecl {
-	return []store.ObjDecl{
-		{ID: ObjArrivals, Name: "app-arrivals", Scope: store.ScopeSrcIP, Pattern: store.WriteReadOften},
-	}
-}
+// Decls implements nf.NF (declared once in New).
+func (d *Detector) Decls() []store.ObjDecl { return d.decls.List() }
 
 // Detected reports whether host was flagged.
 func (d *Detector) Detected(host uint32) bool { return d.detected[host] }
@@ -83,15 +88,14 @@ func (d *Detector) Process(ctx *nf.Ctx, pkt *packet.Packet) []*packet.Packet {
 	}
 	// Record this connection start, then evaluate the signature on the
 	// host's full arrival table.
-	ctx.UpdateBlocking(store.Request{Op: store.OpMapSet,
-		Key: store.Key{Obj: ObjArrivals, Sub: host}, Field: field, Arg: store.IntVal(int64(order))})
-	v, ok := ctx.Get(ObjArrivals, host)
-	if !ok || v.Map == nil {
+	d.arrivals.SetSync(ctx, host, field, int64(order))
+	m, ok := d.arrivals.Snapshot(ctx, host)
+	if !ok || m == nil {
 		return nil
 	}
-	ssh, okS := v.Map[fieldSSH]
-	ftp, okF := v.Map[fieldFTP]
-	irc, okI := v.Map[fieldIRC]
+	ssh, okS := m[fieldSSH]
+	ftp, okF := m[fieldFTP]
+	irc, okI := m[fieldIRC]
 	if okS && okF && okI && ssh < ftp && ftp < irc {
 		if !d.detected[uint32(host)] {
 			d.detected[uint32(host)] = true

@@ -19,7 +19,41 @@ func (c *Chain) RunTrace(tr *trace.Trace, settle time.Duration) time.Duration {
 	}
 	horizon := base.Add(tr.Duration()).Add(settle)
 	c.sim.RunUntil(horizon)
+	c.HarvestClientStats()
 	return time.Duration(horizon - base)
+}
+
+// HarvestClientStats snapshots the client libraries' op statistics into
+// Metrics.Counters under "client.*" (set, not accumulated: safe to call
+// after every run segment). The coalesced-op count is the proof line for
+// the client-side batching path.
+func (c *Chain) HarvestClientStats() {
+	var blocking, async, hits, misses, retrans, flushed, coalesced, batched uint64
+	for _, v := range c.Vertices {
+		for _, in := range v.Instances {
+			cl := in.Client()
+			if cl == nil {
+				continue
+			}
+			blocking += cl.BlockingOps
+			async += cl.AsyncOps
+			hits += cl.CacheHits
+			misses += cl.CacheMisses
+			retrans += cl.Retransmits
+			flushed += cl.FlushedOps
+			coalesced += cl.CoalescedOps
+			batched += cl.BatchedSends
+		}
+	}
+	m := c.Metrics
+	m.SetCounter("client.blocking_ops", blocking)
+	m.SetCounter("client.async_ops", async)
+	m.SetCounter("client.cache_hits", hits)
+	m.SetCounter("client.cache_misses", misses)
+	m.SetCounter("client.retransmits", retrans)
+	m.SetCounter("client.flushed_ops", flushed)
+	m.SetCounter("client.coalesced_ops", coalesced)
+	m.SetCounter("client.batched_sends", batched)
 }
 
 // RunFor drives the simulation for a virtual duration (post-trace settling,

@@ -136,12 +136,22 @@ func (s *Series) Values() []time.Duration { return s.vals }
 type Metrics struct {
 	series map[string]*Series
 	Alerts []nf.Alert
+	// Counters are named monotonic counts snapshotted from chain
+	// components (client-library op statistics, suppression counts...).
+	Counters map[string]uint64
 }
 
 // NewMetrics builds an empty metrics collector.
 func NewMetrics() *Metrics {
-	return &Metrics{series: make(map[string]*Series)}
+	return &Metrics{series: make(map[string]*Series), Counters: make(map[string]uint64)}
 }
+
+// SetCounter records a named count (idempotent snapshot semantics: callers
+// recompute totals rather than accumulate deltas).
+func (m *Metrics) SetCounter(name string, v uint64) { m.Counters[name] = v }
+
+// Counter reads a named count (0 when never recorded).
+func (m *Metrics) Counter(name string) uint64 { return m.Counters[name] }
 
 // Get returns (creating) the named series.
 func (m *Metrics) Get(name string) *Series {

@@ -41,7 +41,23 @@ type ClientConfig struct {
 	// FlushEvery drives periodic non-blocking flush of cached per-flow
 	// objects (Table 1). Zero keeps flush purely event-driven (handover).
 	FlushEvery time.Duration
+	// CoalesceWindow bounds how long a non-blocking increment may sit in
+	// the client-side coalescing buffer before being flushed to the store
+	// (+NA mode only). Zero selects the default; negative disables
+	// coalescing.
+	CoalesceWindow time.Duration
+	// CoalesceMax caps how many increments merge into one batched request.
+	// Zero selects the default.
+	CoalesceMax int
 }
+
+// Coalescing defaults: a window two-ish store RTTs wide keeps batching
+// invisible next to the ACK timeout, and the cap bounds replay divergence
+// per batch.
+const (
+	defaultCoalesceWindow = 20 * time.Microsecond
+	defaultCoalesceMax    = 32
+)
 
 // WalOp is one entry of the client-side write-ahead log of shared-state
 // update operations (§5.4).
@@ -81,6 +97,14 @@ type Client struct {
 	seq     uint64
 	pending map[uint64]AsyncOp
 
+	// Op coalescing: unsent merged non-blocking increments, keyed by
+	// (key, field). coOrder preserves issue order for deterministic
+	// flushing (map iteration order would perturb the DES).
+	co          map[coKey]*Request
+	coOrder     []coKey
+	coTimer     bool
+	coalesceOff bool
+
 	// Recovery metadata.
 	wal       []WalOp
 	readLog   []ReadRecord
@@ -103,6 +127,18 @@ type Client struct {
 	CacheMisses uint64
 	Retransmits uint64
 	FlushedOps  uint64
+	// CoalescedOps counts non-blocking increments absorbed into an
+	// already-buffered batch (ops that never became their own wire
+	// message); BatchedSends counts batched requests actually sent.
+	CoalescedOps uint64
+	BatchedSends uint64
+}
+
+// coKey identifies one coalescible op stream: a key plus the map field
+// (empty for plain counters).
+type coKey struct {
+	k     Key
+	field string
 }
 
 // NewClient builds a client library instance.
@@ -113,14 +149,23 @@ func NewClient(net *simnet.Network, cfg ClientConfig) *Client {
 	if cfg.AckTimeout == 0 {
 		cfg.AckTimeout = 1 * time.Millisecond
 	}
+	coalesceOff := cfg.CoalesceWindow < 0
+	if cfg.CoalesceWindow <= 0 {
+		cfg.CoalesceWindow = defaultCoalesceWindow
+	}
+	if cfg.CoalesceMax <= 0 {
+		cfg.CoalesceMax = defaultCoalesceMax
+	}
 	c := &Client{
-		cfg:       cfg,
-		net:       net,
-		decls:     make(map[uint16]ObjDecl),
-		cache:     make(map[Key]*cacheEntry),
-		pending:   make(map[uint64]AsyncOp),
-		ownerWait: make(map[Key]*vtime.Future[struct{}]),
-		objExcl:   make(map[uint16]bool),
+		cfg:         cfg,
+		net:         net,
+		decls:       make(map[uint16]ObjDecl),
+		cache:       make(map[Key]*cacheEntry),
+		pending:     make(map[uint64]AsyncOp),
+		co:          make(map[coKey]*Request),
+		coalesceOff: coalesceOff,
+		ownerWait:   make(map[Key]*vtime.Future[struct{}]),
+		objExcl:     make(map[uint16]bool),
 	}
 	for _, d := range cfg.Decls {
 		c.decls[d.ID] = d
@@ -137,11 +182,14 @@ func (c *Client) WAL() []WalOp { return c.wal }
 // PendingAcks reports async operations not yet acknowledged.
 func (c *Client) PendingAcks() int { return len(c.pending) }
 
-// Shutdown stops retransmission of outstanding async ops (instance crash:
-// a dead NF cannot keep retrying; replay regenerates anything lost).
+// Shutdown stops retransmission of outstanding async ops and drops unsent
+// coalesced batches (instance crash: a dead NF cannot keep retrying; replay
+// regenerates anything lost).
 func (c *Client) Shutdown() {
 	c.shutdown = true
 	c.pending = make(map[uint64]AsyncOp)
+	c.co = make(map[coKey]*Request)
+	c.coOrder = c.coOrder[:0]
 }
 
 // ReadLog returns logged shared reads with their TS vectors.
@@ -242,11 +290,13 @@ func (c *Client) SetExclusive(obj uint16, sub uint64, exclusive bool) {
 	e.exclSet = true
 }
 
-// call performs a blocking RPC to the store.
+// call performs a blocking RPC to the store. Buffered coalesced batches
+// flush first (FIFO links): a blocking op must observe every increment the
+// NF issued before it.
 func (c *Client) call(p *vtime.Proc, req *Request) (Reply, bool) {
+	c.FlushCoalesced()
 	c.BlockingOps++
-	size := 24 + req.Arg.wireSize()
-	res, ok := c.net.Call(p, c.cfg.Endpoint, c.cfg.Store, req, size, c.cfg.RPCTimeout)
+	res, ok := c.net.Call(p, c.cfg.Endpoint, c.cfg.Store, req, req.wireSize(), c.cfg.RPCTimeout)
 	if !ok {
 		return Reply{}, false
 	}
@@ -267,7 +317,7 @@ func (c *Client) async(req *Request) {
 func (c *Client) sendAsync(op AsyncOp) {
 	c.net.Send(simnet.Message{
 		From: c.cfg.Endpoint, To: c.cfg.Store, Payload: op,
-		Size: 24 + op.Req.Arg.wireSize(),
+		Size: op.Req.wireSize(),
 	})
 	seq := op.Seq
 	c.net.Sim().Schedule(c.cfg.AckTimeout, func() {
@@ -401,6 +451,13 @@ func (c *Client) Update(p *vtime.Proc, req Request) {
 		e.pending = append(e.pending, req)
 		return
 	}
+	if c.cfg.Mode.NoAckWait && c.tryCoalesce(&req) {
+		return // WAL-logged at flush time, in send order
+	}
+	// Non-coalescible op: flush buffered batches first so the wire (and
+	// the WAL, whose order mirrors it) sees this client's ops in a
+	// consistent send order.
+	c.FlushCoalesced()
 	c.logWal(req)
 	if c.cfg.Mode.NoAckWait {
 		r := req
@@ -434,6 +491,9 @@ func (c *Client) UpdateBlocking(p *vtime.Proc, req Request) (Reply, bool) {
 		e.pending = append(e.pending, req)
 		return rep, true
 	}
+	// Flush before logging so WAL order matches send order (the ts
+	// position markers store recovery relies on assume it does).
+	c.FlushCoalesced()
 	c.logWal(req)
 	rep, ok := c.call(p, &req)
 	if ok && rep.OK && c.cfg.Mode.Cache && StrategyFor(d) == StratCacheCallback {
@@ -441,6 +501,99 @@ func (c *Client) UpdateBlocking(p *vtime.Proc, req Request) (Reply, bool) {
 		e.valid = true
 	}
 	return rep, ok
+}
+
+// --- Op coalescing -----------------------------------------------------------
+
+// tryCoalesce absorbs a non-blocking increment into the per-key batch
+// buffer (§4.3 model #3 fast path: the NF already does not wait for these
+// ops, so consecutive increments on one key can merge into a single wire
+// message). Returns true when the op was buffered; it is sent — merged —
+// by the next flush trigger: the window timer, the batch cap, an
+// intervening blocking or non-coalescible op, or FlushAll.
+func (c *Client) tryCoalesce(req *Request) bool {
+	if c.coalesceOff || (req.Op != OpIncr && req.Op != OpMapIncr) {
+		return false
+	}
+	ck := coKey{k: req.Key, field: req.Field}
+	if head, ok := c.co[ck]; ok {
+		if head.Op == req.Op && 1+len(head.Batch) < c.cfg.CoalesceMax {
+			head.Batch = append(head.Batch, BatchEntry{Clock: req.Clock, Delta: req.Arg.Int})
+			c.CoalescedOps++
+			return true
+		}
+		// Batch full, or a different op kind on the same stream (Incr vs
+		// MapIncr): keep per-key issue order by flushing the old batch, then
+		// start a fresh head below.
+		c.flushCoalescedKey(ck)
+	}
+	r := *req
+	c.co[ck] = &r
+	c.coOrder = append(c.coOrder, ck)
+	c.armCoalesceTimer()
+	return true
+}
+
+// armCoalesceTimer schedules the window flush for the oldest buffered op.
+func (c *Client) armCoalesceTimer() {
+	if c.coTimer {
+		return
+	}
+	c.coTimer = true
+	c.net.Sim().Schedule(c.cfg.CoalesceWindow, func() {
+		c.coTimer = false
+		if c.shutdown {
+			return
+		}
+		c.FlushCoalesced()
+	})
+}
+
+// FlushCoalesced sends every buffered batch, ordered by each batch's
+// oldest (head) op.
+func (c *Client) FlushCoalesced() {
+	for len(c.coOrder) > 0 {
+		c.flushCoalescedKey(c.coOrder[0])
+	}
+}
+
+// flushCoalescedKey sends one key's batch and retires its coOrder slot, so
+// a later re-buffering of the key re-enters issue order at the tail rather
+// than inheriting the flushed slot. WAL entries for the batch are written
+// here — at send time, one per absorbed op — because the ts position
+// markers the store's recovery relies on assume WAL order mirrors the
+// order ops reach the wire (the cached-object flush path does the same).
+func (c *Client) flushCoalescedKey(ck coKey) {
+	for i, o := range c.coOrder {
+		if o == ck {
+			c.coOrder = append(c.coOrder[:i], c.coOrder[i+1:]...)
+			break
+		}
+	}
+	head, ok := c.co[ck]
+	if !ok {
+		return
+	}
+	delete(c.co, ck)
+	c.logWal(*head)
+	for _, b := range head.Batch {
+		r := *head
+		r.Clock, r.Arg, r.Batch = b.Clock, IntVal(b.Delta), nil
+		c.logWal(r)
+	}
+	if len(head.Batch) > 0 {
+		c.BatchedSends++
+	}
+	c.async(head)
+}
+
+// CoalescePending reports buffered (unsent) coalesced increments.
+func (c *Client) CoalescePending() int {
+	n := 0
+	for _, head := range c.co {
+		n += 1 + len(head.Batch)
+	}
+	return n
 }
 
 // applyLocal applies a cached-object mutation to the local copy.
@@ -565,8 +718,10 @@ func (c *Client) flushEntry(k Key, e *cacheEntry) int {
 	return n
 }
 
-// FlushAll flushes every cached object's pending ops.
+// FlushAll flushes every cached object's pending ops and any buffered
+// coalesced increments.
 func (c *Client) FlushAll() int {
+	c.FlushCoalesced()
 	n := 0
 	for k, e := range c.cache {
 		if len(e.pending) > 0 {

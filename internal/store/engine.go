@@ -59,6 +59,16 @@ const (
 	NDTime                     // current time (virtual nanoseconds)
 )
 
+// BatchEntry is one non-blocking increment absorbed into a coalesced
+// request by the client library: the absorbed op's inducing packet clock
+// and its delta. The engine applies the merged sum once but runs duplicate
+// suppression, result logging and commit signaling per entry, so the root's
+// Fig 6 XOR/delete check and replay stay exact.
+type BatchEntry struct {
+	Clock uint64
+	Delta int64
+}
+
 // Request is one operation against the store.
 type Request struct {
 	Op       Op
@@ -73,9 +83,18 @@ type Request struct {
 	WantTS   bool       // include the TS vector in the reply (reads, Fig 7)
 	NonBlock bool       // non-blocking semantics (§4.3)
 
+	// Batch holds increments coalesced onto this request after the head op
+	// (client-side op batching, OpIncr/OpMapIncr only), in issue order.
+	Batch []BatchEntry
+
 	// Server-side registrations piggybacked on operations (DES protocol).
 	RegisterCB bool // register for update callbacks on Key (read-heavy cache)
 	WatchOwner bool // notify when Key's ownership changes (handover, Fig 4)
+}
+
+// wireSize approximates the encoded request size for simnet accounting.
+func (r *Request) wireSize() int {
+	return 24 + r.Arg.wireSize() + 16*len(r.Batch)
 }
 
 // Reply is the result of a Request.
@@ -230,6 +249,9 @@ func (e *Engine) PendingClocks() int {
 
 // Apply executes one request. It is safe for concurrent use.
 func (e *Engine) Apply(req *Request) Reply {
+	if len(req.Batch) > 0 && (req.Op == OpIncr || req.Op == OpMapIncr) {
+		return e.applyBatch(req)
+	}
 	sh := e.shardFor(req.Key)
 	sh.mu.Lock()
 
@@ -436,6 +458,104 @@ func (e *Engine) Apply(req *Request) Reply {
 	}
 	if ownerChanged && e.hooks.OnOwnerChange != nil {
 		e.hooks.OnOwnerChange(req.Key, newOwner)
+	}
+	return rep
+}
+
+// applyBatch executes a coalesced increment (OpIncr/OpMapIncr with Batch
+// entries): one merged mutation, but per-clock duplicate suppression,
+// duplicate-log entries and commit signals, exactly as if each absorbed op
+// had arrived on its own. This keeps replay after a failure from
+// double-applying partially-replayed batches and keeps the root's XOR
+// delete check balanced for every inducing packet.
+func (e *Engine) applyBatch(req *Request) Reply {
+	sh := e.shardFor(req.Key)
+	sh.mu.Lock()
+
+	ent, exists := sh.data[req.Key]
+	if exists && ent.owner != 0 && req.Instance != 0 && ent.owner != req.Instance {
+		sh.mu.Unlock()
+		return Reply{Conflict: true}
+	}
+
+	// Split entries into fresh and already-applied (duplicate-suppressed).
+	all := make([]BatchEntry, 0, len(req.Batch)+1)
+	all = append(all, BatchEntry{Clock: req.Clock, Delta: req.Arg.Int})
+	all = append(all, req.Batch...)
+	fresh := make([]BatchEntry, 0, len(all))
+	var delta int64
+	dups := 0
+	for _, b := range all {
+		if b.Clock != 0 {
+			if _, seen := e.lookupDup(b.Clock, req.Key); seen {
+				dups++
+				continue
+			}
+		}
+		fresh = append(fresh, b)
+		delta += b.Delta
+	}
+	if dups > 0 {
+		e.emulMu.Lock()
+		e.Emulated += uint64(dups)
+		if e.EmulatedByVertex == nil {
+			e.EmulatedByVertex = make(map[uint16]uint64)
+		}
+		e.EmulatedByVertex[req.Key.Vertex] += uint64(dups)
+		e.emulMu.Unlock()
+	}
+	if len(fresh) == 0 {
+		// The whole batch was already applied: emulate with the logged
+		// result of its last entry (Fig 5b).
+		v, _ := e.lookupDup(all[len(all)-1].Clock, req.Key)
+		sh.mu.Unlock()
+		return Reply{Val: v, OK: true, Emulated: true}
+	}
+
+	var rep Reply
+	switch req.Op {
+	case OpIncr:
+		if !exists {
+			ent = &entry{val: IntVal(0)}
+			sh.data[req.Key] = ent
+		}
+		ent.val.Kind = KindInt
+		ent.val.Int += delta
+		rep = Reply{Val: IntVal(ent.val.Int), OK: true}
+	case OpMapIncr:
+		ent = e.ensureMap(sh, req.Key, ent, exists)
+		ent.val.Map[req.Field] += delta
+		rep = Reply{Val: IntVal(ent.val.Map[req.Field]), OK: true}
+	}
+
+	// TS position marker: the clock the engine would have ended on had the
+	// fresh entries arrived individually (last fresh op in issue order).
+	last := fresh[len(fresh)-1].Clock
+	if last != 0 && req.Instance != 0 {
+		e.tsMu.Lock()
+		e.ts[req.Instance] = last
+		e.tsMu.Unlock()
+	}
+	if req.WantTS {
+		rep.TS = e.TS()
+	}
+	var updVal Value
+	if e.hooks.OnUpdate != nil {
+		updVal = ent.val.Copy()
+	}
+	sh.mu.Unlock()
+
+	for _, b := range fresh {
+		if b.Clock == 0 {
+			continue
+		}
+		e.logDup(b.Clock, req.Key, rep.Val)
+		if e.hooks.OnCommit != nil {
+			e.hooks.OnCommit(b.Clock, req.Instance, req.Key)
+		}
+	}
+	if e.hooks.OnUpdate != nil {
+		e.hooks.OnUpdate(req.Key, updVal, req.Instance)
 	}
 	return rep
 }
