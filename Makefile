@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check fmt bench ci
+.PHONY: build test vet fmt-check fmt bench bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -20,5 +20,11 @@ fmt:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# bench-smoke compiles and runs every benchmark in the module exactly once,
+# so experiment wiring (registry ids, table shapes the benchmarks parse)
+# cannot silently rot.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 ci: build vet fmt-check test

@@ -194,3 +194,17 @@ func BenchmarkFig14(b *testing.B) {
 		b.ReportMetric(metric(tb, []string{"10"}, 3, "ms"), "rec-10inst-150ms-ms")
 	}
 }
+
+// BenchmarkScale regenerates the sharded-store / elastic scale-out grid.
+func BenchmarkScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := experiments.Scale(benchOpts())
+		s1 := metric(tb, []string{"i=4 s=1"}, 1, "Gbps")
+		s4 := metric(tb, []string{"i=4 s=4"}, 1, "Gbps")
+		b.ReportMetric(s1, "i4s1-gbps")
+		b.ReportMetric(s4, "i4s4-gbps")
+		if s1 > 0 {
+			b.ReportMetric(s4/s1, "shard-speedup-x")
+		}
+	}
+}

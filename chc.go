@@ -11,6 +11,12 @@
 // through elastic scaling, straggler cloning, and failures of NF instances,
 // roots and store instances.
 //
+// The datastore tier shards across N servers (ChainConfig.StoreShards)
+// behind consistent-hash key partitioning, each shard checkpointing and
+// recovering independently; Chain.ScaleOut and Chain.ScaleIn grow and
+// shrink a vertex's instance set mid-run using the Fig 4 handover
+// machinery (DESIGN.md §5).
+//
 // This package is the public facade. Typical use:
 //
 //	cfg := chc.DefaultChainConfig()

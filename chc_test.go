@@ -40,7 +40,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if chain.Sink.Duplicates != 0 {
 		t.Fatalf("%d duplicates", chain.Sink.Duplicates)
 	}
-	v, ok := chain.Store.Engine().Get(store.Key{Vertex: 1, Obj: nfnat.ObjTotal})
+	v, ok := chain.StoreGet(store.Key{Vertex: 1, Obj: nfnat.ObjTotal})
 	if !ok || v.Int != int64(tr.Len()) {
 		t.Fatalf("externalized counter = %v,%v want %d", v, ok, tr.Len())
 	}
@@ -75,7 +75,7 @@ func TestDeterministicRuns(t *testing.T) {
 			PayloadMedian: 700, Hosts: 8, Servers: 4})
 		tr.Pace(3_000_000_000)
 		chain.RunTrace(tr, 100*time.Millisecond)
-		v, _ := chain.Store.Engine().Get(store.Key{Vertex: 1, Obj: nfnat.ObjTotal})
+		v, _ := chain.StoreGet(store.Key{Vertex: 1, Obj: nfnat.ObjTotal})
 		return chain.Sink.Received, v.Int
 	}
 	r1, c1 := run()

@@ -15,6 +15,7 @@
 //
 //	chcd -config chain.json -trace trace.chct
 //	chcd -config chain.json -flows 500 -gbps 2
+//	chcd -config chain.json -shards 4          # 4-shard datastore tier
 package main
 
 import (
@@ -49,6 +50,9 @@ type vertexJSON struct {
 type configJSON struct {
 	Vertices []vertexJSON `json:"vertices"`
 	Seed     int64        `json:"seed"`
+	// Shards sizes the datastore tier (consistent-hash key partitioning);
+	// 0 or 1 deploys the single store server.
+	Shards int `json:"shards"`
 }
 
 // passNF forwards packets unchanged.
@@ -117,6 +121,7 @@ func main() {
 	tracePath := flag.String("trace", "", "trace file (from tracegen); empty generates one")
 	flows := flag.Int("flows", 500, "generated trace connections")
 	gbpsF := flag.Int64("gbps", 2, "offered load in Gbps")
+	shards := flag.Int("shards", 0, "datastore shard servers (overrides config; 0 keeps config/default)")
 	settle := flag.Duration("settle", 500*time.Millisecond, "post-trace settle time (virtual)")
 	flag.Parse()
 
@@ -141,6 +146,10 @@ func main() {
 	ccfg.DefaultThreads = 2
 	if cfg.Seed != 0 {
 		ccfg.Seed = cfg.Seed
+	}
+	ccfg.StoreShards = cfg.Shards
+	if *shards > 0 {
+		ccfg.StoreShards = *shards
 	}
 	var specs []runtime.VertexSpec
 	var seeders []func(*runtime.Vertex)
@@ -192,6 +201,10 @@ func main() {
 
 	fmt.Printf("\nroot:  injected=%d deleted=%d dropped=%d log=%d\n",
 		ch.Root.Injected, ch.Root.Deleted, ch.Root.Dropped, ch.Root.LogSize())
+	for _, s := range ch.Stores {
+		fmt.Printf("%-12s ops=%-8d async=%-6d keys=%d\n",
+			s.Name, s.OpsServed, s.AsyncServed, s.Engine().Len())
+	}
 	for _, v := range ch.Vertices {
 		for _, in := range v.Instances {
 			fmt.Printf("%-12s processed=%-8d suppressed=%-6d bytes=%d\n",

@@ -93,7 +93,7 @@ func main() {
 	tr.Pace(2_000_000_000)
 	chain.RunTrace(tr, 200*time.Millisecond)
 
-	total, _ := chain.Store.Engine().Get(store.Key{Vertex: 1, Obj: objTotal})
+	total, _ := chain.StoreGet(store.Key{Vertex: 1, Obj: objTotal})
 	fmt.Printf("meter: %d packets metered, %d heavy-hitter alerts\n",
 		total.Int, len(chain.Metrics.Alerts))
 	fmt.Printf("op coalescing: %d increments merged into %d batched sends (%d async sends total)\n",

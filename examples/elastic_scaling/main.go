@@ -1,7 +1,8 @@
-// Elastic scaling: start a NAT with one instance, scale out under live
-// traffic, and move every flow to the new instance using CHC's Fig 4
-// handover protocol — loss-free and order-preserving, with no state bytes
-// copied (only ownership metadata changes and cached operations flush).
+// Elastic scaling: start a NAT with one instance over a 2-shard datastore
+// tier, scale out under live traffic with chain.ScaleOut — only the flows
+// that remap onto the new instance move, each through CHC's Fig 4 handover
+// protocol (loss-free, order-preserving, no state bytes copied) — then
+// drain the instance back out with chain.ScaleIn.
 //
 //	go run ./examples/elastic_scaling
 package main
@@ -20,12 +21,16 @@ func main() {
 	cfg := chc.DefaultChainConfig()
 	cfg.DefaultServiceTime = 2 * time.Microsecond
 	cfg.DefaultThreads = 1
+	cfg.StoreShards = 2 // keys partition across two store servers
 
 	chain := chc.NewChain(cfg, chc.VertexSpec{
 		Name:    "nat",
 		Make:    func() chc.NF { return nfnat.New() },
 		Backend: chc.BackendCHC,
-		Mode:    chc.ModeEOC, // caching on: handover must flush cached ops
+		// Caching on (handover must flush cached ops) + no ACK waits, so a
+		// single worker keeps up with the offered load and handovers
+		// complete as soon as the marks pass through.
+		Mode: chc.ModeEOCNA,
 	})
 	chain.Start()
 	v := chain.Vertices[0]
@@ -36,32 +41,28 @@ func main() {
 		Hosts: 16, Servers: 8,
 	})
 	tr.Pace(2_000_000_000)
-	half := tr.Len() / 2
+	third := tr.Len() / 3
 
 	// Phase 1: all traffic at instance 1.
-	chain.RunTrace(&trace.Trace{Events: tr.Events[:half]}, 20*time.Millisecond)
+	chain.RunTrace(&trace.Trace{Events: tr.Events[:third]}, 20*time.Millisecond)
 	fmt.Printf("phase 1: instance 1 processed %d packets\n", v.Instances[0].Processed)
 
-	// Phase 2: scale out and move every flow. The splitter marks the last
-	// packet to the old instance and the first to the new one; per-flow
-	// state ownership transfers through the store.
-	nu := chain.AddInstance(v)
-	keys := map[uint64]bool{}
-	for _, e := range tr.Events {
-		keys[e.Pkt.Key().Canonical().Hash()] = true
-	}
-	var keyList []uint64
-	for k := range keys {
-		keyList = append(keyList, k)
-	}
-	chain.MoveFlows(v, keyList, nu)
-	fmt.Printf("moving %d flows to instance 2...\n", len(keyList))
+	// Phase 2: scale out. The splitter moves only the flows whose hash
+	// lands on the new instance (consistent-hash movement); each one is
+	// handed over with a "last" mark to the old owner and a "first" mark to
+	// the new one, transferring ownership through the store.
+	nu := chain.ScaleOut(v)
+	chain.RunTrace(&trace.Trace{Events: tr.Events[third : 2*third]}, 50*time.Millisecond)
+	fmt.Printf("phase 2: instance 2 processed %d packets after scale-out\n", nu.Processed)
 
-	chain.RunTrace(&trace.Trace{Events: tr.Events[half:]}, 300*time.Millisecond)
+	// Phase 3: drain instance 2 back out and finish on instance 1.
+	chain.ScaleIn(v, nu, 10*time.Millisecond)
+	chain.RunFor(15 * time.Millisecond)
+	chain.RunTrace(&trace.Trace{Events: tr.Events[2*third:]}, 300*time.Millisecond)
 
 	// Loss-freeness: the shared packet counter equals the trace length.
-	total, _ := chain.Store.Engine().Get(store.Key{Vertex: 1, Obj: nfnat.ObjTotal})
-	fmt.Printf("phase 2: instance 2 processed %d packets\n", nu.Processed)
+	total, _ := chain.StoreGet(store.Key{Vertex: 1, Obj: nfnat.ObjTotal})
+	fmt.Printf("phase 3: scaled back to 1 instance\n")
 	fmt.Printf("shared counter = %d (trace = %d) -> loss-free: %v\n",
 		total.Int, tr.Len(), total.Int == int64(tr.Len()))
 	acq := chain.Metrics.Get("handover.acquire")

@@ -52,16 +52,16 @@ func main() {
 		nu.ID, nu.Processed, nu.Suppressed)
 
 	// --- Store failover ----------------------------------------------------
-	before, _ := chain.Store.Engine().Get(store.Key{Vertex: 1, Obj: nfnat.ObjTotal})
+	before, _ := chain.StoreGet(store.Key{Vertex: 1, Obj: nfnat.ObjTotal})
 	fmt.Printf("crashing the store (shared counter = %d)...\n", before.Int)
 	took, reexec := chain.RecoverStore(runtime.DefaultStoreRecoveryConfig())
-	after, _ := chain.Store.Engine().Get(store.Key{Vertex: 1, Obj: nfnat.ObjTotal})
+	after, _ := chain.StoreGet(store.Key{Vertex: 1, Obj: nfnat.ObjTotal})
 	fmt.Printf("store rebuilt in %v (re-executed %d WAL ops); counter = %d -> intact: %v\n",
 		took, reexec, after.Int, after.Int == before.Int)
 
 	// --- Continue and verify end state --------------------------------------
 	chain.RunTrace(&trace.Trace{Events: tr.Events[2*third:]}, 200*time.Millisecond)
-	final, _ := chain.Store.Engine().Get(store.Key{Vertex: 1, Obj: nfnat.ObjTotal})
+	final, _ := chain.StoreGet(store.Key{Vertex: 1, Obj: nfnat.ObjTotal})
 	fmt.Printf("final counter = %d (trace = %d) -> failure-free equivalent: %v\n",
 		final.Int, tr.Len(), final.Int == int64(tr.Len()))
 	fmt.Printf("duplicates at receiver: %d\n", chain.Sink.Duplicates)

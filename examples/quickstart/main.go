@@ -54,8 +54,8 @@ func main() {
 	fmt.Printf("NAT processing: p50=%v p95=%v (n=%d)\n",
 		proc.Percentile(50), proc.Percentile(95), proc.N())
 
-	total, _ := chain.Store.Engine().Get(store.Key{Vertex: 1, Obj: nfnat.ObjTotal})
-	tcp, _ := chain.Store.Engine().Get(store.Key{Vertex: 1, Obj: nfnat.ObjTCPPkts})
+	total, _ := chain.StoreGet(store.Key{Vertex: 1, Obj: nfnat.ObjTotal})
+	tcp, _ := chain.StoreGet(store.Key{Vertex: 1, Obj: nfnat.ObjTCPPkts})
 	fmt.Printf("externalized counters: total=%d tcp=%d\n", total.Int, tcp.Int)
 	fmt.Printf("root log drained: %d in flight, %d deleted\n",
 		chain.Root.LogSize(), chain.Root.Deleted)

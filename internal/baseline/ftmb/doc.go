@@ -1,0 +1,7 @@
+// Package ftmb emulates FTMB's rollback-recovery [28] exactly the way the
+// CHC paper does (§7.3 R1): since FTMB's code is unavailable, checkpointing
+// is modeled as a periodic stall — a queueing delay of 5000µs every 200ms
+// (from Figure 6 of the FTMB paper) — plus per-packet PAL (packet access
+// log) overhead. Packets arriving during a stall are buffered and drained
+// afterwards, which is what inflates FTMB's tail latency versus CHC.
+package ftmb

@@ -1,0 +1,14 @@
+// Package opennf models the OpenNF control plane [16] as the paper's
+// comparison baseline:
+//
+//   - Strongly consistent shared state (§7.3 R3 / Fig 11): every packet that
+//     updates shared state is forwarded to the controller, which multicasts
+//     the event to EVERY instance sharing the state and releases the next
+//     packet only after all instances ACK.
+//   - Loss-free move (§7.3 R2): the controller suspends the flows, extracts
+//     serialized per-flow state from the source instance, installs it at the
+//     target, and replays events buffered during the move.
+//
+// Neither mechanism provides chain-wide ordering (R4) or duplicate
+// suppression (R5), which is what the corresponding experiments measure.
+package opennf

@@ -1,13 +1,3 @@
-// Package rawnf preserves the pre-handle implementations of the paper's
-// four NFs (Table 4), written directly against store.Request literals.
-//
-// The typed handle API (internal/nf/handles.go) is the supported way to
-// write NF state access; these raw versions exist as the baseline the
-// handle-based NFs are pinned against: the parity test in
-// internal/experiments proves both produce byte-identical experiment
-// output under every state-management model. Object IDs are imported from
-// the real NF packages so the two implementations address the same keys by
-// construction.
 package rawnf
 
 import (

@@ -1,0 +1,7 @@
+// Package experiments implements the CHC paper's evaluation (§7): one
+// function per table/figure that builds the relevant chain on the
+// simulation substrate, drives a synthetic workload, and returns a Table of
+// the same rows/series the paper reports. cmd/chcbench prints them;
+// bench_test.go wraps them as Go benchmarks; EXPERIMENTS.md records
+// paper-vs-measured values.
+package experiments

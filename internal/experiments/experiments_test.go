@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -283,6 +284,50 @@ func TestDatastoreOpsRuns(t *testing.T) {
 	tbl := DatastoreOps(Small())
 	if len(tbl.Rows) != 3 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+// TestScaleShape: the scale experiment's central claims — goodput grows
+// near-linearly with shard count at a fixed instance count, a single shard
+// caps goodput no matter how many instances are added, every configuration
+// conserves the packet count exactly, the elastic segment is loss-free, and
+// the shard-crash recovery replays a strict subset of the tier's WAL.
+func TestScaleShape(t *testing.T) {
+	tbl := Scale(Small())
+
+	s1 := parseGbps(t, row(t, tbl, "i=4 s=1")[1])
+	s2 := parseGbps(t, row(t, tbl, "i=4 s=2")[1])
+	s4 := parseGbps(t, row(t, tbl, "i=4 s=4")[1])
+	if s2 < 1.5*s1 {
+		t.Errorf("2 shards should be ~2x of 1: s1=%v s2=%v", s1, s2)
+	}
+	if s4 < 1.4*s2 {
+		t.Errorf("4 shards should scale past 2: s2=%v s4=%v", s2, s4)
+	}
+	i1 := parseGbps(t, row(t, tbl, "i=1 s=1")[1])
+	i4 := parseGbps(t, row(t, tbl, "i=4 s=1")[1])
+	if i4 > 1.3*i1 {
+		t.Errorf("one shard should cap goodput regardless of instances: i1=%v i4=%v", i1, i4)
+	}
+	for _, r := range tbl.Rows {
+		if strings.HasPrefix(r[0], "i=") && !strings.Contains(r[4], "conserved=true") {
+			t.Errorf("row %q not conserved: %s", r[0], r[4])
+		}
+	}
+	if el := row(t, tbl, "elastic 1→2→1 (s=2)"); !strings.Contains(el[4], "loss-free=true") ||
+		!strings.Contains(el[4], "dups=0") {
+		t.Errorf("elastic segment lost or duplicated packets: %s", el[4])
+	}
+	cr := row(t, tbl, "shard-crash (s=4)")
+	var reexec, totalWal int
+	if _, err := fmt.Sscanf(strings.Fields(cr[4])[1], "reexec=%d/%d", &reexec, &totalWal); err != nil {
+		t.Fatalf("parse %q: %v", cr[4], err)
+	}
+	if reexec <= 0 || reexec >= totalWal {
+		t.Errorf("shard recovery should replay a strict subset of the WAL: %d/%d", reexec, totalWal)
+	}
+	if !strings.Contains(cr[4], "loss-free=true") {
+		t.Errorf("shard crash lost updates: %s", cr[4])
 	}
 }
 

@@ -73,7 +73,7 @@ func chainDigest(ch *runtime.Chain) string {
 		s := ch.Metrics.Get(name)
 		fmt.Fprintf(&b, "series %s n=%d p50=%v p95=%v\n", name, s.N(), s.Percentile(50), s.Percentile(95))
 	}
-	snap := ch.Store.Engine().Snapshot(nil)
+	snap := ch.StoreSnapshot()
 	keys := make([]store.Key, 0, len(snap.Entries))
 	for k := range snap.Entries {
 		keys = append(keys, k)

@@ -1,0 +1,9 @@
+// Package nf defines the network-function programming model of the CHC
+// reproduction and the pluggable state backends that realize the paper's
+// state-management models: the same NF code runs as a "traditional" NF
+// (local state), under CHC externalization (store client with the Table 1
+// strategies), or against the naive lock-based baseline of §7.1.
+//
+// Subpackages implement the paper's four NFs (Table 4): nat, portscan,
+// trojan and lb.
+package nf

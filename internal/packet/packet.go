@@ -1,13 +1,3 @@
-// Package packet models network packets for the CHC reproduction: IPv4 +
-// TCP/UDP headers with a real binary wire format, 5-tuple flow keys, and the
-// CHC shim header carrying the framework metadata the paper attaches to each
-// packet (logical clock with the root ID in the high bits, the XOR bit
-// vector of §5.4, and first/last/replay markings).
-//
-// Following the gopacket guidance in the session's networking notes, the hot
-// path avoids allocation: simulation code passes *Packet values built once
-// by the trace generator; Marshal/Unmarshal exist for the wire format
-// (trace files, codec tests) and parse into caller-provided structs.
 package packet
 
 import (

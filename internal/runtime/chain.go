@@ -1,9 +1,3 @@
-// Package runtime implements the CHC framework proper (§3-§5): the logical
-// chain -> physical chain compiler, the root (logical clocks, packet log,
-// the delete/XOR protocol of Fig 6, replay), scope-aware splitters with the
-// Fig 4 handover protocol, per-instance message queues with duplicate
-// suppression, vertex managers, straggler cloning, and the failover paths
-// for NF instances, roots and datastore instances.
 package runtime
 
 import (
@@ -86,12 +80,35 @@ type ChainConfig struct {
 	// this size (buffer-bloat guard, §5). Zero means unlimited.
 	RootLogLimit int
 
+	// StoreShards is the number of datastore shard servers; keys partition
+	// across them by consistent hashing (store.PartitionMap). Zero means 1:
+	// the single-server tier, whose behavior is byte-identical to the
+	// pre-sharding deployment.
+	StoreShards int
 	// StoreOpService is the per-op service time at store servers.
 	StoreOpService time.Duration
 	// CheckpointEvery enables periodic store checkpoints.
 	CheckpointEvery time.Duration
 	// FlushEvery drives periodic per-flow cache flushes at clients.
 	FlushEvery time.Duration
+	// CoalesceWindow is passed to every store client (see
+	// store.ClientConfig.CoalesceWindow): zero keeps the client default,
+	// negative disables client-side op coalescing.
+	CoalesceWindow time.Duration
+	// AckTimeout overrides the store clients' async-op retransmission
+	// timeout. Zero keeps the client default.
+	AckTimeout time.Duration
+	// RPCTimeout overrides the store clients' blocking-call timeout. Zero
+	// keeps the client default. Raise it for experiments that deliberately
+	// saturate the store tier (queue waits beyond the default would
+	// otherwise time out blocking ops).
+	RPCTimeout time.Duration
+	// HandoverTimeout bounds how long the new instance of a Fig 4 move
+	// waits to acquire a flow's state. It must outlast the old instance's
+	// worst-case queue backlog: the release only happens once the old
+	// instance has worked through every packet queued before the "last"
+	// mark. Zero means 250ms.
+	HandoverTimeout time.Duration
 }
 
 // DefaultChainConfig matches the calibration in DESIGN.md: 15µs one-way
@@ -120,9 +137,12 @@ type Chain struct {
 	sim  *vtime.Sim
 	net  *simnet.Network
 	spec []VertexSpec
+	pmap *store.PartitionMap
 
-	Root     *Root
-	Store    *store.Server
+	Root *Root
+	// Stores are the datastore tier's shard servers; keys partition across
+	// them per the chain's PartitionMap (StoreFor locates a key's shard).
+	Stores   []*store.Server
 	Vertices []*Vertex
 	Sink     *Sink
 	Metrics  *Metrics
@@ -150,12 +170,21 @@ func New(cfg ChainConfig, spec ...VertexSpec) *Chain {
 	net := simnet.New(sim, simnet.LinkConfig{Latency: cfg.LinkLatency})
 	c := &Chain{cfg: cfg, sim: sim, net: net, spec: spec, Metrics: NewMetrics()}
 
+	nshards := cfg.StoreShards
+	if nshards <= 0 {
+		nshards = 1
+	}
 	scfg := store.ServerConfig{
 		OpService:       cfg.StoreOpService,
 		CheckpointEvery: cfg.CheckpointEvery,
 		RootEndpoint:    "root0",
 	}
-	c.Store = store.NewServer(net, "store0", scfg)
+	names := make([]string, nshards)
+	for i := 0; i < nshards; i++ {
+		names[i] = ShardEndpoint(i)
+		c.Stores = append(c.Stores, store.NewServer(net, names[i], scfg))
+	}
+	c.pmap = store.NewPartitionMap(names)
 
 	c.Root = NewRoot(c, 0, "root0")
 	c.Sink = NewSink(c)
@@ -177,7 +206,9 @@ func New(cfg ChainConfig, spec ...VertexSpec) *Chain {
 		v.Splitter = NewSplitter(c, v)
 		v.Manager = NewVertexManager(c, v)
 		c.Vertices = append(c.Vertices, v)
-		c.Store.Declare(v.ID, mustDecls(vs))
+		for _, s := range c.Stores {
+			s.Declare(v.ID, mustDecls(vs))
+		}
 	}
 	c.wireTopology()
 	return c
@@ -245,7 +276,9 @@ func (c *Chain) sendControl(to string, payload any) {
 
 // Start spawns all component processes.
 func (c *Chain) Start() {
-	c.Store.Start()
+	for _, s := range c.Stores {
+		s.Start()
+	}
 	c.Root.Start()
 	c.Sink.Start()
 	for _, v := range c.Vertices {
@@ -261,7 +294,9 @@ func (c *Chain) registerCustomOps() {
 	for _, v := range c.Vertices {
 		if p, ok := v.Spec.Make().(nf.CustomOpProvider); ok {
 			for name, fn := range p.CustomOps() {
-				c.Store.RegisterCustom(name, fn)
+				for _, s := range c.Stores {
+					s.RegisterCustom(name, fn)
+				}
 			}
 		}
 	}
@@ -301,5 +336,55 @@ func (c *Chain) instanceByID(id uint16) *Instance {
 	return nil
 }
 
-// StoreEndpoint names the store server endpoint.
+// StoreEndpoint names shard 0's endpoint (the whole store tier in
+// single-shard deployments).
 const StoreEndpoint = "store0"
+
+// ShardEndpoint names shard i's endpoint.
+func ShardEndpoint(i int) string {
+	if i == 0 {
+		return StoreEndpoint
+	}
+	return fmt.Sprintf("store%d", i)
+}
+
+// Partition returns the chain's authoritative shard partition map (the root
+// serves the same map over PartitionQuery).
+func (c *Chain) Partition() *store.PartitionMap { return c.pmap }
+
+// StoreFor returns the shard server owning key k.
+func (c *Chain) StoreFor(k store.Key) *store.Server { return c.Stores[c.pmap.Index(k)] }
+
+// StoreGet reads k from the engine of the shard that owns it (tests,
+// examples, invariant checks).
+func (c *Chain) StoreGet(k store.Key) (store.Value, bool) {
+	return c.StoreFor(k).Engine().Get(k)
+}
+
+// StoreSnapshot merges every shard's full snapshot into one view of the
+// datastore tier. Shards partition the key space, so entries never collide;
+// per-instance TS clocks are position markers local to each shard's
+// execution order, so the merged vector keeps each instance's largest clock
+// (diagnostics only — per-shard recovery uses each shard's own snapshot).
+func (c *Chain) StoreSnapshot() *store.Snapshot {
+	out := &store.Snapshot{
+		Entries: make(map[store.Key]store.Value),
+		Owners:  make(map[store.Key]uint16),
+		TS:      make(map[uint16]uint64),
+	}
+	for _, s := range c.Stores {
+		snap := s.Engine().Snapshot(nil)
+		for k, v := range snap.Entries {
+			out.Entries[k] = v
+		}
+		for k, o := range snap.Owners {
+			out.Owners[k] = o
+		}
+		for inst, clk := range snap.TS {
+			if clk > out.TS[inst] {
+				out.TS[inst] = clk
+			}
+		}
+	}
+	return out
+}

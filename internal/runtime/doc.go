@@ -1,0 +1,20 @@
+// Package runtime implements the CHC framework proper (§3-§5): the logical
+// chain -> physical chain compiler, the root (logical clocks, packet log,
+// the delete/XOR protocol of Fig 6, replay, the authoritative shard
+// partition map), scope-aware splitters with the Fig 4 handover protocol,
+// per-instance message queues with duplicate suppression, vertex managers,
+// straggler cloning, and the failover paths for NF instances, roots and
+// datastore shards.
+//
+// The datastore tier is a set of shard servers (ChainConfig.StoreShards)
+// behind consistent-hash key partitioning; Chain.StoreFor locates a key's
+// shard and Chain.RecoverStoreShard rebuilds a crashed shard from the
+// clients' per-shard WAL slices. Elastic scaling is first-class:
+// Chain.ScaleOut adds an NF instance and moves only the flows that remap
+// onto it (Fig 4 handovers, no in-flight reordering), and Chain.ScaleIn
+// drains an instance back out loss-free.
+//
+// Everything runs on the deterministic simulation substrate of
+// internal/vtime + internal/simnet; see DESIGN.md §1 for the rationale and
+// §5 for the sharding/elasticity design.
+package runtime

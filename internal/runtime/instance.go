@@ -64,6 +64,10 @@ type Instance struct {
 	ExtraDelay func(intn func(int64) int64) time.Duration
 
 	dead bool
+	// draining marks an instance being scaled in: the splitter stops
+	// placing NEW partition keys on it while its existing flows hand over
+	// to the survivors (Chain.ScaleIn).
+	draining bool
 
 	// Stats.
 	Processed      uint64
@@ -110,13 +114,17 @@ func (c *Chain) newInstance(v *Vertex) *Instance {
 
 func (c *Chain) newClient(v *Vertex, id uint16, ep string, mode store.Mode) *store.Client {
 	return store.NewClient(c.net, store.ClientConfig{
-		Vertex:     v.ID,
-		Instance:   id,
-		Endpoint:   ep,
-		Store:      StoreEndpoint,
-		Mode:       mode,
-		Decls:      v.Spec.Make().Decls(),
-		FlushEvery: c.cfg.FlushEvery,
+		Vertex:         v.ID,
+		Instance:       id,
+		Endpoint:       ep,
+		Store:          StoreEndpoint,
+		Shards:         c.pmap.Shards,
+		Mode:           mode,
+		Decls:          v.Spec.Make().Decls(),
+		FlushEvery:     c.cfg.FlushEvery,
+		CoalesceWindow: c.cfg.CoalesceWindow,
+		AckTimeout:     c.cfg.AckTimeout,
+		RPCTimeout:     c.cfg.RPCTimeout,
 	})
 }
 
@@ -237,7 +245,11 @@ func (i *Instance) handlePacket(p *vtime.Proc, ctx *nf.Ctx, m PacketMsg) {
 	if pkt.Meta.Flags&packet.MetaFirst != 0 && i.client != nil {
 		sub := pkt.Key().Canonical().Hash()
 		acqStart := p.Now()
-		i.client.AcquireFlow(p, sub, 50*time.Millisecond)
+		timeout := i.chain.cfg.HandoverTimeout
+		if timeout <= 0 {
+			timeout = 250 * time.Millisecond
+		}
+		i.client.AcquireFlow(p, sub, timeout)
 		// Handover latency: how long the moved flow's state was in transit
 		// (the §7.3 R2 "move" measurement).
 		i.chain.Metrics.Get("handover.acquire").AddAt(p.Now(), p.Now().Sub(acqStart))

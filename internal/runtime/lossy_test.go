@@ -31,7 +31,7 @@ func TestLossyStoreLinkExactlyOnce(t *testing.T) {
 	if inst.Client().Retransmits == 0 {
 		t.Fatal("no retransmissions under 10% loss — test vacuous")
 	}
-	v, ok := c.Store.Engine().Get(store.Key{Vertex: 1, Obj: nat.ObjTotal})
+	v, ok := c.StoreGet(store.Key{Vertex: 1, Obj: nat.ObjTotal})
 	if !ok || v.Int != int64(tr.Len()) {
 		t.Fatalf("total = %v,%v want exactly %d under loss", v, ok, tr.Len())
 	}
@@ -58,7 +58,7 @@ func TestReorderingStoreLink(t *testing.T) {
 	tr := smallTrace(30)
 	c.RunTrace(tr, 300*time.Millisecond)
 
-	v, _ := c.Store.Engine().Get(store.Key{Vertex: 1, Obj: nat.ObjTotal})
+	v, _ := c.StoreGet(store.Key{Vertex: 1, Obj: nat.ObjTotal})
 	if v.Int != int64(tr.Len()) {
 		t.Fatalf("total = %d want %d under reordering", v.Int, tr.Len())
 	}
@@ -66,7 +66,7 @@ func TestReorderingStoreLink(t *testing.T) {
 	// the reordered apply history.
 	took, _ := c.RecoverStore(DefaultStoreRecoveryConfig())
 	_ = took
-	v2, ok := c.Store.Engine().Get(store.Key{Vertex: 1, Obj: nat.ObjTotal})
+	v2, ok := c.StoreGet(store.Key{Vertex: 1, Obj: nat.ObjTotal})
 	if !ok || v2.Int != v.Int {
 		t.Fatalf("recovered total = %v,%v want %d", v2, ok, v.Int)
 	}

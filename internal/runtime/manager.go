@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"chc/internal/store"
@@ -80,6 +81,80 @@ func (c *Chain) MoveFlows(v *Vertex, flowKeys []uint64, to *Instance) {
 	v.Splitter.StartMove(flowKeys, to.ID)
 }
 
+// ScaleOut adds an instance mid-run and rebalances the splitter with
+// consistent-hash movement: of the partition keys seen so far, only those
+// that remap onto the NEW instance actually move — via Fig 4 handovers, so
+// no in-flight flow is reordered — while keys that would merely reshuffle
+// among the existing instances are pinned where they are. New keys hash
+// across the enlarged instance set immediately.
+func (c *Chain) ScaleOut(v *Vertex) *Instance {
+	plan := v.Splitter.planScaleOut()
+	in := c.AddInstance(v)
+	v.Splitter.applyScaleOut(plan, in.ID)
+	return in
+}
+
+// ScaleIn drains one instance and removes it. Its partition keys hand over
+// to the survivors through the move protocol (ordered per flow); the
+// splitter stops placing new keys on it immediately; once grace has
+// elapsed AND the instance is quiescent, it flushes its caches, any
+// per-flow ownership left behind is released at the store tier, and the
+// instance stops. Callers drive the simulation past grace (plus drain
+// slack under backlog) before relying on the instance being gone.
+func (c *Chain) ScaleIn(v *Vertex, inst *Instance, grace time.Duration) {
+	targets := v.Splitter.planScaleIn(inst.ID)
+	keys := make([]uint64, 0, len(targets))
+	for key := range targets {
+		keys = append(keys, key)
+	}
+	// Deterministic move/seed order: map iteration order would perturb
+	// same-instant message scheduling and break seed reproducibility.
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	for _, key := range keys {
+		v.Splitter.StartMove([]uint64{key}, targets[key])
+	}
+	inst.draining = true
+	last := inst.Processed
+	c.sim.Schedule(grace, func() { c.pollScaleIn(v, inst, last) })
+}
+
+// pollScaleIn retires the instance only once it is quiescent: an empty
+// inbox and no packet processed since the previous poll. The poll spacing
+// exceeds the link latency, so quiescence across one interval means
+// nothing is in flight toward the instance either — the final
+// flush/release/crash then runs atomically without dropping a packet.
+func (c *Chain) pollScaleIn(v *Vertex, inst *Instance, lastProcessed uint64) {
+	idle := c.net.Endpoint(inst.Endpoint).Inbox.Len() == 0 && inst.Processed == lastProcessed
+	if !idle {
+		interval := 500 * time.Microsecond
+		if m := 4 * c.cfg.LinkLatency; m > interval {
+			interval = m
+		}
+		// Snapshot NOW (not at fire time) so the next poll really compares
+		// against this poll's count.
+		last := inst.Processed
+		c.sim.Schedule(interval, func() { c.pollScaleIn(v, inst, last) })
+		return
+	}
+	c.finishScaleIn(v, inst)
+}
+
+// finishScaleIn completes a drain: outstanding handovers touching the
+// drained instance are force-completed or retargeted (their flows route
+// straight to live targets), cached operations flush, residual ownership
+// is released on every shard, and the instance fail-stops.
+func (c *Chain) finishScaleIn(v *Vertex, inst *Instance) {
+	v.Splitter.RetireInstance(inst.ID)
+	if inst.client != nil {
+		inst.client.FlushAll()
+	}
+	for _, s := range c.Stores {
+		s.Engine().ReassignOwner(inst.ID, 0)
+	}
+	inst.Crash()
+	v.Splitter.notifyExclusivity()
+}
+
 // FailoverNF replaces a crashed (or about-to-be-crashed) instance: a fresh
 // instance takes over its ID space, the datastore manager re-binds per-flow
 // state, the splitter redirects, and the root replays logged packets
@@ -92,8 +167,10 @@ func (c *Chain) FailoverNF(old *Instance) *Instance {
 	nu := c.newInstance(v)
 	v.Instances = append(v.Instances, nu)
 	// Datastore manager associates the failover instance's ID with the
-	// failed instance's state.
-	c.Store.Engine().ReassignOwner(old.ID, nu.ID)
+	// failed instance's state, on every shard holding any of it.
+	for _, s := range c.Stores {
+		s.Engine().ReassignOwner(old.ID, nu.ID)
+	}
 	v.Splitter.Redirect(old.ID, nu.ID)
 	nu.StartReplayTarget()
 	nu.Start()
@@ -143,18 +220,28 @@ func DefaultStoreRecoveryConfig() StoreRecoveryConfig {
 	return StoreRecoveryConfig{PerOpCost: 1200 * time.Nanosecond, PerClientRTTs: 2}
 }
 
-// RecoverStore fail-stops the store server and rebuilds it per §5.4:
-// per-flow state from client caches, shared state from the last checkpoint
-// plus WAL re-execution with TS selection. Returns the recovery duration
-// and the number of re-executed operations.
+// RecoverStore fail-stops shard 0 and rebuilds it (the whole store tier in
+// single-shard deployments). Kept as the §5.4 entry point fig14 measures.
 func (c *Chain) RecoverStore(rcfg StoreRecoveryConfig) (took time.Duration, reexec int) {
-	old := c.Store
+	return c.RecoverStoreShard(0, rcfg)
+}
+
+// RecoverStoreShard fail-stops shard idx and rebuilds it per §5.4: per-flow
+// state from client caches, shared state from the shard's last checkpoint
+// plus WAL re-execution with TS selection. Client recovery inputs are
+// filtered through the partition map so only the failed shard's keys are
+// replayed — surviving shards are untouched. Returns the recovery duration
+// and the number of re-executed operations.
+func (c *Chain) RecoverStoreShard(idx int, rcfg StoreRecoveryConfig) (took time.Duration, reexec int) {
+	old := c.Stores[idx]
+	shard := old.Name
 	old.Crash()
 
 	done := vtime.NewFuture[struct{}](c.sim)
 	c.sim.Spawn("store-recovery", func(p *vtime.Proc) {
 		start := p.Now()
 		// Gather recovery inputs from every CHC client; each costs RTTs.
+		// Each client's view is restricted to the failed shard's key slice.
 		var clients []store.ClientState
 		rtt := 2 * c.cfg.LinkLatency
 		for _, v := range c.Vertices {
@@ -163,12 +250,13 @@ func (c *Chain) RecoverStore(rcfg StoreRecoveryConfig) (took time.Duration, reex
 					continue
 				}
 				p.Sleep(time.Duration(rcfg.PerClientRTTs) * rtt)
-				clients = append(clients, store.ClientState{
+				cs := store.ClientState{
 					Instance: in.ID,
 					WAL:      in.client.WAL(),
 					ReadLog:  in.client.ReadLog(),
 					PerFlow:  in.client.CachedPerFlow(),
-				})
+				}
+				clients = append(clients, cs.FilterForShard(c.pmap, shard))
 			}
 		}
 		eng, n := store.RecoverEngine(store.RecoverInput{
@@ -178,18 +266,18 @@ func (c *Chain) RecoverStore(rcfg StoreRecoveryConfig) (took time.Duration, reex
 		reexec = n
 		p.Sleep(time.Duration(n) * rcfg.PerOpCost)
 
-		c.net.Restart(StoreEndpoint)
+		c.net.Restart(shard)
 		scfg := store.ServerConfig{
 			OpService:       c.cfg.StoreOpService,
 			CheckpointEvery: c.cfg.CheckpointEvery,
 			RootEndpoint:    c.Root.Endpoint,
 		}
-		ns := store.NewServerWithEngine(c.net, StoreEndpoint, scfg, eng)
+		ns := store.NewServerWithEngine(c.net, shard, scfg, eng)
 		for _, v := range c.Vertices {
 			ns.Declare(v.ID, v.Spec.Make().Decls())
 		}
 		ns.Start()
-		c.Store = ns
+		c.Stores[idx] = ns
 		c.registerCustomOps()
 		took = p.Now().Sub(start)
 		done.Resolve(struct{}{})

@@ -97,6 +97,12 @@ func (r *Root) run(p *vtime.Proc) {
 			r.handleCommit(m)
 		case ReplayCmd:
 			r.replay(p, m.CloneID)
+		case *simnet.CallMsg:
+			// The root is the authority for the shard partition map: new or
+			// recovering components fetch it here (§5.4-style metadata).
+			if _, ok := m.Payload.(store.PartitionQuery); ok {
+				m.Reply(r.chain.pmap.Copy(), 16+16*len(r.chain.pmap.Shards))
+			}
 		}
 	}
 }
@@ -116,21 +122,21 @@ func (r *Root) ingest(p *vtime.Proc, m PacketMsg) {
 	m.Pkt.IngressNs = int64(p.Now())
 	start := p.Now()
 
-	// Clock persistence every n packets (§7.2): a blocking store write.
+	// Clock persistence every n packets (§7.2): a blocking store write to
+	// the shard owning the root clock key.
 	if cfg.ClockPersistEvery > 0 && r.ctr%uint64(cfg.ClockPersistEvery) == 0 {
-		req := &store.Request{Op: store.OpSet,
-			Key: store.Key{Vertex: rootVertexID, Obj: rootClockObj, Sub: uint64(r.ID)},
-			Arg: store.IntVal(int64(r.ctr))}
-		r.chain.net.Call(p, r.Endpoint, StoreEndpoint, req, 32, 10*time.Millisecond)
+		key := store.Key{Vertex: rootVertexID, Obj: rootClockObj, Sub: uint64(r.ID)}
+		req := &store.Request{Op: store.OpSet, Key: key, Arg: store.IntVal(int64(r.ctr))}
+		r.chain.net.Call(p, r.Endpoint, r.chain.pmap.ShardFor(key), req, 32, 10*time.Millisecond)
 	}
 
 	// Packet logging: root-local (fast) or in the datastore (survives
-	// correlated root+NF failures; §7.2 compares both).
+	// correlated root+NF failures; §7.2 compares both). In-store log
+	// entries spread across shards with their clock-keyed partition.
 	if cfg.LogInStore {
-		req := &store.Request{Op: store.OpSet,
-			Key: store.Key{Vertex: rootVertexID, Obj: rootLogObj, Sub: clock},
-			Arg: store.IntVal(int64(m.Pkt.WireLen()))}
-		r.chain.net.Call(p, r.Endpoint, StoreEndpoint, req, 64, 10*time.Millisecond)
+		key := store.Key{Vertex: rootVertexID, Obj: rootLogObj, Sub: clock}
+		req := &store.Request{Op: store.OpSet, Key: key, Arg: store.IntVal(int64(m.Pkt.WireLen()))}
+		r.chain.net.Call(p, r.Endpoint, r.chain.pmap.ShardFor(key), req, 64, 10*time.Millisecond)
 	} else {
 		cost := cfg.RootLogCost
 		if cost == 0 {
@@ -197,9 +203,13 @@ func (r *Root) tryDelete(clock uint64, ent *rootLogEntry) {
 	delete(r.log, clock)
 	delete(r.commitXor, clock)
 	r.Deleted++
-	// Prune the store's duplicate-suppression log for this packet.
-	r.chain.net.Send(simnet.Message{From: r.Endpoint, To: StoreEndpoint,
-		Payload: store.PruneMsg{Clock: clock}, Size: 12})
+	// Prune the duplicate-suppression logs for this packet. Every shard may
+	// hold entries for the clock (the packet's updates can span shards), so
+	// the delete broadcasts.
+	for _, s := range r.chain.Stores {
+		r.chain.net.Send(simnet.Message{From: r.Endpoint, To: s.Name,
+			Payload: store.PruneMsg{Clock: clock}, Size: 12})
+	}
 }
 
 // replay resends every logged packet in clock order, marked as replay
@@ -261,10 +271,10 @@ func (c *Chain) RecoverRoot() (newRoot *Root, took time.Duration) {
 	c.sim.Spawn("root-recovery", func(p *vtime.Proc) {
 		start := p.Now()
 		c.net.Restart(old.Endpoint)
-		// Read the last persisted clock.
-		req := &store.Request{Op: store.OpGet,
-			Key: store.Key{Vertex: rootVertexID, Obj: rootClockObj, Sub: uint64(old.ID)}}
-		res, ok := c.net.Call(p, nr.Endpoint, StoreEndpoint, req, 32, 10*time.Millisecond)
+		// Read the last persisted clock from the shard owning it.
+		key := store.Key{Vertex: rootVertexID, Obj: rootClockObj, Sub: uint64(old.ID)}
+		req := &store.Request{Op: store.OpGet, Key: key}
+		res, ok := c.net.Call(p, nr.Endpoint, c.pmap.ShardFor(key), req, 32, 10*time.Millisecond)
 		last := uint64(0)
 		if ok {
 			if rep, k := res.(store.Reply); k && rep.OK {

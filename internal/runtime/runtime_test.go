@@ -111,7 +111,7 @@ func TestSharedStateAcrossInstances(t *testing.T) {
 	tr := smallTrace(40)
 	c.RunTrace(tr, 100*time.Millisecond)
 
-	v, ok := c.Store.Engine().Get(store.Key{Vertex: 1, Obj: nat.ObjTotal})
+	v, ok := c.StoreGet(store.Key{Vertex: 1, Obj: nat.ObjTotal})
 	if !ok || v.Int != int64(tr.Len()) {
 		t.Fatalf("total-packets = %v,%v want %d", v, ok, tr.Len())
 	}
@@ -170,7 +170,7 @@ func TestElasticScaleOutMove(t *testing.T) {
 	if int(c.Sink.Received) != tr.Len() {
 		t.Fatalf("sink received %d of %d (loss during move)", c.Sink.Received, tr.Len())
 	}
-	val, ok := c.Store.Engine().Get(store.Key{Vertex: 1, Obj: nat.ObjTotal})
+	val, ok := c.StoreGet(store.Key{Vertex: 1, Obj: nat.ObjTotal})
 	if !ok || val.Int != int64(tr.Len()) {
 		t.Fatalf("total = %v want %d (updates lost in handover)", val, tr.Len())
 	}
@@ -196,7 +196,7 @@ func TestNFFailoverRecoversState(t *testing.T) {
 
 	// The shared counter must be exactly the number of distinct packets the
 	// chain observed: replay + duplicate suppression must not double-count.
-	val, _ := c.Store.Engine().Get(store.Key{Vertex: 1, Obj: nat.ObjTotal})
+	val, _ := c.StoreGet(store.Key{Vertex: 1, Obj: nat.ObjTotal})
 	if val.Int != int64(tr.Len()) {
 		t.Fatalf("total = %d want %d (dup or lost updates in failover)", val.Int, tr.Len())
 	}
@@ -287,19 +287,19 @@ func TestStoreFailoverRecoversSharedState(t *testing.T) {
 	tr := smallTrace(40)
 	c.RunTrace(tr, 50*time.Millisecond)
 
-	want, _ := c.Store.Engine().Get(store.Key{Vertex: 1, Obj: nat.ObjTotal})
+	want, _ := c.StoreGet(store.Key{Vertex: 1, Obj: nat.ObjTotal})
 	took, _ := c.RecoverStore(DefaultStoreRecoveryConfig())
 	if took <= 0 {
 		t.Fatal("no recovery time measured")
 	}
-	got, ok := c.Store.Engine().Get(store.Key{Vertex: 1, Obj: nat.ObjTotal})
+	got, ok := c.StoreGet(store.Key{Vertex: 1, Obj: nat.ObjTotal})
 	if !ok || got.Int != want.Int {
 		t.Fatalf("recovered total = %v,%v want %v", got, ok, want)
 	}
 	// Chain continues to work against the recovered store.
 	tr2 := smallTrace(10)
 	c.RunTrace(tr2, 100*time.Millisecond)
-	got2, _ := c.Store.Engine().Get(store.Key{Vertex: 1, Obj: nat.ObjTotal})
+	got2, _ := c.StoreGet(store.Key{Vertex: 1, Obj: nat.ObjTotal})
 	if got2.Int != want.Int+int64(tr2.Len()) {
 		t.Fatalf("post-recovery total = %d want %d", got2.Int, want.Int+int64(tr2.Len()))
 	}

@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"sort"
+
 	"chc/internal/packet"
 	"chc/internal/simnet"
 	"chc/internal/store"
@@ -19,11 +21,21 @@ type Splitter struct {
 	// (the paper starts coarse to avoid sharing, refining only for load).
 	scopes   []store.Scope
 	scopeIdx int
+	// flowObjs are the vertex's flow-scoped state objects (ownership
+	// seeding targets for moves).
+	flowObjs []uint16
 
-	// overrides pins a partition key to an instance (completed moves).
+	// overrides pins a partition key to an instance (completed moves, and
+	// keys pinned in place during elastic rebalancing).
 	overrides map[uint64]uint16
 	// moves tracks in-progress Fig 4 handovers by canonical flow hash.
 	moves map[uint64]*moveState
+	// seenKeys records every partition key routed under scope partitioning.
+	// Pure bookkeeping — it never influences a routing decision — consumed
+	// by the elastic-scaling planners to know which keys may need to move.
+	// Growth is one entry per distinct partition key, the same order as the
+	// instances' per-clock duplicate-suppression sets.
+	seenKeys map[uint64]struct{}
 	// splitHosts routes these hosts' traffic per-flow across all instances
 	// (the Fig 9 shared-set H experiment).
 	splitHosts map[uint32]bool
@@ -45,7 +57,12 @@ type Splitter struct {
 }
 
 type moveState struct {
-	to        uint16
+	to uint16
+	// from is the owner at StartMove time: the instance that receives the
+	// "last" mark. Captured up front so a move survives the owner later
+	// being marked draining (scale-in) without misrouting the mark.
+	from      uint16
+	hasFrom   bool
 	lastSent  bool
 	firstSent bool
 }
@@ -58,6 +75,7 @@ func NewSplitter(c *Chain, v *Vertex) *Splitter {
 		vertex:     v,
 		overrides:  make(map[uint64]uint16),
 		moves:      make(map[uint64]*moveState),
+		seenKeys:   make(map[uint64]struct{}),
 		splitHosts: make(map[uint32]bool),
 		redirect:   make(map[uint16]uint16),
 		replicate:  make(map[uint16]uint16),
@@ -68,6 +86,9 @@ func NewSplitter(c *Chain, v *Vertex) *Splitter {
 	for _, d := range v.Spec.Make().Decls() {
 		if d.Scope != store.ScopeGlobal {
 			seen[d.Scope] = true
+		}
+		if d.Scope == store.ScopeFlow {
+			s.flowObjs = append(s.flowObjs, d.ID)
 		}
 	}
 	for _, sc := range []store.Scope{store.ScopeDstIP, store.ScopeSrcIP} {
@@ -165,7 +186,11 @@ func mix(x uint64) uint64 {
 	return x
 }
 
-// instanceFor picks the target instance for a partition key.
+// instanceFor picks the target instance for a partition key. Keys whose
+// hash lands on a draining instance re-hash across the remaining instances
+// — by construction only NEW keys do (a draining instance's existing keys
+// were all moved or pinned before the drain flag was set), so no in-flight
+// flow changes instance without a handover.
 func (s *Splitter) instanceFor(key uint64) *Instance {
 	insts := s.vertex.Instances
 	if id, ok := s.overrides[key]; ok {
@@ -174,7 +199,36 @@ func (s *Splitter) instanceFor(key uint64) *Instance {
 		}
 	}
 	idx := int(mix(key) % uint64(len(insts)))
-	return s.chain.instanceByID(s.resolve(insts[idx].ID))
+	in := s.chain.instanceByID(s.resolve(insts[idx].ID))
+	if in != nil && in.draining {
+		// A retired instance keeps its draining flag, so post-drain traffic
+		// also lands here (crashed-but-not-drained instances are the
+		// failover path's business, via redirect).
+		if alt := s.rehashLive(key); alt != nil {
+			// Pin the re-placement so later packets skip the slow path (and
+			// keep this key stable if the instance set changes again).
+			s.overrides[key] = alt.ID
+			return alt
+		}
+	}
+	return in
+}
+
+// rehashLive deterministically re-hashes a key over the non-draining, live
+// instances (second-level hash so the distribution differs from the primary
+// placement).
+func (s *Splitter) rehashLive(key uint64) *Instance {
+	var live []*Instance
+	for _, in := range s.vertex.Instances {
+		if !in.dead && !in.draining {
+			live = append(live, in)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	idx := int(mix(mix(key)^0x9e3779b97f4a7c15) % uint64(len(live)))
+	return s.chain.instanceByID(s.resolve(live[idx].ID))
 }
 
 func (s *Splitter) resolve(id uint16) uint16 {
@@ -211,6 +265,9 @@ func (s *Splitter) Route(from string, pkt *packet.Packet, now vtime.Time) {
 		if !mv.lastSent {
 			mv.lastSent = true
 			old := s.instanceFor(flowKey)
+			if mv.hasFrom {
+				old = s.chain.instanceByID(s.resolve(mv.from))
+			}
 			marked := pkt.Clone()
 			marked.Meta.Flags |= packet.MetaLast
 			s.deliver(from, old, marked, now)
@@ -245,7 +302,9 @@ func (s *Splitter) Route(from string, pkt *packet.Packet, now vtime.Time) {
 		idx := int(mix(flowKey) % uint64(len(insts)))
 		target = s.chain.instanceByID(s.resolve(insts[idx].ID))
 	default:
-		target = s.instanceFor(partKey(pkt, s.Scope()))
+		pk := partKey(pkt, s.Scope())
+		s.seenKeys[pk] = struct{}{}
+		target = s.instanceFor(pk)
 	}
 	s.deliver(from, target, pkt, now)
 	if cloneID, ok := s.replicate[target.ID]; ok {
@@ -266,10 +325,169 @@ func (s *Splitter) deliver(from string, target *Instance, pkt *packet.Packet, no
 
 // StartMove initiates Fig 4 handovers for the given canonical flow hashes
 // toward instance to. The next matching packet carries the "last" mark to
-// the old instance; the one after carries "first" to the new one.
+// the old instance (captured now); the one after carries "first" to the
+// new one. The moving flows' per-flow keys are ownership-seeded to the old
+// instance first, so the new instance's acquire cannot overtake packets
+// still queued at a backlogged old instance.
 func (s *Splitter) StartMove(flowKeys []uint64, to uint16) {
 	for _, k := range flowKeys {
-		s.moves[k] = &moveState{to: to}
+		from := uint16(0)
+		if in := s.instanceFor(k); in != nil {
+			from = in.ID
+		}
+		s.startMoveFrom(k, from, to)
+	}
+}
+
+// startMoveFrom registers one handover with an explicit old owner. Callers
+// that changed the instance set between planning and initiating (scale-out)
+// must pass the PLANNED owner — re-deriving it from the enlarged hash would
+// mark the wrong instance and strand the real owner's state.
+func (s *Splitter) startMoveFrom(k uint64, from, to uint16) {
+	mv := &moveState{to: to}
+	if from != 0 {
+		mv.from, mv.hasFrom = from, true
+		s.seedOwnership(k, from)
+	}
+	s.moves[k] = mv
+}
+
+// seedOwnership pre-binds a moving flow's per-flow state to its current
+// owner at the store tier (Fig 4 metadata prelude; see store.OwnerSeedMsg).
+func (s *Splitter) seedOwnership(flowKey uint64, owner uint16) {
+	for _, obj := range s.flowObjs {
+		k := store.Key{Vertex: s.vertex.ID, Obj: obj, Sub: flowKey}
+		s.chain.net.Send(simnet.Message{
+			From: "framework", To: s.chain.pmap.ShardFor(k),
+			Payload: store.OwnerSeedMsg{Key: k, Instance: owner}, Size: 20,
+		})
+	}
+}
+
+// --- Elastic rebalancing -----------------------------------------------------
+
+// scaleOutPlan maps each seen, unpinned partition key to the instance it
+// resolves to before a new instance joins.
+type scaleOutPlan map[uint64]uint16
+
+// planScaleOut snapshots current placements; call BEFORE appending the new
+// instance so the pre-scale hash targets are still computable.
+func (s *Splitter) planScaleOut() scaleOutPlan {
+	plan := make(scaleOutPlan, len(s.seenKeys))
+	for k := range s.seenKeys {
+		if _, ov := s.overrides[k]; ov {
+			continue // already pinned; the enlarged hash never sees it
+		}
+		if _, mv := s.moves[k]; mv {
+			continue // mid-handover; its move decides its placement
+		}
+		if in := s.instanceFor(k); in != nil {
+			plan[k] = in.ID
+		}
+	}
+	return plan
+}
+
+// applyScaleOut reconciles the plan against the enlarged instance set:
+// keys whose hash now lands on the NEW instance hand over to it (flow-scope
+// partitioning moves them through the Fig 4 protocol; coarser scopes pin —
+// host-granularity handover is not modeled); keys that would merely
+// reshuffle among the old instances are pinned in place, preserving the
+// consistent-hashing property that scale-out moves ~1/(N+1) of the keys and
+// only toward the newcomer.
+func (s *Splitter) applyScaleOut(plan scaleOutPlan, newID uint16) {
+	canMove := s.Scope() == store.ScopeFlow
+	insts := s.vertex.Instances
+	// Deterministic key order: moves send ownership-seed messages, and map
+	// iteration order would perturb same-instant scheduling (seed contract).
+	keys := make([]uint64, 0, len(plan))
+	for k := range plan {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	for _, k := range keys {
+		oldID := plan[k]
+		idx := int(mix(k) % uint64(len(insts)))
+		newTarget := s.resolve(insts[idx].ID)
+		if newTarget == oldID {
+			continue
+		}
+		if canMove && newTarget == newID {
+			s.startMoveFrom(k, oldID, newID)
+		} else {
+			s.overrides[k] = oldID
+		}
+	}
+}
+
+// planScaleIn maps each seen key owned by the draining instance to a
+// deterministic target among the surviving (live, non-draining) instances.
+// Handovers are flow-granularity only (Route matches moves by canonical
+// flow hash): at a coarser partitioning scope the plan is empty, and the
+// drain relies on the drain-aware re-hash plus retirement-time flush —
+// the same unmanaged re-placement AddInstance performs at those scopes.
+func (s *Splitter) planScaleIn(drainID uint16) map[uint64]uint16 {
+	targets := make(map[uint64]uint16)
+	if s.Scope() != store.ScopeFlow {
+		return targets
+	}
+	var live []*Instance
+	for _, in := range s.vertex.Instances {
+		if !in.dead && !in.draining && in.ID != drainID {
+			live = append(live, in)
+		}
+	}
+	if len(live) == 0 {
+		return targets
+	}
+	for k := range s.seenKeys {
+		if _, mv := s.moves[k]; mv {
+			continue
+		}
+		in := s.instanceFor(k)
+		if in == nil || in.ID != drainID {
+			continue
+		}
+		idx := int(mix(mix(k)^0x9e3779b97f4a7c15) % uint64(len(live)))
+		targets[k] = live[idx].ID
+	}
+	return targets
+}
+
+// RetireInstance scrubs every routing reference to a retiring instance at
+// the end of its drain grace period, so no future packet can be delivered
+// to the dead endpoint:
+//
+//   - drain-initiated handovers that never saw a packet force-complete
+//     (the state was already flushed and its ownership released, so the
+//     marked-packet handshake has nothing left to transfer);
+//   - inbound handovers TOWARD the retiree that never started are dropped
+//     (the flow never left its old owner);
+//   - inbound handovers already past their "last" mark re-home to a live
+//     instance (the old owner already released the state);
+//   - stale overrides pointing at the retiree are deleted, letting the
+//     drain-aware hash place those keys.
+func (s *Splitter) RetireInstance(id uint16) {
+	for k, mv := range s.moves {
+		switch {
+		case mv.hasFrom && mv.from == id:
+			s.overrides[k] = mv.to
+			delete(s.moves, k)
+		case mv.to == id && !mv.lastSent:
+			delete(s.moves, k)
+		case mv.to == id:
+			if in := s.rehashLive(k); in != nil {
+				s.overrides[k] = in.ID
+			} else {
+				delete(s.overrides, k)
+			}
+			delete(s.moves, k)
+		}
+	}
+	for k, ov := range s.overrides {
+		if ov == id {
+			delete(s.overrides, k)
+		}
 	}
 }
 

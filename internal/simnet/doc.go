@@ -1,0 +1,11 @@
+// Package simnet provides a simulated message network on top of the vtime
+// discrete-event kernel. It stands in for the paper's CloudLab testbed
+// (10G NICs + Mellanox VMA kernel bypass): endpoints exchange messages over
+// links with configurable one-way latency, jitter, bandwidth (serialization
+// delay + NIC queueing), loss, duplication and reordering, plus scheduled
+// crashes and partitions for failure injection.
+//
+// All latency results in the CHC paper are RTT-dominated, so modeling the
+// network at this level preserves the shape of every evaluation result while
+// staying deterministic (see DESIGN.md §1).
+package simnet

@@ -31,9 +31,14 @@ type ClientConfig struct {
 	Vertex   uint16
 	Instance uint16
 	Endpoint string // this NF instance's endpoint (for callbacks/ACKs)
-	Store    string // store server endpoint
-	Mode     Mode
-	Decls    []ObjDecl
+	Store    string // store server endpoint (single-shard deployments)
+	// Shards lists the datastore tier's shard endpoints; the client routes
+	// each operation to the shard owning its key (consistent-hash partition
+	// map, distributed by the root at deployment time). Empty falls back to
+	// the single endpoint in Store.
+	Shards []string
+	Mode   Mode
+	Decls  []ObjDecl
 	// RPCTimeout bounds blocking store calls.
 	RPCTimeout time.Duration
 	// AckTimeout triggers retransmission of un-ACK'd async ops.
@@ -58,6 +63,11 @@ const (
 	defaultCoalesceWindow = 20 * time.Microsecond
 	defaultCoalesceMax    = 32
 )
+
+// acquirePoll is the handover-acquire retry interval: a few store RTTs, so
+// a conflicted acquire notices the old instance's release promptly without
+// depending on the push notification being pumped.
+const acquirePoll = 100 * time.Microsecond
 
 // WalOp is one entry of the client-side write-ahead log of shared-state
 // update operations (§5.4).
@@ -90,6 +100,7 @@ type cacheEntry struct {
 type Client struct {
 	cfg   ClientConfig
 	net   *simnet.Network
+	pmap  *PartitionMap
 	decls map[uint16]ObjDecl
 	cache map[Key]*cacheEntry
 
@@ -156,8 +167,13 @@ func NewClient(net *simnet.Network, cfg ClientConfig) *Client {
 	if cfg.CoalesceMax <= 0 {
 		cfg.CoalesceMax = defaultCoalesceMax
 	}
+	shards := cfg.Shards
+	if len(shards) == 0 {
+		shards = []string{cfg.Store}
+	}
 	c := &Client{
 		cfg:         cfg,
+		pmap:        NewPartitionMap(shards),
 		net:         net,
 		decls:       make(map[uint16]ObjDecl),
 		cache:       make(map[Key]*cacheEntry),
@@ -290,13 +306,19 @@ func (c *Client) SetExclusive(obj uint16, sub uint64, exclusive bool) {
 	e.exclSet = true
 }
 
-// call performs a blocking RPC to the store. Buffered coalesced batches
-// flush first (FIFO links): a blocking op must observe every increment the
-// NF issued before it.
+// shardFor names the shard server owning k.
+func (c *Client) shardFor(k Key) string { return c.pmap.ShardFor(k) }
+
+// Partition exposes the client's view of the shard map (recovery, tests).
+func (c *Client) Partition() *PartitionMap { return c.pmap }
+
+// call performs a blocking RPC to the key's shard. Buffered coalesced
+// batches flush first (FIFO links): a blocking op must observe every
+// increment the NF issued before it.
 func (c *Client) call(p *vtime.Proc, req *Request) (Reply, bool) {
 	c.FlushCoalesced()
 	c.BlockingOps++
-	res, ok := c.net.Call(p, c.cfg.Endpoint, c.cfg.Store, req, req.wireSize(), c.cfg.RPCTimeout)
+	res, ok := c.net.Call(p, c.cfg.Endpoint, c.shardFor(req.Key), req, req.wireSize(), c.cfg.RPCTimeout)
 	if !ok {
 		return Reply{}, false
 	}
@@ -316,7 +338,7 @@ func (c *Client) async(req *Request) {
 
 func (c *Client) sendAsync(op AsyncOp) {
 	c.net.Send(simnet.Message{
-		From: c.cfg.Endpoint, To: c.cfg.Store, Payload: op,
+		From: c.cfg.Endpoint, To: c.shardFor(op.Req.Key), Payload: op,
 		Size: op.Req.wireSize(),
 	})
 	seq := op.Seq
@@ -353,38 +375,50 @@ func (c *Client) HandleMessage(payload any) bool {
 		}
 		return true
 	case TruncateMsg:
-		c.truncate(m.TS)
+		c.truncate(m.Shard, m.TS)
 		return true
 	}
 	return false
 }
 
-// truncate drops the WAL prefix covered by a checkpoint. The TS clock is a
-// position marker: everything up to and including its LAST occurrence in
-// the issue-ordered WAL has been executed by the store.
-func (c *Client) truncate(ts map[uint16]uint64) {
+// truncate drops the WAL prefix covered by one shard's checkpoint. The TS
+// clock is a position marker: among this client's ops OWNED BY THAT SHARD
+// (in issue order), everything up to and including the clock's last
+// occurrence has been executed there. Entries for other shards are never
+// touched — their checkpoints cover them separately. An empty shard name
+// (single-server tier, tests) covers every key.
+func (c *Client) truncate(shard string, ts map[uint16]uint64) {
 	upto := ts[c.cfg.Instance]
 	if upto == 0 {
 		return
 	}
+	owns := func(k Key) bool { return shard == "" || c.shardFor(k) == shard }
 	cut := -1
 	for i := len(c.wal) - 1; i >= 0; i-- {
-		if c.wal[i].Clock == upto {
+		if owns(c.wal[i].Req.Key) && c.wal[i].Clock == upto {
 			cut = i
 			break
 		}
 	}
 	if cut >= 0 {
-		c.wal = append([]WalOp(nil), c.wal[cut+1:]...)
+		kept := make([]WalOp, 0, len(c.wal))
+		for i, w := range c.wal {
+			if i <= cut && owns(w.Req.Key) {
+				continue
+			}
+			kept = append(kept, w)
+		}
+		c.wal = kept
 	}
-	// Reads issued at or before the covered clock can no longer win the TS
-	// selection against the checkpoint; drop them (over-retention is safe,
-	// so the numeric comparison here errs toward keeping).
+	// Reads of this shard's keys issued at or before the covered clock can
+	// no longer win the TS selection against the checkpoint; drop them
+	// (over-retention is safe, so the comparison errs toward keeping).
 	keptR := c.readLog[:0]
 	for _, r := range c.readLog {
-		if r.Clock > upto {
-			keptR = append(keptR, r)
+		if owns(r.Key) && r.Clock <= upto {
+			continue
 		}
+		keptR = append(keptR, r)
 	}
 	c.readLog = keptR
 }
@@ -773,19 +807,34 @@ func (c *Client) AcquireFlow(p *vtime.Proc, sub uint64, timeout time.Duration) b
 			return false
 		}
 		if rep.Conflict {
-			// Wait for the store's handover notification (Fig 4 step 6).
+			// The old instance has not released yet (it may still be working
+			// through packets queued BEFORE the "last" mark). Wait for the
+			// store's handover notification (Fig 4 step 6), but re-try the
+			// association on a short poll as the progress guarantee: the
+			// notification needs this instance's event loop to pump the
+			// inbox, which a single-threaded instance cannot do while its
+			// only worker blocks here.
 			fut := vtime.NewFuture[struct{}](c.net.Sim())
 			c.ownerWait[k] = fut
-			if _, ok := fut.WaitTimeout(p, timeout); !ok {
-				delete(c.ownerWait, k)
+			deadline := p.Now().Add(timeout)
+			acquired := false
+			for p.Now() < deadline {
+				fut.WaitTimeout(p, acquirePoll)
+				req2 := Request{Op: OpAssociate, Key: k, Instance: c.cfg.Instance}
+				rep2, ok2 := c.call(p, &req2)
+				if !ok2 {
+					break
+				}
+				if !rep2.Conflict {
+					c.seedCache(k, rep2.Val)
+					acquired = true
+					break
+				}
+			}
+			delete(c.ownerWait, k)
+			if !acquired {
 				return false
 			}
-			req2 := Request{Op: OpAssociate, Key: k, Instance: c.cfg.Instance}
-			rep2, ok2 := c.call(p, &req2)
-			if !ok2 || rep2.Conflict {
-				return false
-			}
-			c.seedCache(k, rep2.Val)
 		} else {
 			c.seedCache(k, rep.Val)
 		}

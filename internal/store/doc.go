@@ -1,0 +1,21 @@
+// Package store implements the CHC datastore tier: the sharded key-value
+// engine executing offloaded operations (Table 2), the simulated shard
+// servers, the per-NF-instance client library, and the §5.4 failure
+// recovery machinery.
+//
+//   - Engine is a real concurrent data structure (the §7.1 datastore
+//     benchmark drives it with goroutines on wall-clock time); it executes
+//     the paper's offloaded operations, duplicate-suppresses by inducing
+//     packet clock (Fig 5b), tracks per-instance TS position markers, and
+//     emits commit signals for the root's Fig 6 XOR/delete check.
+//   - Server wraps one Engine behind a simnet endpoint: one shard of the
+//     datastore tier, with checkpointing, callback/ownership registries and
+//     at-most-once async-op execution.
+//   - PartitionMap assigns every Key to a shard by rendezvous hashing;
+//     Client routes each operation to its key's shard and keeps a
+//     write-ahead log whose per-shard slices (FilterForShard) drive
+//     single-shard crash recovery (RecoverEngine).
+//   - Client also implements the Table 1 caching strategies, client-side
+//     op coalescing under the +NA model, retransmission of un-ACK'd
+//     updates, and the Fig 4 ownership-handover handshakes.
+package store

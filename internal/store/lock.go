@@ -86,7 +86,7 @@ func (s *Server) handleSetUnlock(p *vtime.Proc, cm *simnet.CallMsg, req SetUnloc
 // returning the current value with the lock held.
 func (c *Client) LockGet(p *vtime.Proc, key Key) (Value, bool) {
 	c.BlockingOps++
-	res, ok := c.net.Call(p, c.cfg.Endpoint, c.cfg.Store, LockGetReq{Key: key, Instance: c.cfg.Instance}, 24, c.cfg.RPCTimeout)
+	res, ok := c.net.Call(p, c.cfg.Endpoint, c.shardFor(key), LockGetReq{Key: key, Instance: c.cfg.Instance}, 24, c.cfg.RPCTimeout)
 	if !ok {
 		return Value{}, false
 	}
@@ -97,7 +97,7 @@ func (c *Client) LockGet(p *vtime.Proc, key Key) (Value, bool) {
 // SetUnlock writes back and releases: the second RTT of the naive RMW.
 func (c *Client) SetUnlock(p *vtime.Proc, key Key, v Value, clock uint64) bool {
 	c.BlockingOps++
-	_, ok := c.net.Call(p, c.cfg.Endpoint, c.cfg.Store,
+	_, ok := c.net.Call(p, c.cfg.Endpoint, c.shardFor(key),
 		SetUnlockReq{Key: key, Val: v, Instance: c.cfg.Instance, Clock: clock}, 24+v.wireSize(), c.cfg.RPCTimeout)
 	return ok
 }

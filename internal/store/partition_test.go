@@ -1,0 +1,70 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []Key {
+	keys := make([]Key, 0, n)
+	for i := 0; i < n; i++ {
+		keys = append(keys, Key{Vertex: uint16(1 + i%3), Obj: uint16(1 + i%5), Sub: uint64(i) * 7919})
+	}
+	return keys
+}
+
+func shardNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("store%d", i)
+	}
+	return out
+}
+
+// TestPartitionDeterministicAndTotal: same key -> same shard, every key
+// lands on a real shard, and a single-shard map sends everything to it.
+func TestPartitionDeterministicAndTotal(t *testing.T) {
+	m := NewPartitionMap(shardNames(4))
+	m2 := NewPartitionMap(shardNames(4))
+	counts := make(map[string]int)
+	for _, k := range testKeys(4000) {
+		s := m.ShardFor(k)
+		if s != m2.ShardFor(k) {
+			t.Fatalf("key %v maps unstably", k)
+		}
+		counts[s]++
+	}
+	for _, name := range shardNames(4) {
+		if counts[name] < 500 {
+			t.Errorf("shard %s got %d of 4000 keys — rendezvous spread badly skewed", name, counts[name])
+		}
+	}
+	one := NewPartitionMap([]string{"store0"})
+	for _, k := range testKeys(100) {
+		if one.ShardFor(k) != "store0" {
+			t.Fatal("single-shard map must own every key")
+		}
+	}
+}
+
+// TestPartitionConsistency: the rendezvous property — growing the tier by
+// one shard only moves keys ONTO the new shard; no key moves between two
+// surviving shards (this is what bounds elastic re-sharding cost).
+func TestPartitionConsistency(t *testing.T) {
+	small := NewPartitionMap(shardNames(3))
+	big := NewPartitionMap(shardNames(4))
+	moved := 0
+	for _, k := range testKeys(4000) {
+		before, after := small.ShardFor(k), big.ShardFor(k)
+		if before == after {
+			continue
+		}
+		if after != "store3" {
+			t.Fatalf("key %v moved %s -> %s: growth may only move keys onto the new shard", k, before, after)
+		}
+		moved++
+	}
+	if moved == 0 || moved > 4000/2 {
+		t.Errorf("moved %d of 4000 keys; expected roughly 1/4", moved)
+	}
+}

@@ -109,6 +109,31 @@ type ClientState struct {
 	PerFlow  map[Key]Value
 }
 
+// FilterForShard restricts a client's recovery view to the keys the
+// partition map assigns to shard: a crashed shard is rebuilt from exactly
+// that shard's slice of each client WAL/read-log/cache, so recovery replays
+// only the failed shard's operations and never perturbs surviving shards.
+func (cs ClientState) FilterForShard(pm *PartitionMap, shard string) ClientState {
+	out := ClientState{Instance: cs.Instance}
+	for _, w := range cs.WAL {
+		if pm.ShardFor(w.Req.Key) == shard {
+			out.WAL = append(out.WAL, w)
+		}
+	}
+	for _, r := range cs.ReadLog {
+		if pm.ShardFor(r.Key) == shard {
+			out.ReadLog = append(out.ReadLog, r)
+		}
+	}
+	out.PerFlow = make(map[Key]Value)
+	for k, v := range cs.PerFlow {
+		if pm.ShardFor(k) == shard {
+			out.PerFlow[k] = v
+		}
+	}
+	return out
+}
+
 // RecoverInput bundles everything the recovery manager gathered.
 type RecoverInput struct {
 	Checkpoint *Snapshot // last stable checkpoint (may be nil)

@@ -36,6 +36,18 @@ type OwnerMsg struct {
 	Owner uint16
 }
 
+// OwnerSeedMsg pre-binds a key's ownership to an instance on the
+// framework's behalf (Fig 4 prelude). When a move starts, the splitter
+// seeds the moving flow's per-flow keys with their CURRENT owner so the
+// store can arbitrate the handover even if that owner has never contacted
+// the store about the flow (its state still client-cached): the new
+// instance's acquire then conflicts and waits for the release instead of
+// overtaking packets still queued at the old instance.
+type OwnerSeedMsg struct {
+	Key      Key
+	Instance uint16
+}
+
 // CommitMsg is the Fig 6 step-2 signal from the store to the root: the
 // update induced by packet Clock at Instance on Key has committed.
 type CommitMsg struct {
@@ -48,9 +60,13 @@ type CommitMsg struct {
 // duplicate-suppression log entries can be dropped (§5.3).
 type PruneMsg struct{ Clock uint64 }
 
-// TruncateMsg tells clients a checkpoint covered ops up to TS; WAL entries
-// at or before their instance's clock can be discarded.
-type TruncateMsg struct{ TS map[uint16]uint64 }
+// TruncateMsg tells clients a checkpoint at shard Shard covered ops up to
+// TS; WAL entries for that shard's keys at or before their instance's clock
+// can be discarded. Entries for other shards are unaffected.
+type TruncateMsg struct {
+	TS    map[uint16]uint64
+	Shard string
+}
 
 // ServerConfig tunes a simulated store server.
 type ServerConfig struct {
@@ -250,6 +266,9 @@ func (s *Server) run(p *vtime.Proc) {
 				s.engine.Apply(pl.Req)
 			}
 			s.net.Send(simnet.Message{From: s.Name, To: pl.From, Payload: AckMsg{Seq: pl.Seq}, Size: 12})
+		case OwnerSeedMsg:
+			p.Sleep(s.cfg.OpService)
+			s.engine.Apply(&Request{Op: OpAssociate, Key: pl.Key, Instance: pl.Instance})
 		case PruneMsg:
 			s.engine.PruneClock(pl.Clock)
 		}
@@ -272,7 +291,7 @@ func (s *Server) checkpoint() {
 	ts := snap.TS
 	for _, insts := range s.callbackClients() {
 		for _, ep := range insts {
-			s.net.Send(simnet.Message{From: s.Name, To: ep, Payload: TruncateMsg{TS: ts}, Size: 8 * (len(ts) + 1)})
+			s.net.Send(simnet.Message{From: s.Name, To: ep, Payload: TruncateMsg{TS: ts, Shard: s.Name}, Size: 8 * (len(ts) + 1)})
 		}
 	}
 }

@@ -1,0 +1,8 @@
+// Package trace generates and (de)serializes synthetic packet traces that
+// stand in for the paper's campus-to-EC2 captures (Trace1/Trace2, §7). The
+// generator is seeded and deterministic, and reproduces the aggregate
+// properties the experiments depend on: connection count, packets per flow,
+// median packet size, full TCP handshake/teardown structure, an application
+// mix including the SSH/FTP/IRC flows the Trojan experiments need, and
+// implantable portscan and Trojan-signature activity.
+package trace

@@ -190,6 +190,14 @@ func (f *Future[T]) WaitTimeout(p *Proc, d Duration) (v T, ok bool) {
 		timer.canceled = true
 		return f.value, true
 	}
+	// Timed out: deregister, so a later Resolve cannot spuriously wake this
+	// process out of whatever it blocks on next.
+	for i, w := range f.waiters {
+		if w == p {
+			f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+			break
+		}
+	}
 	var zero T
 	return zero, false
 }

@@ -1,15 +1,3 @@
-// Package vtime implements a deterministic, process-based discrete-event
-// simulator (DES). It is the substrate on which the CHC reproduction runs:
-// NF instances, splitters, the chain root, and datastore server loops all
-// execute as simulated processes whose blocking operations (sleeps, message
-// receives, RPCs) advance a virtual clock instead of wall-clock time.
-//
-// Determinism contract: given the same seed and the same program, a
-// simulation produces the identical sequence of events. Ties between events
-// scheduled for the same virtual instant are broken by schedule order. Only
-// one process executes at a time; processes are goroutines that hand control
-// back to the scheduler whenever they block, so simulated code can be written
-// in an ordinary blocking style.
 package vtime
 
 import (
