@@ -1,12 +1,22 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check fmt bench bench-smoke ci
+.PHONY: build test test-race vet fmt-check fmt bench bench-smoke ci
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# test-race runs the fast test subset under the race detector: the store
+# engine is genuinely concurrent (real goroutines in the dstore benchmark
+# path), so races there are reachable even though the DES itself is
+# single-threaded. The experiments package is excluded — it re-runs the
+# whole evaluation and would dominate CI under -race.
+test-race:
+	$(GO) test -race -short ./internal/vtime ./internal/simnet ./internal/packet \
+		./internal/trace ./internal/store ./internal/nf/... ./internal/runtime \
+		./internal/baseline/...
 
 vet:
 	$(GO) vet ./...
@@ -23,7 +33,8 @@ bench:
 
 # bench-smoke compiles and runs every benchmark in the module exactly once,
 # so experiment wiring (registry ids, table shapes the benchmarks parse)
-# cannot silently rot.
+# cannot silently rot. This includes BenchmarkDAG (the policy-DAG fork
+# experiment) alongside the paper figures and BenchmarkScale.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 

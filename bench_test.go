@@ -208,3 +208,18 @@ func BenchmarkScale(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDAG regenerates the policy-DAG fork experiment (branch-parallel
+// goodput and branch-local recovery).
+func BenchmarkDAG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := experiments.DAG(benchOpts())
+		lin := metric(tb, []string{"linear 1-vertex"}, 1, "Gbps")
+		fork := metric(tb, []string{"fork 2-branch"}, 1, "Gbps")
+		b.ReportMetric(lin, "linear-gbps")
+		b.ReportMetric(fork, "fork-gbps")
+		if lin > 0 {
+			b.ReportMetric(fork/lin, "branch-speedup-x")
+		}
+	}
+}

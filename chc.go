@@ -107,6 +107,12 @@ type (
 	Instance = runtime.Instance
 	// Metrics aggregates chain measurements.
 	Metrics = runtime.Metrics
+	// TopologySpec generalizes the linear chain into a policy DAG: one
+	// ordered vertex path per traffic class, with the root's classifier
+	// picking each packet's branch. Nil keeps the linear declaration order.
+	TopologySpec = runtime.TopologySpec
+	// PathSpec routes one traffic class through an ordered vertex subset.
+	PathSpec = runtime.PathSpec
 	// Trace is a packet trace.
 	Trace = trace.Trace
 	// TraceConfig drives synthetic trace generation.

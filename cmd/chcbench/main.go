@@ -7,9 +7,11 @@
 //	chcbench -scale full      # paper-like scale (slower)
 //	chcbench -run fig8,fig11  # selected experiments
 //	chcbench -list            # list experiment ids
+//	chcbench -json out.json   # also write machine-readable results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,11 +21,23 @@ import (
 	"chc/internal/experiments"
 )
 
+// jsonResult is one experiment's machine-readable record (the BENCH_*.json
+// perf-trajectory format: stable ids and cells across runs, plus wall time).
+type jsonResult struct {
+	ID          string     `json:"id"`
+	Title       string     `json:"title"`
+	Header      []string   `json:"header"`
+	Rows        [][]string `json:"rows"`
+	Notes       []string   `json:"notes,omitempty"`
+	WallSeconds float64    `json:"wall_seconds"`
+}
+
 func main() {
 	runFlag := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 	scale := flag.String("scale", "small", "small | full")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	seed := flag.Int64("seed", 42, "deterministic seed")
+	jsonPath := flag.String("json", "", "write results as JSON to this path")
 	flag.Parse()
 
 	all := experiments.All()
@@ -54,10 +68,29 @@ func main() {
 		}
 	}
 
+	var results []jsonResult
 	for _, id := range ids {
 		start := time.Now()
 		tbl := all[id](opts)
+		wall := time.Since(start).Seconds()
 		fmt.Println(tbl.String())
-		fmt.Printf("  (%s in %.1fs wall)\n\n", id, time.Since(start).Seconds())
+		fmt.Printf("  (%s in %.1fs wall)\n\n", id, wall)
+		results = append(results, jsonResult{
+			ID: tbl.ID, Title: tbl.Title, Header: tbl.Header,
+			Rows: tbl.Rows, Notes: tbl.Notes, WallSeconds: wall,
+		})
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chcbench: encode json:", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "chcbench: write json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d experiments)\n", *jsonPath, len(results))
 	}
 }

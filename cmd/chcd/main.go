@@ -11,11 +11,29 @@
 //	  ]
 //	}
 //
+// Non-linear deployments add a branch spec: one ordered vertex path per
+// traffic class ("tcp" / "udp" / "other", classified by IP protocol at the
+// root). Paths may share vertices (fork/rejoin); omitting "paths" keeps
+// the linear declaration order.
+//
+//	{
+//	  "vertices": [
+//	    {"name": "nat", "nf": "nat"},
+//	    {"name": "ids", "nf": "portscan"},
+//	    {"name": "lb", "nf": "lb"}
+//	  ],
+//	  "paths": [
+//	    {"class": "tcp", "vertices": ["nat", "lb"]},
+//	    {"class": "udp", "vertices": ["ids", "lb"]}
+//	  ]
+//	}
+//
 // Usage:
 //
 //	chcd -config chain.json -trace trace.chct
 //	chcd -config chain.json -flows 500 -gbps 2
 //	chcd -config chain.json -shards 4          # 4-shard datastore tier
+//	chcd -config dag.json -udp-frac 0.4        # mixed-class traffic for a fork
 package main
 
 import (
@@ -23,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"chc/internal/nf"
@@ -47,12 +66,22 @@ type vertexJSON struct {
 	Backends  int    `json:"backends"` // for lb
 }
 
+// pathJSON is one traffic class's branch through the policy DAG.
+type pathJSON struct {
+	Class    string   `json:"class"` // tcp | udp | other
+	Vertices []string `json:"vertices"`
+}
+
 type configJSON struct {
 	Vertices []vertexJSON `json:"vertices"`
 	Seed     int64        `json:"seed"`
 	// Shards sizes the datastore tier (consistent-hash key partitioning);
 	// 0 or 1 deploys the single store server.
 	Shards int `json:"shards"`
+	// Paths, when present, generalize the chain into a policy DAG: one
+	// ordered vertex path per traffic class, with the root classifying
+	// packets by IP protocol. Empty keeps the linear declaration order.
+	Paths []pathJSON `json:"paths"`
 }
 
 // passNF forwards packets unchanged.
@@ -121,6 +150,7 @@ func main() {
 	tracePath := flag.String("trace", "", "trace file (from tracegen); empty generates one")
 	flows := flag.Int("flows", 500, "generated trace connections")
 	gbpsF := flag.Int64("gbps", 2, "offered load in Gbps")
+	udpFrac := flag.Float64("udp-frac", 0, "fraction of generated flows as UDP (drives DAG fork classes)")
 	shards := flag.Int("shards", 0, "datastore shard servers (overrides config; 0 keeps config/default)")
 	settle := flag.Duration("settle", 500*time.Millisecond, "post-trace settle time (virtual)")
 	flag.Parse()
@@ -150,6 +180,13 @@ func main() {
 	ccfg.StoreShards = cfg.Shards
 	if *shards > 0 {
 		ccfg.StoreShards = *shards
+	}
+	if len(cfg.Paths) > 0 {
+		topo := &runtime.TopologySpec{}
+		for _, p := range cfg.Paths {
+			topo.Paths = append(topo.Paths, runtime.PathSpec{Class: p.Class, Vertices: p.Vertices})
+		}
+		ccfg.Topology = topo
 	}
 	var specs []runtime.VertexSpec
 	var seeders []func(*runtime.Vertex)
@@ -191,12 +228,22 @@ func main() {
 		}
 	} else {
 		tr = trace.Generate(trace.Config{Seed: ccfg.Seed, Flows: *flows,
-			PktsPerFlowMean: 16, PayloadMedian: 1394, Hosts: 32, Servers: 16})
+			PktsPerFlowMean: 16, PayloadMedian: 1394, Hosts: 32, Servers: 16,
+			UDPFrac: *udpFrac})
 		tr.Pace(*gbpsF * 1_000_000_000)
 	}
 
 	fmt.Printf("chain: %d vertices, trace: %d packets (%v)\n",
 		len(ch.Vertices), tr.Len(), tr.Duration())
+	if len(cfg.Paths) > 0 {
+		for ci, name := range ch.Classes() {
+			var hops []string
+			for _, v := range ch.PathFor(uint8(ci)) {
+				hops = append(hops, v.Spec.Name)
+			}
+			fmt.Printf("path %-6s root -> %s -> sink\n", name, strings.Join(hops, " -> "))
+		}
+	}
 	ch.RunTrace(tr, *settle)
 
 	fmt.Printf("\nroot:  injected=%d deleted=%d dropped=%d log=%d\n",
@@ -214,6 +261,13 @@ func main() {
 		fmt.Printf("%-12s proc p50=%v p95=%v\n", v.Spec.Name, s.Percentile(50), s.Percentile(95))
 	}
 	fmt.Printf("sink:  received=%d duplicates=%d\n", ch.Sink.Received, ch.Sink.Duplicates)
+	if len(cfg.Paths) > 0 {
+		for ci, name := range ch.Classes() {
+			fmt.Printf("class %-6s injected=%-8d deleted=%-8d sink=%d\n", name,
+				ch.Root.InjectedByClass[ci], ch.Root.DeletedByClass[ci],
+				ch.Sink.ReceivedByClass[uint8(ci)])
+		}
+	}
 	e2e := ch.Metrics.Get("total.chain")
 	fmt.Printf("chain: e2e p50=%v p95=%v\n", e2e.Percentile(50), e2e.Percentile(95))
 	if n := ch.Metrics.AlertCount("scanner-detected"); n > 0 {

@@ -6,6 +6,7 @@
 //
 //	tracegen -flows 2000 -out trace.chct
 //	tracegen -flows 500 -trojans 11 -scan 64 -out attack.chct
+//	tracegen -flows 800 -udp-frac 0.4 -gbps 5 -udp-gbps 3 -out mixed.chct
 package main
 
 import (
@@ -25,17 +26,22 @@ func main() {
 	seed := flag.Int64("seed", 42, "deterministic seed")
 	trojans := flag.Int("trojans", 0, "Trojan signatures to implant")
 	scan := flag.Int("scan", 0, "portscan probes to implant")
-	rate := flag.Int64("gbps", 10, "pacing rate in Gbps")
+	rate := flag.Int64("gbps", 10, "pacing rate in Gbps (TCP class when -udp-gbps is set)")
+	udpFrac := flag.Float64("udp-frac", 0, "fraction of flows generated as UDP exchanges (traffic-class mix for DAG forks)")
+	udpPayload := flag.Int("udp-payload", 256, "median UDP response payload bytes")
+	udpRate := flag.Int64("udp-gbps", 0, "UDP-class pacing rate in Gbps; 0 paces all classes together at -gbps")
 	out := flag.String("out", "trace.chct", "output file")
 	flag.Parse()
 
 	tr := trace.Generate(trace.Config{
-		Seed:            *seed,
-		Flows:           *flows,
-		PktsPerFlowMean: *pktsPerFlow,
-		PayloadMedian:   *payload,
-		Hosts:           *hosts,
-		Servers:         *servers,
+		Seed:             *seed,
+		Flows:            *flows,
+		PktsPerFlowMean:  *pktsPerFlow,
+		PayloadMedian:    *payload,
+		Hosts:            *hosts,
+		Servers:          *servers,
+		UDPFrac:          *udpFrac,
+		UDPPayloadMedian: *udpPayload,
 	})
 	if *trojans > 0 {
 		sigs := trace.InjectTrojan(tr, *trojans, *seed+1)
@@ -45,7 +51,11 @@ func main() {
 		trace.InjectPortscan(tr, trace.HostIP(250), *scan, 0.9, tr.Len()/2, *seed+2)
 		fmt.Printf("implanted %d portscan probes from %x\n", *scan, trace.HostIP(250))
 	}
-	tr.Pace(*rate * 1_000_000_000)
+	if *udpRate > 0 {
+		tr.PaceClasses(trace.ClassOfProto, []int64{*rate * 1_000_000_000, *udpRate * 1_000_000_000})
+	} else {
+		tr.Pace(*rate * 1_000_000_000)
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -56,6 +66,15 @@ func main() {
 	if _, err := tr.WriteTo(f); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *udpFrac > 0 {
+		var udp int
+		for _, e := range tr.Events {
+			if trace.ClassOfProto(e.Pkt) == 1 {
+				udp++
+			}
+		}
+		fmt.Printf("class mix: %d tcp, %d udp packets\n", tr.Len()-udp, udp)
 	}
 	fmt.Printf("%s: %d packets, %d bytes wire, %v duration\n",
 		*out, tr.Len(), tr.Bytes(), tr.Duration())

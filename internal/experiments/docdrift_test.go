@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// designIndexIDs extracts the experiment ids from DESIGN.md §3's index
+// table (the backticked first column of each table row).
+func designIndexIDs(t *testing.T) map[string]bool {
+	t.Helper()
+	raw, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatalf("read DESIGN.md: %v", err)
+	}
+	text := string(raw)
+	start := strings.Index(text, "## §3")
+	if start < 0 {
+		t.Fatal("DESIGN.md has no §3 section")
+	}
+	rest := text[start:]
+	if end := strings.Index(rest[1:], "\n## "); end >= 0 {
+		rest = rest[:end+1]
+	}
+	idRe := regexp.MustCompile("(?m)^\\| `([a-z0-9-]+)` \\|")
+	ids := make(map[string]bool)
+	for _, m := range idRe.FindAllStringSubmatch(rest, -1) {
+		ids[m[1]] = true
+	}
+	if len(ids) == 0 {
+		t.Fatal("no experiment ids parsed from DESIGN.md §3 — table format changed?")
+	}
+	return ids
+}
+
+// TestExperimentIndexMatchesDesignDoc is the doc-drift guard: every
+// experiment id in DESIGN.md §3's index must exist in the registry, and
+// every registered experiment must be documented there. Either direction
+// rotting fails CI rather than silently shipping a stale index.
+func TestExperimentIndexMatchesDesignDoc(t *testing.T) {
+	doc := designIndexIDs(t)
+	reg := All()
+	for id := range doc {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("DESIGN.md §3 lists %q but experiments.All() has no such id", id)
+		}
+	}
+	for id := range reg {
+		if !doc[id] {
+			t.Errorf("experiment %q is registered but missing from DESIGN.md §3's index", id)
+		}
+	}
+}

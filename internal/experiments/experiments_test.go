@@ -343,3 +343,43 @@ func TestAllRegistryComplete(t *testing.T) {
 	}
 	_ = time.Now
 }
+
+// TestDAGShape: the policy-DAG experiment's central claims — two disjoint
+// branches at fixed per-vertex capacity approach 2x the single-path
+// completion goodput, every class's chain clocks and branch counters stay
+// conserved, and a branch-vertex crash recovers by replaying only that
+// branch's packets.
+func TestDAGShape(t *testing.T) {
+	tbl := DAG(Small())
+
+	lin := parseGbps(t, row(t, tbl, "linear 1-vertex")[1])
+	fork := parseGbps(t, row(t, tbl, "fork 2-branch")[1])
+	if fork < 1.6*lin {
+		t.Errorf("fork goodput %.2fG not approaching 2x linear %.2fG", fork, lin)
+	}
+	for _, r := range tbl.Rows {
+		if !strings.Contains(r[4], "conserved=true") {
+			t.Errorf("row %q not conserved: %s", r[0], r[4])
+		}
+	}
+	// Both branches must carry real traffic concurrently.
+	tcpG := parseGbps(t, row(t, tbl, "fork 2-branch")[2])
+	udpG := parseGbps(t, row(t, tbl, "fork 2-branch")[3])
+	if tcpG <= 0 || udpG <= 0 {
+		t.Errorf("a branch carried nothing: tcp=%.2fG udp=%.2fG", tcpG, udpG)
+	}
+	cr := row(t, tbl, "fork/rejoin crash")
+	if !strings.Contains(cr[4], "branch-only=true") {
+		t.Errorf("branch crash replayed beyond its branch: %s", cr[4])
+	}
+	if !strings.Contains(cr[4], "dups=0") {
+		t.Errorf("branch crash produced receiver duplicates: %s", cr[4])
+	}
+	var logAtCrash, replayed int
+	if _, err := fmt.Sscanf(cr[4], "log@crash=%d replayed=%d", &logAtCrash, &replayed); err != nil {
+		t.Fatalf("parse %q: %v", cr[4], err)
+	}
+	if replayed <= 0 || replayed >= logAtCrash {
+		t.Errorf("replay should cover a strict subset of the in-flight log: %d/%d", replayed, logAtCrash)
+	}
+}

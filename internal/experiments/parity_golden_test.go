@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"chc/internal/store"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite parity golden digests")
+
+// goldenScenarios are deterministic deployments whose full output digest is
+// pinned in testdata/. They were captured on the linear-chain runtime
+// BEFORE the topology layer was generalized to a policy DAG, so they prove
+// the acceptance criterion that a nil branch spec is byte-identical to the
+// pre-refactor linear wiring (the same pinning approach as
+// TestHandleRawParity, but across refactors rather than across APIs).
+func goldenScenarios() map[string]func() string {
+	o := Opts{Seed: 42, Flows: 60}
+	run := func(mode store.Mode, instances int, shards int) string {
+		ch := parityChainN(o.Seed, mode, false, instances, shards)
+		tr := background(o, 1394)
+		tr.Pace(2_000_000_000)
+		ch.RunTrace(tr, 300*time.Millisecond)
+		return chainDigest(ch)
+	}
+	return map[string]func() string{
+		"linear_eo":         func() string { return run(store.ModeEO, 1, 1) },
+		"linear_eoc":        func() string { return run(store.ModeEOC, 1, 1) },
+		"linear_eocna":      func() string { return run(store.ModeEOCNA, 1, 1) },
+		"linear_multi_i2s2": func() string { return run(store.ModeEOCNA, 2, 2) },
+	}
+}
+
+// TestLinearGoldenParity pins the linear chain's complete observable output
+// (root/sink accounting, alerts, per-instance work, latency percentiles and
+// the final store state) against digests captured before the DAG refactor.
+// With ChainConfig.Topology unset, nothing may change — not a byte.
+func TestLinearGoldenParity(t *testing.T) {
+	for name, gen := range goldenScenarios() {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join("testdata", name+".golden")
+			got := gen()
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-golden on the PRE-refactor tree): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("output diverged from pre-refactor linear chain at %s", firstDiff(got, string(want)))
+			}
+		})
+	}
+}

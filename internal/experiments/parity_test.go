@@ -21,14 +21,22 @@ import (
 // LB) from either handle-based NFs or their raw-Request twins in
 // internal/baseline/rawnf, seeded identically.
 func parityChain(seed int64, mode store.Mode, raw bool) *runtime.Chain {
+	return parityChainN(seed, mode, raw, 1, 1)
+}
+
+// parityChainN is parityChain with per-vertex instance and store-shard
+// counts (the golden parity scenarios cover the splitter and shard paths).
+func parityChainN(seed int64, mode store.Mode, raw bool, instances, shards int) *runtime.Chain {
 	pick := func(handle, rawMk func() nf.NF) func() nf.NF {
 		if raw {
 			return rawMk
 		}
 		return handle
 	}
-	ch := runtime.New(latencyConfig(seed),
-		runtime.VertexSpec{Name: "nat",
+	cfg := latencyConfig(seed)
+	cfg.StoreShards = shards
+	ch := runtime.New(cfg,
+		runtime.VertexSpec{Name: "nat", Instances: instances,
 			Make:    pick(func() nf.NF { return nfnat.New() }, func() nf.NF { return rawnf.NewNAT() }),
 			Backend: runtime.BackendCHC, Mode: mode},
 		runtime.VertexSpec{Name: "trojan",

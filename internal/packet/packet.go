@@ -131,6 +131,10 @@ type Meta struct {
 	BitVec  uint32 // XOR of (instanceID<<16 | objID) per committed-pending update (Fig 6)
 	Flags   uint8
 	CloneID uint16 // for replayed packets: ID of the clone that must process them (§5.3)
+	// Class is the traffic-class index the root's fork classifier assigned:
+	// it selects which branch of the policy DAG the packet traverses at
+	// every fork. Linear chains have a single class, 0.
+	Class uint8
 }
 
 // Packet is a parsed packet plus CHC metadata. Payload bytes are not
@@ -288,12 +292,12 @@ func (p *Packet) Marshal(buf []byte) (int, error) {
 		return 0, ErrShort
 	}
 	be := binary.BigEndian
-	// CHC shim: clock (8) | bitvec (4) | flags (1) | cloneID (2) | reserved (1)
+	// CHC shim: clock (8) | bitvec (4) | flags (1) | cloneID (2) | class (1)
 	be.PutUint64(buf[0:], p.Meta.Clock)
 	be.PutUint32(buf[8:], p.Meta.BitVec)
 	buf[12] = p.Meta.Flags
 	be.PutUint16(buf[13:], p.Meta.CloneID)
-	buf[15] = 0
+	buf[15] = p.Meta.Class
 	ip := buf[ShimLen:]
 	ihl := 5
 	ip[0] = 4<<4 | byte(ihl)
@@ -340,6 +344,7 @@ func (p *Packet) Unmarshal(buf []byte) (int, error) {
 	p.Meta.BitVec = be.Uint32(buf[8:])
 	p.Meta.Flags = buf[12]
 	p.Meta.CloneID = be.Uint16(buf[13:])
+	p.Meta.Class = buf[15]
 	ip := buf[ShimLen:]
 	if ip[0]>>4 != 4 {
 		return 0, ErrVersion

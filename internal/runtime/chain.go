@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"chc/internal/nf"
+	"chc/internal/packet"
 	"chc/internal/simnet"
 	"chc/internal/store"
 	"chc/internal/vtime"
@@ -109,6 +110,13 @@ type ChainConfig struct {
 	// instance has worked through every packet queued before the "last"
 	// mark. Zero means 250ms.
 	HandoverTimeout time.Duration
+
+	// Topology, when non-nil, generalizes the linear chain into a policy
+	// DAG: one ordered vertex path per traffic class, with the root's
+	// classifier picking each packet's branch (see TopologySpec). Nil keeps
+	// the historical linear order over the declared on-path vertices,
+	// byte-identically.
+	Topology *TopologySpec
 }
 
 // DefaultChainConfig matches the calibration in DESIGN.md: 15µs one-way
@@ -148,6 +156,18 @@ type Chain struct {
 	Metrics  *Metrics
 
 	nextInstanceID uint16
+	// xorAlias maps replacement/clone instance IDs to the canonical
+	// instance whose Fig 6 identity they contribute under (see
+	// Instance.xorID and aliasInstance).
+	xorAlias map[uint16]uint16
+
+	// Policy-DAG state (see topology.go). classNames indexes traffic
+	// classes; classPaths holds each class's ordered on-path vertex
+	// sequence; classify is nil for linear chains (single class 0).
+	classNames []string
+	classIdx   map[string]uint8
+	classPaths [][]*Vertex
+	classify   func(*packet.Packet) string
 }
 
 // Vertex is the physical realization of a VertexSpec.
@@ -159,8 +179,13 @@ type Vertex struct {
 	Manager   *VertexManager
 	chain     *Chain
 
-	// Topology wiring (set by wireTopology).
-	downstream  *Vertex
+	// Topology wiring (set by wireTopology): next maps traffic-class index
+	// -> successor vertex on that class's path (nil entry = this vertex is
+	// the class's tail); onClass marks class membership. Linear chains have
+	// exactly one class, so len(next) == 1 and next[0] is the historical
+	// downstream pointer.
+	next        []*Vertex
+	onClass     []bool
 	offPathTaps []*Vertex
 }
 
@@ -168,7 +193,8 @@ type Vertex struct {
 func New(cfg ChainConfig, spec ...VertexSpec) *Chain {
 	sim := vtime.NewSim(cfg.Seed)
 	net := simnet.New(sim, simnet.LinkConfig{Latency: cfg.LinkLatency})
-	c := &Chain{cfg: cfg, sim: sim, net: net, spec: spec, Metrics: NewMetrics()}
+	c := &Chain{cfg: cfg, sim: sim, net: net, spec: spec, Metrics: NewMetrics(),
+		xorAlias: make(map[uint16]uint16)}
 
 	nshards := cfg.StoreShards
 	if nshards <= 0 {
@@ -238,37 +264,6 @@ func (c *Chain) OnPath() []*Vertex {
 	return out
 }
 
-// lastOnPath returns the final on-path vertex.
-func (c *Chain) lastOnPath() *Vertex {
-	on := c.OnPath()
-	if len(on) == 0 {
-		return nil
-	}
-	return on[len(on)-1]
-}
-
-// wireTopology connects root -> v1 -> ... -> sink and attaches off-path
-// vertices to the preceding on-path vertex.
-func (c *Chain) wireTopology() {
-	var prevOn *Vertex
-	for _, v := range c.Vertices {
-		if v.Spec.OffPath {
-			if prevOn != nil {
-				prevOn.offPathTaps = append(prevOn.offPathTaps, v)
-			} else {
-				c.Root.offPathTaps = append(c.Root.offPathTaps, v)
-			}
-			continue
-		}
-		if prevOn == nil {
-			c.Root.downstream = v
-		} else {
-			prevOn.downstream = v
-		}
-		prevOn = v
-	}
-}
-
 // sendControl delivers a framework control message to a component.
 func (c *Chain) sendControl(to string, payload any) {
 	c.net.Send(simnet.Message{From: "framework", To: to, Payload: payload, Size: 16})
@@ -322,6 +317,27 @@ func (v *Vertex) Seed(fn func(apply func(store.Request))) {
 	if !done {
 		panic("runtime: Seed did not complete")
 	}
+}
+
+// xorIDFor resolves an instance ID to the canonical identity used for
+// Fig 6 XOR accounting (itself unless aliased by aliasInstance).
+func (c *Chain) xorIDFor(id uint16) uint16 {
+	if canon, ok := c.xorAlias[id]; ok {
+		return canon
+	}
+	return id
+}
+
+// aliasInstance makes nu contribute to Fig 6 bit vectors under the
+// identity of the instance it stands in for (failover replacement,
+// straggler clone). Commit signals the old instance already sent then
+// match vectors the new one computes for the same ops — the root
+// canonicalizes both sides through this map. Chained failovers resolve to
+// the original identity.
+func (c *Chain) aliasInstance(nu, old *Instance) {
+	canon := c.xorIDFor(old.ID)
+	c.xorAlias[nu.ID] = canon
+	nu.xorID = canon
 }
 
 // Instance lookup by global instance ID.

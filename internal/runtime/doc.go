@@ -6,15 +6,23 @@
 // straggler cloning, and the failover paths for NF instances, roots and
 // datastore shards.
 //
+// The topology is a directed acyclic policy graph (ChainConfig.Topology):
+// one ordered vertex path per traffic class, classified once at the root
+// and routed by per-class successor tables at every fork, with rejoins
+// falling out of shared path suffixes. The correctness machinery is
+// path-aware — per-class chain clocks, the Fig 6 check against each
+// packet's class path, and branch-local replay on recovery. A nil
+// topology collapses to the classic linear chain byte-identically.
+//
 // The datastore tier is a set of shard servers (ChainConfig.StoreShards)
 // behind consistent-hash key partitioning; Chain.StoreFor locates a key's
 // shard and Chain.RecoverStoreShard rebuilds a crashed shard from the
 // clients' per-shard WAL slices. Elastic scaling is first-class:
 // Chain.ScaleOut adds an NF instance and moves only the flows that remap
 // onto it (Fig 4 handovers, no in-flight reordering), and Chain.ScaleIn
-// drains an instance back out loss-free.
+// drains an instance back out loss-free — on any branch of the DAG.
 //
 // Everything runs on the deterministic simulation substrate of
-// internal/vtime + internal/simnet; see DESIGN.md §1 for the rationale and
-// §5 for the sharding/elasticity design.
+// internal/vtime + internal/simnet; see DESIGN.md §1 for the rationale,
+// §5 for the sharding/elasticity design and §6 for the policy-DAG model.
 package runtime

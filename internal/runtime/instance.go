@@ -41,6 +41,14 @@ type Instance struct {
 	vertex   *Vertex
 	ID       uint16
 	Endpoint string
+	// xorID is the instance identity used for Fig 6 XOR bit-vector
+	// contributions. Normally the instance's own ID; a failover
+	// replacement or straggler clone inherits the instance it stands in
+	// for (Chain.aliasInstance), so a replayed or replicated packet's
+	// vector matches commit signals the ORIGINAL instance already sent —
+	// otherwise every clock with pre-crash commits would stay unbalanced
+	// (and logged at the root) forever.
+	xorID uint16
 
 	nfImpl nf.NF
 	state  nf.State
@@ -52,11 +60,22 @@ type Instance struct {
 	// seen implements queue-level duplicate suppression (R5): clocks this
 	// instance has already accepted.
 	seen map[uint64]struct{}
+	// xorLog records the XOR bit-vector contribution of each processed
+	// clock. A replayed packet re-executed here on its way to a downstream
+	// clone repeats the RECORDED contribution instead of the recomputed
+	// one: reads are not clock-emulated, so re-executed control flow can
+	// drift (e.g. a FIN whose port mapping the first pass already
+	// deleted), and a drifted vector would leave the packet's Fig 6 check
+	// unbalanced forever. Growth is one entry per clock, like seen.
+	xorLog map[uint64]uint32
 
 	// parked buffers replicated live traffic while replayed traffic is
 	// being processed (§5.3 straggler cloning / failover bring-up).
-	buffering bool
-	parked    []PacketMsg
+	// markersLeft counts the end-of-replay markers still expected — one
+	// per traffic class routed through this vertex — before the drain.
+	buffering   bool
+	parked      []PacketMsg
+	markersLeft int
 
 	// ExtraDelay, if set, adds per-packet delay to THIS instance
 	// (straggler/slow-NF emulation for the R4/R5 experiments). It receives
@@ -90,8 +109,10 @@ func (c *Chain) newInstance(v *Vertex) *Instance {
 		vertex:   v,
 		ID:       id,
 		Endpoint: ep,
+		xorID:    id,
 		nfImpl:   v.Spec.Make(),
 		seen:     make(map[uint64]struct{}),
+		xorLog:   make(map[uint64]uint32),
 	}
 	switch v.Spec.Backend {
 	case BackendTraditional:
@@ -205,22 +226,42 @@ func (i *Instance) handlePacket(p *vtime.Proc, ctx *nf.Ctx, m PacketMsg) {
 	replay := pkt.Meta.Flags&packet.MetaReplay != 0
 
 	// End-of-replay control marker (Proto 0): never processed as traffic.
-	// If it is ours, stop buffering and drain; otherwise pass it down the
-	// chain behind the replayed packets (FIFO per hop; chains with multiple
-	// instances upstream of the clone inherit the paper's assumption that
-	// replay traffic reaches the clone before the marker).
+	// If it is ours, count it off — the root sends one marker per traffic
+	// class routed through the clone's vertex, and the drain starts only
+	// after the last one, so no class's replay traffic can be overtaken by
+	// another class's marker at a rejoin clone. Otherwise pass it down its
+	// class path behind the replayed packets (FIFO per hop; chains with
+	// multiple workers upstream of the clone inherit the paper's assumption
+	// that replay traffic reaches the clone before the marker).
 	if pkt.Proto == 0 && pkt.Meta.Flags&packet.MetaLastRp != 0 {
 		if pkt.Meta.CloneID == i.ID {
-			i.endReplay(p, ctx)
-		} else if i.vertex.downstream != nil {
-			i.vertex.downstream.Splitter.Route(i.Endpoint, pkt, p.Now())
+			i.markersLeft--
+			if i.markersLeft <= 0 {
+				i.endReplay(p, ctx)
+			}
+		} else if nxt := i.vertex.nextFor(pkt); nxt != nil {
+			nxt.Splitter.Route(i.Endpoint, pkt, p.Now())
 		}
 		return
 	}
 
 	// R5 duplicate suppression at the queue: a clock this instance already
-	// accepted is dropped before processing.
-	if _, dup := i.seen[clock]; dup {
+	// accepted is dropped before processing. Exception: a replayed packet
+	// bound for a clone farther down its path must keep traveling even
+	// though this instance already processed it on the first pass — it is
+	// re-executed in emulation (the store's per-clock duplicate log repeats
+	// every op's logged result, so state, outputs and XOR contributions
+	// replay the first pass exactly) rather than suppressed, which would
+	// starve the clone of its recovery stream whenever the failed vertex
+	// is not the head of its path.
+	_, dup := i.seen[clock]
+	if dup && replay && pkt.Meta.CloneID != i.ID {
+		if clone := i.chain.instanceByID(pkt.Meta.CloneID); clone != nil &&
+			i.chain.downstreamOf(pkt.Meta.Class, i.vertex, clone.vertex) {
+			dup = false
+		}
+	}
+	if dup {
 		i.DupSeen++
 		if pkt.IsSYN() || pkt.IsSYNACK() || pkt.IsRST() {
 			i.DupStateEvents++
@@ -230,14 +271,19 @@ func (i *Instance) handlePacket(p *vtime.Proc, ctx *nf.Ctx, m PacketMsg) {
 			return
 		}
 	}
-	i.seen[clock] = struct{}{}
 
 	// §5.3: while a clone processes replayed traffic, replicated live
-	// traffic is buffered by the framework.
+	// traffic is buffered by the framework. Parked packets are NOT marked
+	// seen yet: the end-of-replay drain re-runs the duplicate check, so a
+	// replayed copy of the same clock processed meanwhile wins and the
+	// parked copy is suppressed then. Marking them seen here would make
+	// the drain suppress live traffic that only ever arrived once —
+	// dropped packets during every mid-flight failover.
 	if i.buffering && !replay {
 		i.parked = append(i.parked, m)
 		return
 	}
+	i.seen[clock] = struct{}{}
 
 	// Fig 4 handover, new-instance side: the first packet of a moved flow
 	// acquires per-flow state ownership (waiting for the old instance's
@@ -297,8 +343,15 @@ func (i *Instance) process(p *vtime.Proc, ctx *nf.Ctx, pkt *packet.Packet) {
 	var xor uint32
 	if i.client != nil {
 		for _, obj := range ctx.Updated {
-			xor ^= uint32(i.ID)<<16 | uint32(obj)
+			xor ^= uint32(i.xorID)<<16 | uint32(obj)
 		}
+	}
+	if prev, done := i.xorLog[pkt.Meta.Clock]; done {
+		// Re-executed pass-through toward a downstream clone: repeat the
+		// first pass's recorded contribution (see xorLog).
+		xor = prev
+	} else {
+		i.xorLog[pkt.Meta.Clock] = xor
 	}
 
 	for _, out := range outs {
@@ -312,19 +365,20 @@ func (i *Instance) process(p *vtime.Proc, ctx *nf.Ctx, pkt *packet.Packet) {
 	}
 }
 
-// forward routes one output packet: off-path taps get copies; the last
-// on-path NF performs the delete protocol and emits to the sink.
+// forward routes one output packet: off-path taps get copies; the next
+// hop is the packet's class-path successor; the tail of the class's path
+// performs the delete protocol and emits to the sink.
 func (i *Instance) forward(p *vtime.Proc, out *packet.Packet) {
 	v := i.vertex
 	for _, tap := range v.offPathTaps {
 		tap.Splitter.Route(i.Endpoint, out.Clone(), p.Now())
 	}
-	if v.downstream != nil {
-		v.downstream.Splitter.Route(i.Endpoint, out, p.Now())
+	if nxt := v.nextFor(out); nxt != nil {
+		nxt.Splitter.Route(i.Endpoint, out, p.Now())
 		return
 	}
-	// Last on-path NF: the receiver already has this packet if the root
-	// marked it no-output during replay.
+	// Tail of this packet's path: the receiver already has this packet if
+	// the root marked it no-output during replay.
 	if out.Meta.Flags&packet.MetaNoOut != 0 {
 		return
 	}
@@ -352,20 +406,41 @@ func (i *Instance) sendDelete(p *vtime.Proc, clock uint64, vec uint32) {
 
 // StartReplayTarget puts the instance into replay mode: replayed packets
 // process immediately, live replicated traffic parks until end-of-replay.
+// The drain waits for one marker per traffic class routed through this
+// vertex (the same set the root sends markers for).
 func (i *Instance) StartReplayTarget() {
 	i.buffering = true
+	i.markersLeft = 0
+	for ci := range i.chain.classPaths {
+		if i.vertex.OnClass(uint8(ci)) {
+			i.markersLeft++
+		}
+	}
+	if i.markersLeft == 0 {
+		i.markersLeft = 1
+	}
 }
 
-// endReplay drains parked traffic after the end-of-replay marker (§5.3:
-// "the framework hands buffered packets to the clone for processing").
+// endReplay drains parked traffic after the last end-of-replay marker
+// (§5.3: "the framework hands buffered packets to the clone for
+// processing"). The drain runs the same duplicate accounting as the live
+// queue: a parked copy whose clock was meanwhile replayed counts toward
+// DupSeen/DupStateEvents (the Table 5 metrics) and is suppressed only when
+// suppression is on.
 func (i *Instance) endReplay(p *vtime.Proc, ctx *nf.Ctx) {
 	i.buffering = false
 	parked := i.parked
 	i.parked = nil
 	for _, m := range parked {
-		if _, dup := i.seen[m.Pkt.Meta.Clock]; dup && i.chain.cfg.DupSuppress {
-			i.Suppressed++
-			continue
+		if _, dup := i.seen[m.Pkt.Meta.Clock]; dup {
+			i.DupSeen++
+			if m.Pkt.IsSYN() || m.Pkt.IsSYNACK() || m.Pkt.IsRST() {
+				i.DupStateEvents++
+			}
+			if i.chain.cfg.DupSuppress {
+				i.Suppressed++
+				continue
+			}
 		}
 		i.seen[m.Pkt.Meta.Clock] = struct{}{}
 		i.process(p, ctx, m.Pkt)

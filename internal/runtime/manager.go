@@ -172,6 +172,7 @@ func (c *Chain) FailoverNF(old *Instance) *Instance {
 		s.Engine().ReassignOwner(old.ID, nu.ID)
 	}
 	v.Splitter.Redirect(old.ID, nu.ID)
+	c.aliasInstance(nu, old)
 	nu.StartReplayTarget()
 	nu.Start()
 	// Replay brings state up to speed with in-transit packets.
@@ -186,6 +187,7 @@ func (c *Chain) FailoverNF(old *Instance) *Instance {
 func (c *Chain) CloneStraggler(straggler *Instance) *Instance {
 	v := straggler.vertex
 	clone := c.newInstance(v) // per-instance ExtraDelay is not inherited
+	c.aliasInstance(clone, straggler)
 	clone.StartReplayTarget()
 	v.Instances = append(v.Instances, clone)
 	clone.Start()

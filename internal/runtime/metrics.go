@@ -18,12 +18,15 @@ type Sink struct {
 
 	Received   uint64
 	Duplicates uint64
-	seen       map[uint64]struct{}
+	// ReceivedByClass counts deliveries per traffic class (policy-DAG
+	// deployments; linear chains put everything under class 0).
+	ReceivedByClass map[uint8]uint64
+	seen            map[uint64]struct{}
 }
 
 // NewSink builds the sink.
 func NewSink(c *Chain) *Sink {
-	return &Sink{chain: c, seen: make(map[uint64]struct{})}
+	return &Sink{chain: c, seen: make(map[uint64]struct{}), ReceivedByClass: make(map[uint8]uint64)}
 }
 
 // Start spawns the sink process.
@@ -37,6 +40,7 @@ func (s *Sink) Start() {
 				continue
 			}
 			s.Received++
+			s.ReceivedByClass[m.Pkt.Meta.Class]++
 			if _, dup := s.seen[m.Pkt.Meta.Clock]; dup {
 				s.Duplicates++
 			}

@@ -30,6 +30,11 @@ type rootLogEntry struct {
 	pkt       *packet.Packet
 	gotDelete bool
 	finalVec  uint32
+	// class is the traffic class the fork classifier assigned at ingest:
+	// replay uses it to resend only the packets whose branch reaches the
+	// recovering vertex, and the Fig 6 commit accounting uses it to reject
+	// commits from vertices off the packet's path.
+	class uint8
 }
 
 // Root is the chain entry: it stamps logical clocks, logs in-flight
@@ -43,7 +48,7 @@ type Root struct {
 	log         map[uint64]*rootLogEntry
 	order       []uint64 // insertion-ordered clocks (replay iterates this)
 	commitXor   map[uint64]uint32
-	downstream  *Vertex
+	next        []*Vertex // successor per traffic class (see topology.go)
 	offPathTaps []*Vertex
 	proc        *vtime.Proc
 
@@ -52,6 +57,12 @@ type Root struct {
 	Deleted  uint64
 	Dropped  uint64
 	Replayed uint64
+	// Per-class chain clocks (indexed by traffic-class index): how many
+	// packets of each class were stamped and how many finished the Fig 6
+	// delete protocol. InjectedByClass[i] == DeletedByClass[i] once a
+	// class's traffic has drained is the per-branch conservation balance.
+	InjectedByClass []uint64
+	DeletedByClass  []uint64
 }
 
 // NewRoot builds a root (not started).
@@ -117,8 +128,10 @@ func (r *Root) ingest(p *vtime.Proc, m PacketMsg) {
 	}
 	r.ctr++
 	clock := packet.MakeClock(r.ID, r.ctr)
+	class := r.chain.ClassOf(m.Pkt)
 	m.Pkt.Meta.Clock = clock
 	m.Pkt.Meta.BitVec = 0
+	m.Pkt.Meta.Class = class
 	m.Pkt.IngressNs = int64(p.Now())
 	start := p.Now()
 
@@ -144,10 +157,18 @@ func (r *Root) ingest(p *vtime.Proc, m PacketMsg) {
 		}
 		p.Sleep(cost)
 	}
-	r.log[clock] = &rootLogEntry{pkt: m.Pkt}
+	// Log a CLONE, not the forwarded packet: NFs that forward a packet
+	// unmodified return the same object, and the per-hop BitVec XOR would
+	// otherwise mutate the logged copy through the shared pointer — replay
+	// would then resend packets with stale first-pass vector bits, leaving
+	// their Fig 6 checks permanently unbalanced.
+	r.log[clock] = &rootLogEntry{pkt: m.Pkt.Clone(), class: class}
 	r.order = append(r.order, clock)
 
 	r.Injected++
+	if int(class) < len(r.InjectedByClass) {
+		r.InjectedByClass[class]++
+	}
 	r.chain.Metrics.ProcTime("root", p.Now().Sub(start))
 	r.forward(p, m.Pkt, p.Now())
 }
@@ -156,8 +177,10 @@ func (r *Root) forward(p *vtime.Proc, pkt *packet.Packet, now vtime.Time) {
 	for _, tap := range r.offPathTaps {
 		tap.Splitter.Route(r.Endpoint, pkt.Clone(), now)
 	}
-	if r.downstream != nil {
-		r.downstream.Splitter.Route(r.Endpoint, pkt, now)
+	if int(pkt.Meta.Class) < len(r.next) {
+		if nxt := r.next[pkt.Meta.Class]; nxt != nil {
+			nxt.Splitter.Route(r.Endpoint, pkt, now)
+		}
 	}
 }
 
@@ -183,12 +206,23 @@ func (r *Root) handleDelete(m DeleteMsg) {
 // from off-path instances are excluded: their XOR contributions travel on
 // traffic COPIES that never reach the chain tail, so counting them would
 // permanently unbalance the delete check for any packet an off-path NF
-// updated state for.
+// updated state for. The same reasoning makes the check path-aware in a
+// policy DAG: a commit from a vertex off the packet's class path can only
+// come from stray or duplicated traffic (the class routing never sends the
+// packet there), so it is excluded rather than XORed into the balance.
 func (r *Root) handleCommit(m store.CommitMsg) {
-	if in := r.chain.instanceByID(m.Instance); in != nil && in.vertex.Spec.OffPath {
-		return
+	if in := r.chain.instanceByID(m.Instance); in != nil {
+		if in.vertex.Spec.OffPath {
+			return
+		}
+		if ent, ok := r.log[m.Clock]; ok && !in.vertex.OnClass(ent.class) {
+			return
+		}
 	}
-	r.commitXor[m.Clock] ^= uint32(m.Instance)<<16 | uint32(m.Key.Obj)
+	// Canonicalize the committing instance: a failover replacement or
+	// clone signs its vectors with the instance it stands in for, so its
+	// commits must accumulate under the same identity.
+	r.commitXor[m.Clock] ^= uint32(r.chain.xorIDFor(m.Instance))<<16 | uint32(m.Key.Obj)
 	if ent, ok := r.log[m.Clock]; ok && ent.gotDelete {
 		r.tryDelete(m.Clock, ent)
 	}
@@ -203,6 +237,9 @@ func (r *Root) tryDelete(clock uint64, ent *rootLogEntry) {
 	delete(r.log, clock)
 	delete(r.commitXor, clock)
 	r.Deleted++
+	if int(ent.class) < len(r.DeletedByClass) {
+		r.DeletedByClass[ent.class]++
+	}
 	// Prune the duplicate-suppression logs for this packet. Every shard may
 	// hold entries for the clock (the packet's updates can span shards), so
 	// the delete broadcasts.
@@ -212,8 +249,12 @@ func (r *Root) tryDelete(clock uint64, ent *rootLogEntry) {
 	}
 }
 
-// replay resends every logged packet in clock order, marked as replay
-// traffic destined for cloneID; the last carries the end-of-replay marker.
+// replay resends logged packets in clock order, marked as replay traffic
+// destined for cloneID; the last carries the end-of-replay marker. In a
+// policy DAG only the clone's branch is replayed: a logged packet whose
+// class path never reaches the clone's vertex cannot rebuild any state the
+// clone needs (it would only burn cycles on other branches before being
+// duplicate-suppressed), so it stays logged but is not resent.
 func (r *Root) replay(p *vtime.Proc, cloneID uint16) {
 	// Compact order: drop deleted clocks.
 	live := r.order[:0]
@@ -223,9 +264,13 @@ func (r *Root) replay(p *vtime.Proc, cloneID uint16) {
 		}
 	}
 	r.order = live
+	clone := r.chain.instanceByID(cloneID)
 	now := p.Now()
 	for _, c := range live {
 		ent := r.log[c]
+		if clone != nil && !clone.vertex.OnClass(ent.class) {
+			continue
+		}
 		cp := ent.pkt.Clone()
 		cp.Meta.Flags |= packet.MetaReplay
 		cp.Meta.CloneID = cloneID
@@ -237,14 +282,37 @@ func (r *Root) replay(p *vtime.Proc, cloneID uint16) {
 		r.Replayed++
 		r.forward(p, cp, now)
 	}
-	// End-of-replay marker: a dedicated control packet (Proto 0). It flows
-	// through the chain BEHIND the replayed packets (FIFO links) and each
-	// splitter hands it to the clone directly, so the clone sees it after
-	// all replay traffic regardless of flow partitioning.
-	marker := &packet.Packet{}
-	marker.Meta.Flags = packet.MetaReplay | packet.MetaLastRp
-	marker.Meta.CloneID = cloneID
-	r.forward(p, marker, now)
+	// End-of-replay markers: dedicated control packets (Proto 0) that flow
+	// through the chain BEHIND the replayed packets (FIFO links); each
+	// splitter hands them to the clone directly, so the clone sees them
+	// after all replay traffic regardless of flow partitioning. One marker
+	// is sent PER CLASS routed through the clone's vertex — each trails
+	// its own class's replay stream down its own branch, and the clone
+	// drains only after the last arrives (a single marker could overtake
+	// another class's replay traffic at a rejoin clone).
+	sendMarker := func(class uint8) {
+		marker := &packet.Packet{}
+		marker.Meta.Flags = packet.MetaReplay | packet.MetaLastRp
+		marker.Meta.CloneID = cloneID
+		marker.Meta.Class = class
+		r.forward(p, marker, now)
+	}
+	sent := false
+	if clone != nil {
+		for ci := range r.chain.classPaths {
+			if clone.vertex.OnClass(uint8(ci)) {
+				sendMarker(uint8(ci))
+				sent = true
+			}
+		}
+	}
+	if !sent {
+		cls := uint8(0)
+		if clone != nil {
+			cls = r.chain.classThrough(clone.vertex)
+		}
+		sendMarker(cls)
+	}
 }
 
 // Inject delivers an external packet to the root (workload drivers).
@@ -264,8 +332,10 @@ func (c *Chain) RecoverRoot() (newRoot *Root, took time.Duration) {
 	old := c.Root
 	old.Crash()
 	nr := NewRoot(c, old.ID, old.Endpoint)
-	nr.downstream = old.downstream
+	nr.next = old.next
 	nr.offPathTaps = old.offPathTaps
+	nr.InjectedByClass = make([]uint64, len(old.InjectedByClass))
+	nr.DeletedByClass = make([]uint64, len(old.DeletedByClass))
 
 	done := vtime.NewFuture[time.Duration](c.sim)
 	c.sim.Spawn("root-recovery", func(p *vtime.Proc) {
@@ -288,6 +358,17 @@ func (c *Chain) RecoverRoot() (newRoot *Root, took time.Duration) {
 			n = 1
 		}
 		nr.ctr = last + n
+		if nr.ctr <= old.ctr {
+			// Clock persistence off (or stale): the persisted floor cannot
+			// prevent clock recycling — and recycled clocks are corrupt
+			// everywhere (instance/sink dedup sets, store prune tombstones
+			// all treat them as already-finished packets). The paper makes
+			// persistence a prerequisite of root recovery; when the model
+			// runs without it, the simulator's knowledge of the crashed
+			// root's counter stands in for that prerequisite. With
+			// persistence on this branch is unreachable (last >= ctr-(n-1)).
+			nr.ctr = old.ctr + 1
+		}
 		// Query flow allocation from one instance of each on-path vertex.
 		for _, v := range c.OnPath() {
 			for _, in := range v.Instances {

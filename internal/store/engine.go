@@ -150,6 +150,8 @@ type Engine struct {
 	// that clock induced (§5.3). Pruned when the root deletes the packet.
 	logMu  sync.Mutex
 	updLog map[uint64]map[Key]Value
+	// pruned tombstones completed clocks (see PruneClock).
+	pruned map[uint64]struct{}
 
 	// Non-deterministic value support.
 	rng   *rand.Rand
@@ -179,6 +181,7 @@ func NewEngine(nshards int) *Engine {
 		mask:    uint64(n - 1),
 		customs: make(map[string]CustomOp),
 		updLog:  make(map[uint64]map[Key]Value),
+		pruned:  make(map[uint64]struct{}),
 		ts:      make(map[uint16]uint64),
 		rng:     rand.New(rand.NewSource(1)),
 		nowFn:   func() int64 { return 0 },
@@ -209,10 +212,19 @@ func (e *Engine) shardFor(k Key) *shard {
 	return &e.shards[h&e.mask]
 }
 
-// lookupDup returns the logged result for (clock,key), if any.
+// lookupDup returns the logged result for (clock,key), if any. A pruned
+// clock reads as seen with a zero value: pruning only happens once the
+// packet fully committed and left the chain, so any op still arriving with
+// that clock is a duplicate re-execution (e.g. a replayed copy that raced
+// the first pass's completion) and must be absorbed, not re-applied. The
+// first pass's output already reached the receiver, so the zero emulated
+// value is never NF-visible.
 func (e *Engine) lookupDup(clock uint64, k Key) (Value, bool) {
 	e.logMu.Lock()
 	defer e.logMu.Unlock()
+	if _, ok := e.pruned[clock]; ok {
+		return Value{}, true
+	}
 	m, ok := e.updLog[clock]
 	if !ok {
 		return Value{}, false
@@ -233,10 +245,14 @@ func (e *Engine) logDup(clock uint64, k Key, result Value) {
 }
 
 // PruneClock discards duplicate-suppression log entries for a packet whose
-// processing completed (root "delete", §5).
+// processing completed (root "delete", §5), leaving a tombstone so a
+// re-executed op for the finished packet can never double-apply. The
+// tombstone set grows one entry per completed packet — the same order as
+// the instances' per-clock duplicate-suppression sets.
 func (e *Engine) PruneClock(clock uint64) {
 	e.logMu.Lock()
 	delete(e.updLog, clock)
+	e.pruned[clock] = struct{}{}
 	e.logMu.Unlock()
 }
 
@@ -479,18 +495,30 @@ func (e *Engine) applyBatch(req *Request) Reply {
 	}
 
 	// Split entries into fresh and already-applied (duplicate-suppressed).
+	// Dedup also WITHIN the batch: a replayed packet re-executed at an
+	// instance can re-issue an op whose first-pass twin is still sitting
+	// unflushed in the same coalesce buffer — the two same-clock entries
+	// arrive in one batch, invisible to the flushed-op log, and applying
+	// both would double the counter and double-fire the commit signal
+	// (which XOR-cancels at the root, wedging the packet's Fig 6 check).
 	all := make([]BatchEntry, 0, len(req.Batch)+1)
 	all = append(all, BatchEntry{Clock: req.Clock, Delta: req.Arg.Int})
 	all = append(all, req.Batch...)
 	fresh := make([]BatchEntry, 0, len(all))
+	inBatch := make(map[uint64]bool, len(all))
 	var delta int64
 	dups := 0
 	for _, b := range all {
 		if b.Clock != 0 {
+			if inBatch[b.Clock] {
+				dups++
+				continue
+			}
 			if _, seen := e.lookupDup(b.Clock, req.Key); seen {
 				dups++
 				continue
 			}
+			inBatch[b.Clock] = true
 		}
 		fresh = append(fresh, b)
 		delta += b.Delta

@@ -197,12 +197,23 @@ func TestDuplicateSuppression(t *testing.T) {
 	if got, _ := e.Get(key); got.Int != 1 {
 		t.Fatalf("state = %v, want 1 (duplicate applied!)", got)
 	}
-	// After the root deletes the packet, the log is pruned and a new op with
-	// a recycled clock applies normally.
+	// After the root deletes the packet, the log is pruned but a tombstone
+	// remains: the packet fully committed and left the chain, so a late
+	// re-executed op with its clock (a replayed copy racing the first
+	// pass's completion) must be absorbed, never re-applied. Clocks are
+	// never recycled (RecoverRoot restarts past every assigned clock).
 	e.PruneClock(99)
 	r3 := e.Apply(&Request{Op: OpIncr, Key: key, Arg: IntVal(1), Clock: 99, Instance: 1})
-	if r3.Emulated || r3.Val.Int != 2 {
-		t.Fatalf("post-prune = %+v", r3)
+	if !r3.Emulated {
+		t.Fatalf("post-prune = %+v, want emulated (tombstoned clock re-applied!)", r3)
+	}
+	if got, _ := e.Get(key); got.Int != 1 {
+		t.Fatalf("state = %v, want 1 (completed packet double-applied)", got)
+	}
+	// A different, never-pruned clock still applies.
+	r4 := e.Apply(&Request{Op: OpIncr, Key: key, Arg: IntVal(1), Clock: 100, Instance: 1})
+	if r4.Emulated || r4.Val.Int != 2 {
+		t.Fatalf("fresh clock = %+v", r4)
 	}
 }
 
@@ -519,4 +530,36 @@ func BenchmarkEngineParallelIncr(b *testing.B) {
 			i++
 		}
 	})
+}
+
+func TestBatchIntraBatchClockDedup(t *testing.T) {
+	// A replayed packet re-executed at an instance can re-issue an op whose
+	// first-pass twin is still unflushed in the same coalesce buffer: the
+	// batch then carries the SAME clock twice. Exactly one entry may apply
+	// (and exactly one commit signal fire), or the packet's XOR check
+	// self-cancels and wedges.
+	e := NewEngine(4)
+	var commits []uint64
+	e.SetHooks(Hooks{OnCommit: func(clock uint64, _ uint16, _ Key) {
+		commits = append(commits, clock)
+	}})
+	key := k(1, 1, 0)
+	rep := e.Apply(&Request{Op: OpIncr, Key: key, Arg: IntVal(1), Clock: 7, Instance: 1,
+		Batch: []BatchEntry{{Clock: 8, Delta: 1}, {Clock: 7, Delta: 1}, {Clock: 9, Delta: 1}}})
+	if !rep.OK {
+		t.Fatalf("batch = %+v", rep)
+	}
+	if got, _ := e.Get(key); got.Int != 3 {
+		t.Fatalf("state = %v, want 3 (clock 7 must apply once)", got)
+	}
+	want := map[uint64]int{7: 1, 8: 1, 9: 1}
+	got := map[uint64]int{}
+	for _, c := range commits {
+		got[c]++
+	}
+	for c, n := range want {
+		if got[c] != n {
+			t.Fatalf("commit count for clock %d = %d, want %d (commits %v)", c, got[c], n, commits)
+		}
+	}
 }

@@ -52,6 +52,38 @@ func (t *Trace) Pace(bps int64) {
 	}
 }
 
+// PaceClasses assigns constant-bit-rate arrivals independently per traffic
+// class: classOf maps each packet to an index into bps (out-of-range
+// indices use bps[0]), every class paces its own packet stream at its own
+// rate, and the streams merge by arrival time. This is what drives a
+// policy-DAG fork with per-branch offered loads. The sort is stable, so
+// same-instant packets keep their generation-order interleave.
+func (t *Trace) PaceClasses(classOf func(*packet.Packet) int, bps []int64) {
+	if len(bps) == 0 {
+		return
+	}
+	now := make([]vtime.Time, len(bps))
+	for i := range t.Events {
+		ci := classOf(t.Events[i].Pkt)
+		if ci < 0 || ci >= len(bps) {
+			ci = 0
+		}
+		gap := time.Duration(int64(t.Events[i].Pkt.WireLen()) * 8 * int64(time.Second) / bps[ci])
+		now[ci] = now[ci].Add(gap)
+		t.Events[i].At = now[ci]
+	}
+	sort.SliceStable(t.Events, func(a, b int) bool { return t.Events[a].At < t.Events[b].At })
+}
+
+// ClassOfProto maps a packet to 0 (TCP and anything else) or 1 (UDP): the
+// classOf counterpart of the runtime's default proto fork classifier.
+func ClassOfProto(p *packet.Packet) int {
+	if p.Proto == packet.ProtoUDP {
+		return 1
+	}
+	return 0
+}
+
 // Config controls synthetic trace generation.
 type Config struct {
 	Seed  int64
@@ -66,6 +98,14 @@ type Config struct {
 	// AppWeights is the application mix; zero-value gets a default
 	// HTTP-dominated mix with SSH/FTP/IRC present.
 	AppWeights map[packet.App]int
+	// UDPFrac is the fraction of flows generated as UDP request/response
+	// exchanges (DNS-style, port 53) instead of TCP connections. Zero keeps
+	// the all-TCP workload — and, deliberately, the exact RNG draw sequence
+	// of earlier traces, so existing seeded experiments are unchanged.
+	// Mixed-class traces drive policy-DAG fork classifiers.
+	UDPFrac float64
+	// UDPPayloadMedian is the median UDP response payload; zero uses 256B.
+	UDPPayloadMedian int
 }
 
 // DefaultConfig mirrors a scaled-down Trace2.
@@ -143,6 +183,34 @@ func flowPackets(r *rand.Rand, src, dst uint32, sport, dport uint16, nData, payl
 	return pkts
 }
 
+// udpFlowPackets emits one UDP request/response exchange sequence
+// (DNS-style): nPairs small queries, each answered by a jittered response
+// around the payload median.
+func udpFlowPackets(r *rand.Rand, src, dst uint32, sport, dport uint16, nPairs, payloadMedian int) []*packet.Packet {
+	mk := func(fromSrc bool, payload int) *packet.Packet {
+		p := &packet.Packet{Proto: packet.ProtoUDP, PayloadLen: uint16(payload)}
+		if fromSrc {
+			p.SrcIP, p.DstIP, p.SrcPort, p.DstPort = src, dst, sport, dport
+		} else {
+			p.SrcIP, p.DstIP, p.SrcPort, p.DstPort = dst, src, dport, sport
+		}
+		return p
+	}
+	var pkts []*packet.Packet
+	for i := 0; i < nPairs; i++ {
+		query := 40 + r.Intn(80)
+		resp := payloadMedian * (80 + r.Intn(41)) / 100
+		if resp < 1 {
+			resp = 1
+		}
+		if resp > 1460 {
+			resp = 1460
+		}
+		pkts = append(pkts, mk(true, query), mk(false, resp))
+	}
+	return pkts
+}
+
 // Generate builds a synthetic trace. Events are produced with zero
 // timestamps in a globally interleaved arrival order; call Pace to assign
 // arrival times for a target load.
@@ -175,7 +243,14 @@ func Generate(cfg Config) *Trace {
 	}
 	flows := make([]*flowState, cfg.Flows)
 	ephemeral := uint16(20000)
+	udpPayload := cfg.UDPPayloadMedian
+	if udpPayload == 0 {
+		udpPayload = 256
+	}
 	for i := range flows {
+		// The short-circuit matters: with UDPFrac == 0 no extra RNG draw
+		// happens, so all-TCP traces are bit-identical to pre-UDP ones.
+		isUDP := cfg.UDPFrac > 0 && r.Float64() < cfg.UDPFrac
 		app := apps[r.Intn(len(apps))]
 		src := HostIP(r.Intn(cfg.Hosts))
 		dst := ServerIP(r.Intn(cfg.Servers))
@@ -185,7 +260,11 @@ func Generate(cfg Config) *Trace {
 		}
 		// Packets per flow: geometric-ish around the mean, min 1 data pkt.
 		nData := 1 + r.Intn(2*cfg.PktsPerFlowMean-1)
-		flows[i] = &flowState{pkts: flowPackets(r, src, dst, ephemeral, appPort(app), nData, cfg.PayloadMedian)}
+		if isUDP {
+			flows[i] = &flowState{pkts: udpFlowPackets(r, src, dst, ephemeral, packet.PortDNS, nData, udpPayload)}
+		} else {
+			flows[i] = &flowState{pkts: flowPackets(r, src, dst, ephemeral, appPort(app), nData, cfg.PayloadMedian)}
+		}
 	}
 
 	// Interleave flows: active window advances as flows start/finish,

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"chc/internal/packet"
+	"chc/internal/vtime"
 )
 
 func TestGenerateDeterministic(t *testing.T) {
@@ -194,4 +195,90 @@ func TestTraceStats(t *testing.T) {
 		t.Fatal("no duration")
 	}
 	_ = time.Duration(0)
+}
+
+func TestGenerateUDPMix(t *testing.T) {
+	cfg := Config{Seed: 7, Flows: 200, PktsPerFlowMean: 6, PayloadMedian: 700,
+		Hosts: 8, Servers: 4, UDPFrac: 0.4}
+	tr := Generate(cfg)
+	var tcp, udp int
+	for _, e := range tr.Events {
+		switch e.Pkt.Proto {
+		case packet.ProtoTCP:
+			tcp++
+		case packet.ProtoUDP:
+			udp++
+			if e.Pkt.SrcPort != packet.PortDNS && e.Pkt.DstPort != packet.PortDNS {
+				t.Fatalf("UDP packet without DNS port: %v", e.Pkt.Key())
+			}
+		default:
+			t.Fatalf("unexpected proto %d", e.Pkt.Proto)
+		}
+	}
+	if tcp == 0 || udp == 0 {
+		t.Fatalf("mix vacuous: tcp=%d udp=%d", tcp, udp)
+	}
+	// Deterministic for a fixed seed.
+	tr2 := Generate(cfg)
+	if tr2.Len() != tr.Len() {
+		t.Fatalf("non-deterministic: %d vs %d", tr2.Len(), tr.Len())
+	}
+	for i := range tr.Events {
+		if *tr.Events[i].Pkt != *tr2.Events[i].Pkt {
+			t.Fatalf("event %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestUDPFracZeroKeepsLegacyTraces(t *testing.T) {
+	// UDPFrac: 0 must not consume extra RNG draws: the trace must be
+	// bit-identical to one generated before the knob existed.
+	base := Config{Seed: 3, Flows: 64, PktsPerFlowMean: 6, PayloadMedian: 700, Hosts: 8, Servers: 4}
+	a := Generate(base)
+	withKnobs := base
+	withKnobs.UDPPayloadMedian = 999 // must be inert at UDPFrac 0
+	c := Generate(withKnobs)
+	if len(a.Events) != len(c.Events) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Events), len(c.Events))
+	}
+	for i := range a.Events {
+		if *a.Events[i].Pkt != *c.Events[i].Pkt {
+			t.Fatalf("event %d differs with inert UDP knobs", i)
+		}
+	}
+}
+
+func TestPaceClasses(t *testing.T) {
+	tr := Generate(Config{Seed: 9, Flows: 120, PktsPerFlowMean: 5, PayloadMedian: 700,
+		Hosts: 8, Servers: 4, UDPFrac: 0.5})
+	tr.PaceClasses(ClassOfProto, []int64{4_000_000_000, 1_000_000_000})
+	// Arrival times must be globally sorted.
+	for i := 1; i < len(tr.Events); i++ {
+		if tr.Events[i].At < tr.Events[i-1].At {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+	// Each class must independently hit ~its offered rate.
+	rate := func(class int) float64 {
+		var bytes int64
+		var last vtime.Time
+		for _, e := range tr.Events {
+			if ClassOfProto(e.Pkt) != class {
+				continue
+			}
+			bytes += int64(e.Pkt.WireLen())
+			last = e.At
+		}
+		if last == 0 {
+			t.Fatalf("class %d vacuous", class)
+		}
+		return float64(bytes*8) / time.Duration(last).Seconds()
+	}
+	tcpBps, udpBps := rate(0), rate(1)
+	if tcpBps < 3.5e9 || tcpBps > 4.5e9 {
+		t.Fatalf("tcp class paced at %.2fGbps, want ~4", tcpBps/1e9)
+	}
+	if udpBps < 0.8e9 || udpBps > 1.2e9 {
+		t.Fatalf("udp class paced at %.2fGbps, want ~1", udpBps/1e9)
+	}
 }
