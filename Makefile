@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet fmt-check fmt bench bench-smoke ci
+.PHONY: build test test-race vet lint fmt-check fmt bench bench-smoke live-soak perf-guard ci
 
 build:
 	$(GO) build ./...
@@ -8,18 +8,28 @@ build:
 test:
 	$(GO) test ./...
 
-# test-race runs the fast test subset under the race detector: the store
-# engine is genuinely concurrent (real goroutines in the dstore benchmark
-# path), so races there are reachable even though the DES itself is
-# single-threaded. The experiments package is excluded — it re-runs the
-# whole evaluation and would dominate CI under -race.
+# test-race runs the test suite under the race detector. The package list
+# is DERIVED (go list), not hand-maintained: every internal package except
+# experiments — which re-runs the whole evaluation and would dominate CI
+# under -race — is included automatically, so new packages (livenet,
+# transport, ...) can never silently fall out of race coverage. The live
+# invariant tests in runtime and the transport conformance suites are the
+# concurrency payoff: real goroutines on the protocol hot paths.
 test-race:
-	$(GO) test -race -short ./internal/vtime ./internal/simnet ./internal/packet \
-		./internal/trace ./internal/store ./internal/nf/... ./internal/runtime \
-		./internal/baseline/...
+	$(GO) test -race -short $$($(GO) list ./internal/... | grep -v /experiments)
 
 vet:
 	$(GO) vet ./...
+
+# lint: go vet is the hard gate; staticcheck runs advisorily when
+# installed (CI installs it; its findings print without failing the
+# build, so an unpinned tool version cannot break CI).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... || echo "lint: staticcheck findings above are advisory"; \
+	else \
+		echo "lint: staticcheck not installed, ran go vet only"; \
+	fi
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -33,9 +43,25 @@ bench:
 
 # bench-smoke compiles and runs every benchmark in the module exactly once,
 # so experiment wiring (registry ids, table shapes the benchmarks parse)
-# cannot silently rot. This includes BenchmarkDAG (the policy-DAG fork
-# experiment) alongside the paper figures and BenchmarkScale.
+# cannot silently rot. This includes BenchmarkLive (real-goroutine mode)
+# alongside the paper figures, BenchmarkScale and BenchmarkDAG.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-ci: build vet fmt-check test
+# live-soak runs the live execution mode under the race detector for a
+# sustained window: fork topology, branch crash + root replay every round,
+# conservation / XOR / duplication invariants checked after each.
+# CHC_SOAK_SECONDS scales the window (CI uses ~30).
+live-soak:
+	CHC_SOAK_SECONDS=$${CHC_SOAK_SECONDS:-30} $(GO) test -race -count=1 \
+		-run 'TestLiveSoak' -v -timeout 15m ./internal/experiments
+
+# perf-guard regenerates the full benchmark JSON and fails on >25% goodput
+# regression of the headline experiments against the checked-in baseline.
+# The DES numbers are deterministic, so the threshold only absorbs
+# intentional recalibration — bump BENCH_baseline.json in the same commit.
+perf-guard:
+	$(GO) run ./cmd/chcbench -json BENCH_fresh.json > /dev/null
+	$(GO) run ./cmd/benchcheck -baseline BENCH_baseline.json -fresh BENCH_fresh.json
+
+ci: build lint fmt-check test

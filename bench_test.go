@@ -223,3 +223,14 @@ func BenchmarkDAG(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkLive runs the live execution mode (real goroutines, wall
+// clock) and reports achieved goodput — machine-dependent by design; the
+// DES benchmarks above are the deterministic trend lines.
+func BenchmarkLive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := experiments.Live(benchOpts())
+		b.ReportMetric(metric(tb, []string{"goodput"}, 1, "Gbps"), "live-gbps")
+		b.ReportMetric(metric(tb, []string{"pkts/s (ingest)"}, 1, ""), "live-pps")
+	}
+}

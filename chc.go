@@ -147,6 +147,11 @@ func NewChain(cfg ChainConfig, vertices ...VertexSpec) *Chain {
 // DefaultChainConfig returns the calibrated defaults from DESIGN.md.
 func DefaultChainConfig() ChainConfig { return runtime.DefaultChainConfig() }
 
+// LiveChainConfig returns the calibration for live execution mode: the
+// same chain code on real goroutines and wall-clock time instead of the
+// deterministic simulation (DESIGN.md §7).
+func LiveChainConfig() ChainConfig { return runtime.LiveChainConfig() }
+
 // GenerateTrace builds a synthetic, deterministic packet trace with the
 // aggregate properties of the paper's campus-to-EC2 captures.
 func GenerateTrace(cfg TraceConfig) *Trace { return trace.Generate(cfg) }

@@ -34,6 +34,13 @@
 //	chcd -config chain.json -flows 500 -gbps 2
 //	chcd -config chain.json -shards 4          # 4-shard datastore tier
 //	chcd -config dag.json -udp-frac 0.4        # mixed-class traffic for a fork
+//	chcd -config dag.json -live -json out.json # real goroutines + wall clock
+//
+// Live mode (-live) runs the same chain on internal/livenet: real
+// goroutines, channels and wall-clock time. The run reports achieved
+// packet rate, goodput and end-to-end latency percentiles; -json writes
+// them machine-readably and -min-pps N exits nonzero if the sustained
+// ingest rate falls below N (the CI perf gate).
 package main
 
 import (
@@ -153,6 +160,9 @@ func main() {
 	udpFrac := flag.Float64("udp-frac", 0, "fraction of generated flows as UDP (drives DAG fork classes)")
 	shards := flag.Int("shards", 0, "datastore shard servers (overrides config; 0 keeps config/default)")
 	settle := flag.Duration("settle", 500*time.Millisecond, "post-trace settle time (virtual)")
+	live := flag.Bool("live", false, "run on real goroutines and wall-clock time (livenet)")
+	jsonPath := flag.String("json", "", "write a machine-readable run report to this path (- for stdout)")
+	minPPS := flag.Float64("min-pps", 0, "exit nonzero if sustained ingest pkts/s falls below this (live perf gate)")
 	flag.Parse()
 
 	if *cfgPath == "" {
@@ -174,6 +184,9 @@ func main() {
 	ccfg := runtime.DefaultChainConfig()
 	ccfg.DefaultServiceTime = 2 * time.Microsecond
 	ccfg.DefaultThreads = 2
+	if *live {
+		ccfg = runtime.LiveChainConfig()
+	}
 	if cfg.Seed != 0 {
 		ccfg.Seed = cfg.Seed
 	}
@@ -233,8 +246,12 @@ func main() {
 		tr.Pace(*gbpsF * 1_000_000_000)
 	}
 
-	fmt.Printf("chain: %d vertices, trace: %d packets (%v)\n",
-		len(ch.Vertices), tr.Len(), tr.Duration())
+	mode := "sim"
+	if *live {
+		mode = "live"
+	}
+	fmt.Printf("chain: %d vertices (%s), trace: %d packets (%v)\n",
+		len(ch.Vertices), mode, tr.Len(), tr.Duration())
 	if len(cfg.Paths) > 0 {
 		for ci, name := range ch.Classes() {
 			var hops []string
@@ -244,7 +261,13 @@ func main() {
 			fmt.Printf("path %-6s root -> %s -> sink\n", name, strings.Join(hops, " -> "))
 		}
 	}
-	ch.RunTrace(tr, *settle)
+	elapsed := ch.RunTrace(tr, *settle)
+	if *live {
+		if !ch.AwaitDrained(30 * time.Second) {
+			fmt.Fprintln(os.Stderr, "chcd: warning: chain did not fully drain")
+		}
+		ch.Stop()
+	}
 
 	fmt.Printf("\nroot:  injected=%d deleted=%d dropped=%d log=%d\n",
 		ch.Root.Injected, ch.Root.Deleted, ch.Root.Dropped, ch.Root.LogSize())
@@ -276,6 +299,64 @@ func main() {
 	if n := ch.Metrics.AlertCount("trojan-detected"); n > 0 {
 		fmt.Printf("alerts: %d trojans detected\n", n)
 	}
+
+	secs := elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	pps := float64(ch.Root.Injected) / secs
+	goodputBps := float64(ch.Sink.Bytes) * 8 / secs
+	fmt.Printf("rate:  %.0f pkts/s ingest, %.2f Gbps goodput over %.2fs (%s clock)\n",
+		pps, goodputBps/1e9, secs, mode)
+
+	if *jsonPath != "" {
+		report := runReport{
+			Mode:         mode,
+			ElapsedSec:   secs,
+			Offered:      tr.Len(),
+			Injected:     ch.Root.Injected,
+			Deleted:      ch.Root.Deleted,
+			LogResidue:   ch.Root.LogSize(),
+			SinkReceived: ch.Sink.Received,
+			SinkDups:     ch.Sink.Duplicates,
+			PktsPerSec:   pps,
+			GoodputGbps:  goodputBps / 1e9,
+			P50us:        float64(e2e.Percentile(50).Nanoseconds()) / 1e3,
+			P95us:        float64(e2e.Percentile(95).Nanoseconds()) / 1e3,
+			P99us:        float64(e2e.Percentile(99).Nanoseconds()) / 1e3,
+		}
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		buf = append(buf, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(buf)
+		} else if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *minPPS > 0 && pps < *minPPS {
+		fmt.Fprintf(os.Stderr, "chcd: sustained rate %.0f pkts/s below required %.0f\n", pps, *minPPS)
+		os.Exit(1)
+	}
+}
+
+// runReport is the -json output: the live-mode perf artifact CI records.
+type runReport struct {
+	Mode         string  `json:"mode"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	Offered      int     `json:"offered_pkts"`
+	Injected     uint64  `json:"injected"`
+	Deleted      uint64  `json:"deleted"`
+	LogResidue   int     `json:"log_residue"`
+	SinkReceived uint64  `json:"sink_received"`
+	SinkDups     uint64  `json:"sink_duplicates"`
+	PktsPerSec   float64 `json:"pkts_per_sec"`
+	GoodputGbps  float64 `json:"goodput_gbps"`
+	P50us        float64 `json:"latency_p50_us"`
+	P95us        float64 `json:"latency_p95_us"`
+	P99us        float64 `json:"latency_p99_us"`
 }
 
 func fatal(err error) {

@@ -75,7 +75,7 @@ func (m *Middlebox) Start() {
 func (m *Middlebox) run(p *vtime.Proc) {
 	ep := m.net.Endpoint(m.Endpoint)
 	for {
-		msg := ep.Inbox.Recv(p)
+		msg := ep.Recv(p)
 		in, ok := msg.Payload.(In)
 		if !ok {
 			continue

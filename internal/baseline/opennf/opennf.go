@@ -66,7 +66,7 @@ func (c *Controller) Start() {
 		ep := c.net.Endpoint(inst + ".onf")
 		sim.Spawn(inst+".onf", func(p *vtime.Proc) {
 			for {
-				msg := ep.Inbox.Recv(p)
+				msg := ep.Recv(p)
 				if cm, ok := msg.Payload.(*simnet.CallMsg); ok {
 					p.Sleep(time.Microsecond) // apply the replicated update
 					cm.Reply(ackMsg{}, 8)
@@ -81,7 +81,7 @@ func (c *Controller) Start() {
 func (c *Controller) run(p *vtime.Proc) {
 	ep := c.net.Endpoint(c.Endpoint)
 	for {
-		msg := ep.Inbox.Recv(p)
+		msg := ep.Recv(p)
 		cm, ok := msg.Payload.(*simnet.CallMsg)
 		if !ok {
 			continue

@@ -451,6 +451,7 @@ func All() map[string]func(Opts) *Table {
 		"fig14":      Fig14,
 		"scale":      Scale,
 		"dag":        DAG,
+		"live":       Live,
 	}
 }
 
@@ -459,5 +460,5 @@ var Order = []string{
 	"fig8", "chain-lat", "offload", "fig9", "fig10", "dstore",
 	"meta-clock", "meta-log", "meta-xor",
 	"fig11", "fig12", "move", "table-r4", "table5", "fig13", "root-rec", "fig14",
-	"scale", "dag",
+	"scale", "dag", "live",
 }

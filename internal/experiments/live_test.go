@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// soakBudget reads the soak duration from CHC_SOAK_SECONDS (CI sets ~30
+// for the dedicated live-soak job; the default keeps `go test` fast).
+func soakBudget() time.Duration {
+	if s := os.Getenv("CHC_SOAK_SECONDS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return time.Duration(n) * time.Second
+		}
+	}
+	return 2 * time.Second
+}
+
+// TestLiveSoak repeatedly runs the live fork chain — real goroutines,
+// race detector on in CI — with a branch crash and root replay in every
+// round, and checks the chain-wide invariants after each: per-class
+// conservation, XOR/delete balance (empty in-flight log), and bounded
+// receiver duplication (async-delete mode admits replay-window
+// duplicates, §5.4; they must never exceed the replayed count).
+func TestLiveSoak(t *testing.T) {
+	budget := soakBudget()
+	deadline := time.Now().Add(budget)
+	round := 0
+	for time.Now().Before(deadline) {
+		round++
+		seed := int64(100 + round)
+		ch := liveForkChain(seed)
+		tr := liveForkTrace(seed, 150)
+		_, drained := liveRun(ch, tr, true)
+		ch.Stop()
+		if !drained {
+			t.Fatalf("round %d: chain did not drain (injected=%d deleted=%d log=%d)",
+				round, ch.Root.Injected, ch.Root.Deleted, ch.Root.LogSize())
+		}
+		if ch.Root.Injected == 0 {
+			t.Fatalf("round %d: no packets injected", round)
+		}
+		if ch.Root.Injected != ch.Root.Deleted {
+			t.Fatalf("round %d: conservation violated: injected=%d deleted=%d",
+				round, ch.Root.Injected, ch.Root.Deleted)
+		}
+		for ci, name := range ch.Classes() {
+			if ch.Root.InjectedByClass[ci] != ch.Root.DeletedByClass[ci] {
+				t.Fatalf("round %d: class %s conservation violated: injected=%d deleted=%d",
+					round, name, ch.Root.InjectedByClass[ci], ch.Root.DeletedByClass[ci])
+			}
+		}
+		if ch.Root.LogSize() != 0 {
+			t.Fatalf("round %d: XOR/delete imbalance: %d clocks still logged", round, ch.Root.LogSize())
+		}
+		if ch.Sink.Duplicates > ch.Root.Replayed {
+			t.Fatalf("round %d: %d sink duplicates exceed %d replayed packets",
+				round, ch.Sink.Duplicates, ch.Root.Replayed)
+		}
+	}
+	t.Logf("soak: %d rounds in %v", round, budget)
+}
+
+// TestLiveExperiment runs the registered `live` experiment once and
+// checks its invariant rows (the same table chcbench renders).
+func TestLiveExperiment(t *testing.T) {
+	tb := Live(Opts{Seed: 42, Flows: 40})
+	rows := map[string]string{}
+	for _, r := range tb.Rows {
+		rows[r[0]] = r[1]
+	}
+	if rows["drained"] != "true" {
+		t.Fatalf("live chain did not drain: %v", tb.Rows)
+	}
+	if rows["xor residue (log)"] != "0" {
+		t.Fatalf("XOR residue nonzero: %v", tb.Rows)
+	}
+}

@@ -1,0 +1,17 @@
+package livenet_test
+
+import (
+	"testing"
+
+	"chc/internal/livenet"
+	"chc/internal/transport"
+	"chc/internal/transport/transporttest"
+)
+
+// TestTransportConformance runs the shared substrate contract suite
+// against the goroutine-backed implementation.
+func TestTransportConformance(t *testing.T) {
+	transporttest.Run(t, func() transport.Transport {
+		return livenet.New(livenet.Config{Seed: 1})
+	})
+}

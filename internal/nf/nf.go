@@ -5,7 +5,7 @@ import (
 
 	"chc/internal/packet"
 	"chc/internal/store"
-	"chc/internal/vtime"
+	"chc/internal/transport"
 )
 
 // Alert is a detection/action event surfaced by an NF (portscan verdicts,
@@ -23,12 +23,13 @@ type Alert struct {
 // paper's NFs, whose IDs are single digits) fall back to a linear scan.
 const updBitsWords = 4
 
-// Ctx carries per-packet processing context into NF code: the simulation
-// process (for blocking state access), the packet's logical clock, the
-// arrival sequence number at this instance (what a framework WITHOUT
-// chain-wide clocks would have to use for ordering), and the state backend.
+// Ctx carries per-packet processing context into NF code: the executing
+// process (for blocking state access; a DES process or a live goroutine
+// behind transport.Proc), the packet's logical clock, the arrival sequence
+// number at this instance (what a framework WITHOUT chain-wide clocks
+// would have to use for ordering), and the state backend.
 type Ctx struct {
-	Proc  *vtime.Proc
+	Proc  transport.Proc
 	Clock uint64
 	Seq   uint64
 	State State
@@ -68,7 +69,7 @@ func (c *Ctx) noteUpdate(obj uint16) {
 }
 
 // NewCtx builds a context; alert may be nil.
-func NewCtx(p *vtime.Proc, state State, alert func(Alert)) *Ctx {
+func NewCtx(p transport.Proc, state State, alert func(Alert)) *Ctx {
 	return &Ctx{Proc: p, State: state, alert: alert}
 }
 

@@ -2,12 +2,15 @@ package runtime
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
+	"chc/internal/livenet"
 	"chc/internal/nf"
 	"chc/internal/packet"
 	"chc/internal/simnet"
 	"chc/internal/store"
+	"chc/internal/transport"
 	"chc/internal/vtime"
 )
 
@@ -117,6 +120,18 @@ type ChainConfig struct {
 	// the historical linear order over the declared on-path vertices,
 	// byte-identically.
 	Topology *TopologySpec
+
+	// Live selects the execution substrate. False (the default) runs the
+	// whole deployment on the deterministic discrete-event simulation —
+	// the correctness oracle, byte-identical to the historical behavior.
+	// True runs the SAME chain code on internal/livenet: real goroutines,
+	// channels and wall-clock time. In live mode each instance runs one
+	// run-to-completion worker (VertexSpec.Threads is ignored: the NF
+	// values keep instance-local state, so parallelism comes from more
+	// instances and from chain pipelining, like one lcore per NF), and
+	// modeled costs (service-time sleeps, root log delay, store op
+	// service) should be left at zero — the real execution is the cost.
+	Live bool
 }
 
 // DefaultChainConfig matches the calibration in DESIGN.md: 15µs one-way
@@ -139,11 +154,36 @@ func DefaultChainConfig() ChainConfig {
 	}
 }
 
+// LiveChainConfig returns the calibration for live execution: no modeled
+// latencies or service costs (real execution is the cost), protocol
+// timers kept, single run-to-completion worker per instance.
+func LiveChainConfig() ChainConfig {
+	cfg := DefaultChainConfig()
+	cfg.Live = true
+	cfg.LinkLatency = 0
+	cfg.LineRateBps = 0
+	cfg.DefaultServiceTime = 0
+	cfg.DefaultThreads = 1
+	cfg.StoreOpService = -1 // negative: no modeled per-op sleep
+	cfg.RootLogCost = -1    // negative: no modeled log delay
+	// Real-time protocol timers. The RPC timeout is generous: on a loaded
+	// machine a backlogged store can hold a blocking op well past the
+	// DES's calibrated 10ms, and a timed-out-but-applied op would be
+	// dropped from its packet's XOR vector while the store's commit still
+	// reaches the root — a permanently unbalanced clock. CHC treats RPC
+	// timeout as failure suspicion, not load shedding.
+	cfg.RPCTimeout = 5 * time.Second
+	cfg.AckTimeout = 100 * time.Millisecond
+	cfg.CoalesceWindow = time.Millisecond
+	cfg.HandoverTimeout = 2 * time.Second
+	return cfg
+}
+
 // Chain is a deployed physical chain.
 type Chain struct {
 	cfg  ChainConfig
-	sim  *vtime.Sim
-	net  *simnet.Network
+	sim  *vtime.Sim // nil in live mode
+	tr   transport.Transport
 	spec []VertexSpec
 	pmap *store.PartitionMap
 
@@ -155,6 +195,11 @@ type Chain struct {
 	Sink     *Sink
 	Metrics  *Metrics
 
+	// mu guards the mutable deployment topology (instance lists,
+	// nextInstanceID, xorAlias): in live mode scaling/failover actions run
+	// concurrently with traffic. Never held across calls into splitters,
+	// clients or the transport.
+	mu             sync.RWMutex
 	nextInstanceID uint16
 	// xorAlias maps replacement/clone instance IDs to the canonical
 	// instance whose Fig 6 identity they contribute under (see
@@ -189,11 +234,19 @@ type Vertex struct {
 	offPathTaps []*Vertex
 }
 
-// New builds (but does not start) a chain.
+// New builds (but does not start) a chain on the substrate selected by
+// cfg.Live: the deterministic DES (default) or livenet's real goroutines.
 func New(cfg ChainConfig, spec ...VertexSpec) *Chain {
-	sim := vtime.NewSim(cfg.Seed)
-	net := simnet.New(sim, simnet.LinkConfig{Latency: cfg.LinkLatency})
-	c := &Chain{cfg: cfg, sim: sim, net: net, spec: spec, Metrics: NewMetrics(),
+	var tr transport.Transport
+	var sim *vtime.Sim
+	if cfg.Live {
+		tr = livenet.New(livenet.Config{Seed: cfg.Seed,
+			DefaultLink: transport.LinkConfig{Latency: cfg.LinkLatency}})
+	} else {
+		sim = vtime.NewSim(cfg.Seed)
+		tr = simnet.New(sim, transport.LinkConfig{Latency: cfg.LinkLatency})
+	}
+	c := &Chain{cfg: cfg, sim: sim, tr: tr, spec: spec, Metrics: NewMetrics(),
 		xorAlias: make(map[uint16]uint16)}
 
 	nshards := cfg.StoreShards
@@ -208,7 +261,7 @@ func New(cfg ChainConfig, spec ...VertexSpec) *Chain {
 	names := make([]string, nshards)
 	for i := 0; i < nshards; i++ {
 		names[i] = ShardEndpoint(i)
-		c.Stores = append(c.Stores, store.NewServer(net, names[i], scfg))
+		c.Stores = append(c.Stores, store.NewServer(tr, names[i], scfg))
 	}
 	c.pmap = store.NewPartitionMap(names)
 
@@ -244,11 +297,27 @@ func mustDecls(vs VertexSpec) []store.ObjDecl {
 	return vs.Make().Decls()
 }
 
-// Sim exposes the simulator (experiments drive it directly).
+// Sim exposes the simulator (experiments drive it directly). Nil when the
+// chain runs live.
 func (c *Chain) Sim() *vtime.Sim { return c.sim }
 
-// Net exposes the simulated network.
-func (c *Chain) Net() *simnet.Network { return c.net }
+// Net exposes the transport substrate (link configuration, fault
+// injection, endpoints).
+func (c *Chain) Net() transport.Transport { return c.tr }
+
+// Now returns the substrate's current time (virtual or since-start).
+func (c *Chain) Now() transport.Time { return c.tr.Now() }
+
+// Live reports whether the chain runs on real goroutines.
+func (c *Chain) Live() bool { return c.cfg.Live }
+
+// Stop fail-stops every chain process and timer and waits for them to
+// exit (live mode: after Stop, component state — root/sink counters,
+// instance stats, engines — is safe to read from the caller). On the DES
+// it is a no-op: the caller owns the scheduler.
+func (c *Chain) Stop() {
+	c.tr.Shutdown()
+}
 
 // Config returns the chain configuration.
 func (c *Chain) Config() ChainConfig { return c.cfg }
@@ -266,7 +335,7 @@ func (c *Chain) OnPath() []*Vertex {
 
 // sendControl delivers a framework control message to a component.
 func (c *Chain) sendControl(to string, payload any) {
-	c.net.Send(simnet.Message{From: "framework", To: to, Payload: payload, Size: 16})
+	c.tr.Send(transport.Message{From: "framework", To: to, Payload: payload, Size: 16})
 }
 
 // Start spawns all component processes.
@@ -301,20 +370,22 @@ func (c *Chain) registerCustomOps() {
 // backend (port pools, server tables) before traffic starts.
 func (v *Vertex) Seed(fn func(apply func(store.Request))) {
 	inst := v.Instances[0]
-	done := false
-	v.chain.sim.Spawn(fmt.Sprintf("seed-v%d", v.ID), func(p *vtime.Proc) {
+	done := v.chain.tr.NewSignal()
+	v.chain.tr.Spawn(fmt.Sprintf("seed-v%d", v.ID), func(p transport.Proc) {
 		ctx := nf.NewCtx(p, inst.state, nil)
 		fn(func(r store.Request) {
 			inst.state.UpdateBlocking(ctx, r)
 		})
-		done = true
+		done.Resolve(nil)
 	})
 	// Blocking seeding can take many RTTs (e.g. thousands of port pushes);
-	// advance the simulation until it finishes.
-	for i := 0; i < 100 && !done; i++ {
-		v.chain.sim.RunFor(50 * time.Millisecond)
+	// drive the substrate until it finishes.
+	for i := 0; i < 100 && !done.Resolved(); i++ {
+		if v.chain.tr.Drive(done, 50*time.Millisecond) {
+			break
+		}
 	}
-	if !done {
+	if !done.Resolved() {
 		panic("runtime: Seed did not complete")
 	}
 }
@@ -322,6 +393,8 @@ func (v *Vertex) Seed(fn func(apply func(store.Request))) {
 // xorIDFor resolves an instance ID to the canonical identity used for
 // Fig 6 XOR accounting (itself unless aliased by aliasInstance).
 func (c *Chain) xorIDFor(id uint16) uint16 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if canon, ok := c.xorAlias[id]; ok {
 		return canon
 	}
@@ -336,12 +409,26 @@ func (c *Chain) xorIDFor(id uint16) uint16 {
 // the original identity.
 func (c *Chain) aliasInstance(nu, old *Instance) {
 	canon := c.xorIDFor(old.ID)
+	c.mu.Lock()
 	c.xorAlias[nu.ID] = canon
+	c.mu.Unlock()
 	nu.xorID = canon
+}
+
+// instancesOf returns the vertex's instance list header under the
+// topology lock. Mutators only append or install a freshly copied slice
+// (never write an element in place), so the returned header is a
+// consistent snapshot safe to iterate without the lock.
+func (c *Chain) instancesOf(v *Vertex) []*Instance {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return v.Instances
 }
 
 // Instance lookup by global instance ID.
 func (c *Chain) instanceByID(id uint16) *Instance {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	for _, v := range c.Vertices {
 		for _, in := range v.Instances {
 			if in.ID == id {

@@ -22,7 +22,12 @@
 // onto it (Fig 4 handovers, no in-flight reordering), and Chain.ScaleIn
 // drains an instance back out loss-free — on any branch of the DAG.
 //
-// Everything runs on the deterministic simulation substrate of
-// internal/vtime + internal/simnet; see DESIGN.md §1 for the rationale,
-// §5 for the sharding/elasticity design and §6 for the policy-DAG model.
+// The runtime is written against transport.Transport, so the same chain
+// code runs on two substrates: the deterministic DES of internal/vtime +
+// internal/simnet (the correctness oracle, and the default), or — with
+// ChainConfig.Live — internal/livenet's real goroutines and wall-clock
+// time (the performance artifact, exercised under the race detector).
+// See DESIGN.md §1 for the simulation rationale, §5 for the
+// sharding/elasticity design, §6 for the policy-DAG model and §7 for the
+// live execution mode.
 package runtime

@@ -4,12 +4,21 @@ import (
 	"time"
 
 	"chc/internal/trace"
+	"chc/internal/transport"
 )
 
-// RunTrace schedules every trace event for injection at its arrival time
-// (relative to the current virtual instant) and drives the simulation until
-// the last arrival plus settle. It returns the virtual duration covered.
+// RunTrace injects every trace event at its arrival time and drives the
+// chain until the last arrival plus settle. On the DES every event is
+// pre-scheduled and the scheduler runs to the horizon — byte-identical to
+// the historical behavior, and the path the golden parity tests pin. In
+// live mode a pacer process injects in real time (coarse catch-up pacing:
+// it sleeps only when comfortably ahead, then injects every due event),
+// and the call blocks until the pacer finishes. Returns the covered
+// duration on the chain's clock.
 func (c *Chain) RunTrace(tr *trace.Trace, settle time.Duration) time.Duration {
+	if c.cfg.Live {
+		return c.runTraceLive(tr, settle)
+	}
 	base := c.sim.Now()
 	for idx := range tr.Events {
 		ev := tr.Events[idx]
@@ -23,26 +32,54 @@ func (c *Chain) RunTrace(tr *trace.Trace, settle time.Duration) time.Duration {
 	return time.Duration(horizon - base)
 }
 
+// pacerSlack is how far ahead of schedule the live pacer must be before
+// it sleeps: below this it busy-injects, keeping bursts bounded without
+// paying timer-granularity latency per packet.
+const pacerSlack = 200 * time.Microsecond
+
+func (c *Chain) runTraceLive(tr *trace.Trace, settle time.Duration) time.Duration {
+	done := c.tr.NewSignal()
+	base := c.tr.Now()
+	c.tr.Spawn("driver.pacer", func(p transport.Proc) {
+		for idx := range tr.Events {
+			ev := tr.Events[idx]
+			target := base + ev.At
+			if d := target.Sub(p.Now()); d > pacerSlack {
+				p.Sleep(d)
+			}
+			c.Inject(ev.Pkt, p.Now())
+		}
+		p.Sleep(settle)
+		done.Resolve(nil)
+	})
+	// Generous real-time budget: the pacer may fall behind the offered
+	// rate on a loaded machine; the run still completes.
+	c.tr.Drive(done, 4*(time.Duration(tr.Duration())+settle)+30*time.Second)
+	c.HarvestClientStats()
+	return time.Duration(c.tr.Now() - base)
+}
+
 // HarvestClientStats snapshots the client libraries' op statistics into
 // Metrics.Counters under "client.*" (set, not accumulated: safe to call
-// after every run segment). The coalesced-op count is the proof line for
-// the client-side batching path.
+// after every run segment, and safe while live workers run — each
+// client's snapshot is taken under its lock).
 func (c *Chain) HarvestClientStats() {
 	var blocking, async, hits, misses, retrans, flushed, coalesced, batched uint64
 	for _, v := range c.Vertices {
-		for _, in := range v.Instances {
+		for _, in := range c.instancesOf(v) {
 			cl := in.Client()
 			if cl == nil {
 				continue
 			}
-			blocking += cl.BlockingOps
-			async += cl.AsyncOps
-			hits += cl.CacheHits
-			misses += cl.CacheMisses
-			retrans += cl.Retransmits
-			flushed += cl.FlushedOps
-			coalesced += cl.CoalescedOps
-			batched += cl.BatchedSends
+			st := cl.StatsSnapshot()
+			blocking += st.BlockingOps
+			async += st.AsyncOps
+			hits += st.CacheHits
+			misses += st.CacheMisses
+			retrans += st.Retransmits
+			flushed += st.FlushedOps
+			coalesced += st.CoalescedOps
+			batched += st.BatchedSends
 		}
 	}
 	m := c.Metrics
@@ -56,12 +93,12 @@ func (c *Chain) HarvestClientStats() {
 	m.SetCounter("client.batched_sends", batched)
 }
 
-// RunFor drives the simulation for a virtual duration (post-trace settling,
-// failure windows, etc.).
-func (c *Chain) RunFor(d time.Duration) { c.sim.RunFor(d) }
+// RunFor drives the chain for a duration (post-trace settling, failure
+// windows...): virtual time on the DES, real time in live mode.
+func (c *Chain) RunFor(d time.Duration) { c.tr.RunFor(d) }
 
 // ThroughputBps reports an instance's processing rate over an observation
-// window: bytes processed divided by elapsed virtual time.
+// window: bytes processed divided by elapsed time.
 func ThroughputBps(bytes uint64, elapsed time.Duration) float64 {
 	if elapsed <= 0 {
 		return 0

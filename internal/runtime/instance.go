@@ -2,13 +2,13 @@ package runtime
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"chc/internal/nf"
 	"chc/internal/packet"
-	"chc/internal/simnet"
 	"chc/internal/store"
-	"chc/internal/vtime"
+	"chc/internal/transport"
 )
 
 // PacketMsg carries a packet between chain components.
@@ -16,9 +16,9 @@ type PacketMsg struct {
 	Pkt *packet.Packet
 	// InjectedAt is when the packet entered the chain at the root
 	// (end-to-end latency accounting).
-	InjectedAt vtime.Time
+	InjectedAt transport.Time
 	// SentAt is when the previous hop emitted it (queue-wait accounting).
-	SentAt vtime.Time
+	SentAt transport.Time
 }
 
 // DeleteMsg is the last-NF -> root delete request (§5): packet Clock
@@ -27,7 +27,7 @@ type DeleteMsg struct {
 	Clock uint64
 	Vec   uint32
 	// Reply, when non-nil, is resolved on receipt (synchronous delete mode).
-	Reply *vtime.Future[struct{}]
+	Reply transport.Signal
 }
 
 // FlowTableQuery asks an instance for its current flow allocation (root
@@ -54,8 +54,14 @@ type Instance struct {
 	state  nf.State
 	client *store.Client // nil for non-CHC backends
 
-	procs []*vtime.Proc
-	seq   uint64
+	procs []transport.Handle
+
+	// mu guards the per-instance mutable maps and counters shared between
+	// the worker process, the framework (manager polls, replay control)
+	// and — in live mode — concurrent upstream deliveries. Never held
+	// across blocking operations.
+	mu  sync.Mutex
+	seq uint64
 
 	// seen implements queue-level duplicate suppression (R5): clocks this
 	// instance has already accepted.
@@ -101,8 +107,10 @@ type Instance struct {
 
 // newInstance allocates an instance (not yet started).
 func (c *Chain) newInstance(v *Vertex) *Instance {
+	c.mu.Lock()
 	c.nextInstanceID++
 	id := c.nextInstanceID
+	c.mu.Unlock()
 	ep := fmt.Sprintf("v%d.i%d", v.ID, id)
 	inst := &Instance{
 		chain:    c,
@@ -134,7 +142,7 @@ func (c *Chain) newInstance(v *Vertex) *Instance {
 }
 
 func (c *Chain) newClient(v *Vertex, id uint16, ep string, mode store.Mode) *store.Client {
-	return store.NewClient(c.net, store.ClientConfig{
+	return store.NewClient(c.tr, store.ClientConfig{
 		Vertex:         v.ID,
 		Instance:       id,
 		Endpoint:       ep,
@@ -152,19 +160,57 @@ func (c *Chain) newClient(v *Vertex, id uint16, ep string, mode store.Mode) *sto
 // Client exposes the store client (nil for traditional instances).
 func (i *Instance) Client() *store.Client { return i.client }
 
+// ProcessedCount reads the processed-packet counter under the instance
+// lock (safe while workers are running; the exported Processed field is
+// only safe to read once the chain is stopped or drained).
+func (i *Instance) ProcessedCount() uint64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.Processed
+}
+
+// isDead reads the fail-stop flag under the instance lock (live-mode
+// failover flips it concurrently with splitter routing decisions).
+func (i *Instance) isDead() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.dead
+}
+
+// isDraining reads the scale-in drain flag under the instance lock.
+func (i *Instance) isDraining() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.draining
+}
+
+func (i *Instance) setDead(v bool) {
+	i.mu.Lock()
+	i.dead = v
+	i.mu.Unlock()
+}
+
+func (i *Instance) setDraining(v bool) {
+	i.mu.Lock()
+	i.draining = v
+	i.mu.Unlock()
+}
+
 // NFImpl exposes the NF value (experiments inspect detector verdicts).
 func (i *Instance) NFImpl() nf.NF { return i.nfImpl }
 
-// Start spawns the worker processes.
+// Start spawns the worker processes. Live mode runs exactly one
+// run-to-completion worker per instance (the NF values keep
+// instance-local state; see ChainConfig.Live).
 func (i *Instance) Start() {
-	i.dead = false
+	i.setDead(false)
 	n := i.vertex.Spec.Threads
-	if n <= 0 {
+	if n <= 0 || i.chain.cfg.Live {
 		n = 1
 	}
 	for w := 0; w < n; w++ {
 		name := fmt.Sprintf("%s.w%d", i.Endpoint, w)
-		i.procs = append(i.procs, i.chain.sim.Spawn(name, i.run))
+		i.procs = append(i.procs, i.chain.tr.Spawn(name, i.run))
 	}
 	if i.client != nil {
 		i.client.StartFlusher()
@@ -175,16 +221,16 @@ func (i *Instance) Start() {
 // Crash fail-stops the instance: workers killed, endpoint down, local state
 // (and for CHC, only the cache) lost, outstanding retransmissions silenced.
 func (i *Instance) Crash() {
-	i.dead = true
+	i.setDead(true)
 	for _, p := range i.procs {
-		i.chain.sim.Kill(p)
+		i.chain.tr.Kill(p)
 	}
 	i.procs = nil
 	if i.client != nil {
 		i.client.StopFlusher()
 		i.client.Shutdown()
 	}
-	i.chain.net.Crash(i.Endpoint)
+	i.chain.tr.Crash(i.Endpoint)
 }
 
 // applyExclusivityDefaults derives per-object cache permissions from the
@@ -200,16 +246,16 @@ func (i *Instance) applyExclusivityDefaults() {
 }
 
 // run is one worker loop.
-func (i *Instance) run(p *vtime.Proc) {
-	ep := i.chain.net.Endpoint(i.Endpoint)
+func (i *Instance) run(p transport.Proc) {
+	ep := i.chain.tr.Endpoint(i.Endpoint)
 	ctx := nf.NewCtx(p, i.state, i.chain.Metrics.alertFn(i.vertex.Spec.Name))
 	for {
-		msg := ep.Inbox.Recv(p)
+		msg := ep.Recv(p)
 		switch m := msg.Payload.(type) {
 		case PacketMsg:
 			i.handlePacket(p, ctx, m)
-		case *simnet.CallMsg:
-			if _, ok := m.Payload.(FlowTableQuery); ok {
+		case transport.Call:
+			if _, ok := m.Body().(FlowTableQuery); ok {
 				m.Reply(i.vertex.Splitter.TableSnapshot(), 64)
 			}
 		default:
@@ -220,7 +266,7 @@ func (i *Instance) run(p *vtime.Proc) {
 	}
 }
 
-func (i *Instance) handlePacket(p *vtime.Proc, ctx *nf.Ctx, m PacketMsg) {
+func (i *Instance) handlePacket(p transport.Proc, ctx *nf.Ctx, m PacketMsg) {
 	pkt := m.Pkt
 	clock := pkt.Meta.Clock
 	replay := pkt.Meta.Flags&packet.MetaReplay != 0
@@ -235,8 +281,11 @@ func (i *Instance) handlePacket(p *vtime.Proc, ctx *nf.Ctx, m PacketMsg) {
 	// that replay traffic reaches the clone before the marker).
 	if pkt.Proto == 0 && pkt.Meta.Flags&packet.MetaLastRp != 0 {
 		if pkt.Meta.CloneID == i.ID {
+			i.mu.Lock()
 			i.markersLeft--
-			if i.markersLeft <= 0 {
+			last := i.markersLeft <= 0
+			i.mu.Unlock()
+			if last {
 				i.endReplay(p, ctx)
 			}
 		} else if nxt := i.vertex.nextFor(pkt); nxt != nil {
@@ -254,6 +303,7 @@ func (i *Instance) handlePacket(p *vtime.Proc, ctx *nf.Ctx, m PacketMsg) {
 	// replay the first pass exactly) rather than suppressed, which would
 	// starve the clone of its recovery stream whenever the failed vertex
 	// is not the head of its path.
+	i.mu.Lock()
 	_, dup := i.seen[clock]
 	if dup && replay && pkt.Meta.CloneID != i.ID {
 		if clone := i.chain.instanceByID(pkt.Meta.CloneID); clone != nil &&
@@ -268,6 +318,7 @@ func (i *Instance) handlePacket(p *vtime.Proc, ctx *nf.Ctx, m PacketMsg) {
 		}
 		if i.chain.cfg.DupSuppress {
 			i.Suppressed++
+			i.mu.Unlock()
 			return
 		}
 	}
@@ -281,9 +332,11 @@ func (i *Instance) handlePacket(p *vtime.Proc, ctx *nf.Ctx, m PacketMsg) {
 	// dropped packets during every mid-flight failover.
 	if i.buffering && !replay {
 		i.parked = append(i.parked, m)
+		i.mu.Unlock()
 		return
 	}
 	i.seen[clock] = struct{}{}
+	i.mu.Unlock()
 
 	// Fig 4 handover, new-instance side: the first packet of a moved flow
 	// acquires per-flow state ownership (waiting for the old instance's
@@ -304,7 +357,9 @@ func (i *Instance) handlePacket(p *vtime.Proc, ctx *nf.Ctx, m PacketMsg) {
 	start := p.Now()
 	i.process(p, ctx, pkt)
 	done := p.Now()
+	i.mu.Lock()
 	i.Processed++
+	i.mu.Unlock()
 	v := i.vertex.Spec.Name
 	i.chain.Metrics.ProcTimeAt(v, done, done.Sub(start))
 	i.chain.Metrics.TotalTimeAt(v, done, done.Sub(m.SentAt))
@@ -319,18 +374,20 @@ func (i *Instance) handlePacket(p *vtime.Proc, ctx *nf.Ctx, m PacketMsg) {
 }
 
 // process runs the NF and forwards outputs.
-func (i *Instance) process(p *vtime.Proc, ctx *nf.Ctx, pkt *packet.Packet) {
+func (i *Instance) process(p transport.Proc, ctx *nf.Ctx, pkt *packet.Packet) {
+	i.mu.Lock()
 	i.seq++
-	ctx.ResetPacket(pkt.Meta.Clock, i.seq)
+	seq := i.seq
+	i.mu.Unlock()
+	ctx.ResetPacket(pkt.Meta.Clock, seq)
 
 	svc := i.vertex.Spec.ServiceTime
 	if i.ExtraDelay != nil {
-		svc += i.ExtraDelay(i.chain.sim.Rand().Int63n)
+		svc += i.ExtraDelay(i.chain.tr.Intn)
 	}
 	p.Sleep(svc)
 
 	outs := i.nfImpl.Process(ctx, pkt)
-	i.BytesProcessed += uint64(pkt.WireLen())
 	if i.vertex.Spec.OffPath {
 		// Off-path NFs consume their traffic copy; anything they return is
 		// analysis output, never forwarded.
@@ -346,6 +403,8 @@ func (i *Instance) process(p *vtime.Proc, ctx *nf.Ctx, pkt *packet.Packet) {
 			xor ^= uint32(i.xorID)<<16 | uint32(obj)
 		}
 	}
+	i.mu.Lock()
+	i.BytesProcessed += uint64(pkt.WireLen())
 	if prev, done := i.xorLog[pkt.Meta.Clock]; done {
 		// Re-executed pass-through toward a downstream clone: repeat the
 		// first pass's recorded contribution (see xorLog).
@@ -353,6 +412,7 @@ func (i *Instance) process(p *vtime.Proc, ctx *nf.Ctx, pkt *packet.Packet) {
 	} else {
 		i.xorLog[pkt.Meta.Clock] = xor
 	}
+	i.mu.Unlock()
 
 	for _, out := range outs {
 		out.Meta.BitVec ^= xor
@@ -368,7 +428,7 @@ func (i *Instance) process(p *vtime.Proc, ctx *nf.Ctx, pkt *packet.Packet) {
 // forward routes one output packet: off-path taps get copies; the next
 // hop is the packet's class-path successor; the tail of the class's path
 // performs the delete protocol and emits to the sink.
-func (i *Instance) forward(p *vtime.Proc, out *packet.Packet) {
+func (i *Instance) forward(p transport.Proc, out *packet.Packet) {
 	v := i.vertex
 	for _, tap := range v.offPathTaps {
 		tap.Splitter.Route(i.Endpoint, out.Clone(), p.Now())
@@ -384,24 +444,24 @@ func (i *Instance) forward(p *vtime.Proc, out *packet.Packet) {
 	}
 	// Delete request before output (§5.4 ordering).
 	i.sendDelete(p, out.Meta.Clock, out.Meta.BitVec)
-	i.chain.net.Send(simnet.Message{
+	i.chain.tr.Send(transport.Message{
 		From: i.Endpoint, To: SinkEndpoint,
 		Payload: PacketMsg{Pkt: out, SentAt: p.Now()},
 		Size:    out.WireLen(),
 	})
 }
 
-func (i *Instance) sendDelete(p *vtime.Proc, clock uint64, vec uint32) {
+func (i *Instance) sendDelete(p transport.Proc, clock uint64, vec uint32) {
 	del := DeleteMsg{Clock: clock, Vec: vec}
 	if i.chain.cfg.SyncDelete {
 		// Ensure delivery before forwarding: +~1 RTT median (§7.2).
-		fut := vtime.NewFuture[struct{}](i.chain.sim)
+		fut := i.chain.tr.NewSignal()
 		del.Reply = fut
-		i.chain.net.Send(simnet.Message{From: i.Endpoint, To: i.chain.Root.Endpoint, Payload: del, Size: 16})
+		i.chain.tr.Send(transport.Message{From: i.Endpoint, To: i.chain.Root.Endpoint, Payload: del, Size: 16})
 		fut.WaitTimeout(p, 5*time.Millisecond)
 		return
 	}
-	i.chain.net.Send(simnet.Message{From: i.Endpoint, To: i.chain.Root.Endpoint, Payload: del, Size: 16})
+	i.chain.tr.Send(transport.Message{From: i.Endpoint, To: i.chain.Root.Endpoint, Payload: del, Size: 16})
 }
 
 // StartReplayTarget puts the instance into replay mode: replayed packets
@@ -409,6 +469,8 @@ func (i *Instance) sendDelete(p *vtime.Proc, clock uint64, vec uint32) {
 // The drain waits for one marker per traffic class routed through this
 // vertex (the same set the root sends markers for).
 func (i *Instance) StartReplayTarget() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
 	i.buffering = true
 	i.markersLeft = 0
 	for ci := range i.chain.classPaths {
@@ -427,11 +489,14 @@ func (i *Instance) StartReplayTarget() {
 // queue: a parked copy whose clock was meanwhile replayed counts toward
 // DupSeen/DupStateEvents (the Table 5 metrics) and is suppressed only when
 // suppression is on.
-func (i *Instance) endReplay(p *vtime.Proc, ctx *nf.Ctx) {
+func (i *Instance) endReplay(p transport.Proc, ctx *nf.Ctx) {
+	i.mu.Lock()
 	i.buffering = false
 	parked := i.parked
 	i.parked = nil
+	i.mu.Unlock()
 	for _, m := range parked {
+		i.mu.Lock()
 		if _, dup := i.seen[m.Pkt.Meta.Clock]; dup {
 			i.DupSeen++
 			if m.Pkt.IsSYN() || m.Pkt.IsSYNACK() || m.Pkt.IsRST() {
@@ -439,11 +504,15 @@ func (i *Instance) endReplay(p *vtime.Proc, ctx *nf.Ctx) {
 			}
 			if i.chain.cfg.DupSuppress {
 				i.Suppressed++
+				i.mu.Unlock()
 				continue
 			}
 		}
 		i.seen[m.Pkt.Meta.Clock] = struct{}{}
+		i.mu.Unlock()
 		i.process(p, ctx, m.Pkt)
+		i.mu.Lock()
 		i.Processed++
+		i.mu.Unlock()
 	}
 }

@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"chc/internal/store"
-	"chc/internal/vtime"
+	"chc/internal/transport"
 )
 
 // VertexManager collects per-instance statistics and runs operator-supplied
@@ -20,7 +20,7 @@ type VertexManager struct {
 	Interval time.Duration
 	// OnStats, if set, receives periodic instance stats.
 	OnStats func(stats []InstanceStats)
-	proc    *vtime.Proc
+	proc    transport.Handle
 }
 
 // InstanceStats is one instance's periodic report.
@@ -41,7 +41,7 @@ func (m *VertexManager) Start() {
 	if m.OnStats == nil {
 		return
 	}
-	m.proc = m.chain.sim.Spawn(fmt.Sprintf("vmgr-v%d", m.vertex.ID), func(p *vtime.Proc) {
+	m.proc = m.chain.tr.Spawn(fmt.Sprintf("vmgr-v%d", m.vertex.ID), func(p transport.Proc) {
 		for {
 			p.Sleep(m.Interval)
 			m.OnStats(m.Snapshot())
@@ -52,12 +52,12 @@ func (m *VertexManager) Start() {
 // Snapshot gathers current stats.
 func (m *VertexManager) Snapshot() []InstanceStats {
 	var out []InstanceStats
-	for _, in := range m.vertex.Instances {
+	for _, in := range m.chain.instancesOf(m.vertex) {
 		out = append(out, InstanceStats{
 			ID:        in.ID,
-			Processed: in.Processed,
-			QueueLen:  m.chain.net.Endpoint(in.Endpoint).Inbox.Len(),
-			Dead:      in.dead,
+			Processed: in.ProcessedCount(),
+			QueueLen:  m.chain.tr.Endpoint(in.Endpoint).Len(),
+			Dead:      in.isDead(),
 		})
 	}
 	return out
@@ -69,7 +69,9 @@ func (m *VertexManager) Snapshot() []InstanceStats {
 // §5.1). The caller then moves flows to it via MoveFlows.
 func (c *Chain) AddInstance(v *Vertex) *Instance {
 	in := c.newInstance(v)
+	c.mu.Lock()
 	v.Instances = append(v.Instances, in)
+	c.mu.Unlock()
 	in.Start()
 	v.Splitter.notifyExclusivity()
 	return in
@@ -113,9 +115,9 @@ func (c *Chain) ScaleIn(v *Vertex, inst *Instance, grace time.Duration) {
 	for _, key := range keys {
 		v.Splitter.StartMove([]uint64{key}, targets[key])
 	}
-	inst.draining = true
-	last := inst.Processed
-	c.sim.Schedule(grace, func() { c.pollScaleIn(v, inst, last) })
+	inst.setDraining(true)
+	last := inst.ProcessedCount()
+	c.tr.Schedule(grace, func() { c.pollScaleIn(v, inst, last) })
 }
 
 // pollScaleIn retires the instance only once it is quiescent: an empty
@@ -124,7 +126,7 @@ func (c *Chain) ScaleIn(v *Vertex, inst *Instance, grace time.Duration) {
 // nothing is in flight toward the instance either — the final
 // flush/release/crash then runs atomically without dropping a packet.
 func (c *Chain) pollScaleIn(v *Vertex, inst *Instance, lastProcessed uint64) {
-	idle := c.net.Endpoint(inst.Endpoint).Inbox.Len() == 0 && inst.Processed == lastProcessed
+	idle := c.tr.Endpoint(inst.Endpoint).Len() == 0 && inst.ProcessedCount() == lastProcessed
 	if !idle {
 		interval := 500 * time.Microsecond
 		if m := 4 * c.cfg.LinkLatency; m > interval {
@@ -132,8 +134,8 @@ func (c *Chain) pollScaleIn(v *Vertex, inst *Instance, lastProcessed uint64) {
 		}
 		// Snapshot NOW (not at fire time) so the next poll really compares
 		// against this poll's count.
-		last := inst.Processed
-		c.sim.Schedule(interval, func() { c.pollScaleIn(v, inst, last) })
+		last := inst.ProcessedCount()
+		c.tr.Schedule(interval, func() { c.pollScaleIn(v, inst, last) })
 		return
 	}
 	c.finishScaleIn(v, inst)
@@ -159,13 +161,40 @@ func (c *Chain) finishScaleIn(v *Vertex, inst *Instance) {
 // instance takes over its ID space, the datastore manager re-binds per-flow
 // state, the splitter redirects, and the root replays logged packets
 // (§5.4 "NF Failover").
+//
+// The replacement takes over the crashed instance's ROUTING SLOT in the
+// vertex (in-place, not appended): the splitter partitions by
+// hash % len(instances), so growing the list on failover would remap
+// every flow mid-replay. A remapped flow's replayed packets then
+// re-execute at a DIFFERENT live instance, whose re-applied ops commit
+// under that instance's identity while the packet's first-pass XOR vector
+// counted them under the crashed instance — a permanently unbalanced
+// clock. The DES never surfaced this (its failovers land at quiescent
+// instants where every op is already flushed and re-execution is fully
+// emulated); live mid-stream crashes hit it immediately.
 func (c *Chain) FailoverNF(old *Instance) *Instance {
-	if !old.dead {
+	if !old.isDead() {
 		old.Crash()
 	}
 	v := old.vertex
 	nu := c.newInstance(v)
-	v.Instances = append(v.Instances, nu)
+	c.mu.Lock()
+	// Copy-on-write: concurrent readers hold headers of the old slice
+	// (instancesOf), so the slot swap must never mutate it in place.
+	insts := append([]*Instance(nil), v.Instances...)
+	replaced := false
+	for idx, in := range insts {
+		if in == old {
+			insts[idx] = nu
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		insts = append(insts, nu)
+	}
+	v.Instances = insts
+	c.mu.Unlock()
 	// Datastore manager associates the failover instance's ID with the
 	// failed instance's state, on every shard holding any of it.
 	for _, s := range c.Stores {
@@ -189,7 +218,9 @@ func (c *Chain) CloneStraggler(straggler *Instance) *Instance {
 	clone := c.newInstance(v) // per-instance ExtraDelay is not inherited
 	c.aliasInstance(clone, straggler)
 	clone.StartReplayTarget()
+	c.mu.Lock()
 	v.Instances = append(v.Instances, clone)
+	c.mu.Unlock()
 	clone.Start()
 	v.Splitter.Replicate(straggler.ID, clone.ID)
 	c.sendControl(c.Root.Endpoint, ReplayCmd{CloneID: clone.ID})
@@ -239,16 +270,16 @@ func (c *Chain) RecoverStoreShard(idx int, rcfg StoreRecoveryConfig) (took time.
 	shard := old.Name
 	old.Crash()
 
-	done := vtime.NewFuture[struct{}](c.sim)
-	c.sim.Spawn("store-recovery", func(p *vtime.Proc) {
+	done := c.tr.NewSignal()
+	c.tr.Spawn("store-recovery", func(p transport.Proc) {
 		start := p.Now()
 		// Gather recovery inputs from every CHC client; each costs RTTs.
 		// Each client's view is restricted to the failed shard's key slice.
 		var clients []store.ClientState
 		rtt := 2 * c.cfg.LinkLatency
 		for _, v := range c.Vertices {
-			for _, in := range v.Instances {
-				if in.client == nil || in.dead {
+			for _, in := range c.instancesOf(v) {
+				if in.client == nil || in.isDead() {
 					continue
 				}
 				p.Sleep(time.Duration(rcfg.PerClientRTTs) * rtt)
@@ -268,13 +299,13 @@ func (c *Chain) RecoverStoreShard(idx int, rcfg StoreRecoveryConfig) (took time.
 		reexec = n
 		p.Sleep(time.Duration(n) * rcfg.PerOpCost)
 
-		c.net.Restart(shard)
+		c.tr.Restart(shard)
 		scfg := store.ServerConfig{
 			OpService:       c.cfg.StoreOpService,
 			CheckpointEvery: c.cfg.CheckpointEvery,
 			RootEndpoint:    c.Root.Endpoint,
 		}
-		ns := store.NewServerWithEngine(c.net, shard, scfg, eng)
+		ns := store.NewServerWithEngine(c.tr, shard, scfg, eng)
 		for _, v := range c.Vertices {
 			ns.Declare(v.ID, v.Spec.Make().Decls())
 		}
@@ -282,10 +313,9 @@ func (c *Chain) RecoverStoreShard(idx int, rcfg StoreRecoveryConfig) (took time.
 		c.Stores[idx] = ns
 		c.registerCustomOps()
 		took = p.Now().Sub(start)
-		done.Resolve(struct{}{})
+		done.Resolve(nil)
 	})
-	c.sim.RunFor(5 * time.Second)
-	if !done.Resolved() {
+	if !c.tr.Drive(done, 5*time.Second) {
 		panic("store recovery did not complete")
 	}
 	return took, reexec

@@ -2,10 +2,11 @@ package runtime
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"chc/internal/nf"
-	"chc/internal/vtime"
+	"chc/internal/transport"
 )
 
 // SinkEndpoint is the chain egress endpoint name.
@@ -17,6 +18,7 @@ type Sink struct {
 	chain *Chain
 
 	Received   uint64
+	Bytes      uint64
 	Duplicates uint64
 	// ReceivedByClass counts deliveries per traffic class (policy-DAG
 	// deployments; linear chains put everything under class 0).
@@ -31,37 +33,43 @@ func NewSink(c *Chain) *Sink {
 
 // Start spawns the sink process.
 func (s *Sink) Start() {
-	ep := s.chain.net.Endpoint(SinkEndpoint)
-	s.chain.sim.Spawn(SinkEndpoint, func(p *vtime.Proc) {
+	ep := s.chain.tr.Endpoint(SinkEndpoint)
+	s.chain.tr.Spawn(SinkEndpoint, func(p transport.Proc) {
 		for {
-			msg := ep.Inbox.Recv(p)
+			msg := ep.Recv(p)
 			m, ok := msg.Payload.(PacketMsg)
 			if !ok {
 				continue
 			}
 			s.Received++
+			s.Bytes += uint64(m.Pkt.WireLen())
 			s.ReceivedByClass[m.Pkt.Meta.Class]++
 			if _, dup := s.seen[m.Pkt.Meta.Clock]; dup {
 				s.Duplicates++
 			}
 			s.seen[m.Pkt.Meta.Clock] = struct{}{}
 			if m.Pkt.IngressNs > 0 {
-				s.chain.Metrics.TotalTime("chain", p.Now().Sub(vtime.Time(m.Pkt.IngressNs)))
+				s.chain.Metrics.TotalTime("chain", p.Now().Sub(transport.Time(m.Pkt.IngressNs)))
 			}
 		}
 	})
 }
 
 // Series is a sample reservoir with percentile queries. Samples optionally
-// carry their virtual timestamps (timeline experiments like Fig 9/13).
+// carry their timestamps (timeline experiments like Fig 9/13). Appends and
+// reads are guarded by a mutex: in live mode every chain process reports
+// into the shared metrics concurrently (uncontended on the DES).
 type Series struct {
+	mu    sync.Mutex
 	vals  []time.Duration
-	times []vtime.Time
+	times []transport.Time
 	cap   int
 }
 
 // Add appends a sample (dropped beyond the cap to bound memory).
 func (s *Series) Add(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.cap > 0 && len(s.vals) >= s.cap {
 		return
 	}
@@ -69,7 +77,9 @@ func (s *Series) Add(d time.Duration) {
 }
 
 // AddAt appends a timestamped sample.
-func (s *Series) AddAt(at vtime.Time, d time.Duration) {
+func (s *Series) AddAt(at transport.Time, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.cap > 0 && len(s.vals) >= s.cap {
 		return
 	}
@@ -77,12 +87,18 @@ func (s *Series) AddAt(at vtime.Time, d time.Duration) {
 	s.times = append(s.times, at)
 }
 
-// Times returns sample timestamps (parallel to Values; empty if samples
-// were added without timestamps).
-func (s *Series) Times() []vtime.Time { return s.times }
+// Times returns a copy of the sample timestamps (parallel to Values;
+// empty if samples were added without timestamps).
+func (s *Series) Times() []transport.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]transport.Time(nil), s.times...)
+}
 
-// Slice returns the samples in [from, to) index range.
+// Slice returns a copy of the samples in [from, to) index range.
 func (s *Series) Slice(from, to int) []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if from < 0 {
 		from = 0
 	}
@@ -92,7 +108,7 @@ func (s *Series) Slice(from, to int) []time.Duration {
 	if from >= to {
 		return nil
 	}
-	return s.vals[from:to]
+	return append([]time.Duration(nil), s.vals[from:to]...)
 }
 
 // PercentileOf computes a percentile over an arbitrary sample slice.
@@ -107,14 +123,20 @@ func PercentileOf(vals []time.Duration, q float64) time.Duration {
 }
 
 // N returns the sample count.
-func (s *Series) N() int { return len(s.vals) }
+func (s *Series) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.vals)
+}
 
 // Percentile returns the q'th percentile (q in [0,100]).
 func (s *Series) Percentile(q float64) time.Duration {
-	if len(s.vals) == 0 {
+	s.mu.Lock()
+	sorted := append([]time.Duration(nil), s.vals...)
+	s.mu.Unlock()
+	if len(sorted) == 0 {
 		return 0
 	}
-	sorted := append([]time.Duration(nil), s.vals...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	idx := int(q / 100 * float64(len(sorted)-1))
 	return sorted[idx]
@@ -122,6 +144,8 @@ func (s *Series) Percentile(q float64) time.Duration {
 
 // Mean returns the average sample.
 func (s *Series) Mean() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.vals) == 0 {
 		return 0
 	}
@@ -132,12 +156,17 @@ func (s *Series) Mean() time.Duration {
 	return sum / time.Duration(len(s.vals))
 }
 
-// Values returns the raw samples (CDF plotting).
-func (s *Series) Values() []time.Duration { return s.vals }
+// Values returns a copy of the raw samples (CDF plotting).
+func (s *Series) Values() []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]time.Duration(nil), s.vals...)
+}
 
-// Metrics aggregates chain-wide measurements. The DES is single-threaded,
-// so no locking is needed.
+// Metrics aggregates chain-wide measurements. Safe for concurrent use:
+// live-mode processes report concurrently (uncontended on the DES).
 type Metrics struct {
+	mu     sync.Mutex
 	series map[string]*Series
 	Alerts []nf.Alert
 	// Counters are named monotonic counts snapshotted from chain
@@ -152,13 +181,23 @@ func NewMetrics() *Metrics {
 
 // SetCounter records a named count (idempotent snapshot semantics: callers
 // recompute totals rather than accumulate deltas).
-func (m *Metrics) SetCounter(name string, v uint64) { m.Counters[name] = v }
+func (m *Metrics) SetCounter(name string, v uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Counters[name] = v
+}
 
 // Counter reads a named count (0 when never recorded).
-func (m *Metrics) Counter(name string) uint64 { return m.Counters[name] }
+func (m *Metrics) Counter(name string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.Counters[name]
+}
 
 // Get returns (creating) the named series.
 func (m *Metrics) Get(name string) *Series {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	s, ok := m.series[name]
 	if !ok {
 		s = &Series{cap: 4 << 20}
@@ -178,24 +217,28 @@ func (m *Metrics) TotalTime(vertex string, d time.Duration) {
 }
 
 // ProcTimeAt records a timestamped processing-time sample.
-func (m *Metrics) ProcTimeAt(vertex string, at vtime.Time, d time.Duration) {
+func (m *Metrics) ProcTimeAt(vertex string, at transport.Time, d time.Duration) {
 	m.Get("proc."+vertex).AddAt(at, d)
 }
 
 // TotalTimeAt records a timestamped total-time sample.
-func (m *Metrics) TotalTimeAt(vertex string, at vtime.Time, d time.Duration) {
+func (m *Metrics) TotalTimeAt(vertex string, at transport.Time, d time.Duration) {
 	m.Get("total."+vertex).AddAt(at, d)
 }
 
 // alertFn returns the alert recorder passed to NF contexts.
 func (m *Metrics) alertFn(vertex string) func(nf.Alert) {
 	return func(a nf.Alert) {
+		m.mu.Lock()
 		m.Alerts = append(m.Alerts, a)
+		m.mu.Unlock()
 	}
 }
 
 // AlertCount counts alerts of the given kind.
 func (m *Metrics) AlertCount(kind string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	n := 0
 	for _, a := range m.Alerts {
 		if a.Kind == kind {

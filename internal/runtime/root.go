@@ -5,9 +5,8 @@ import (
 	"time"
 
 	"chc/internal/packet"
-	"chc/internal/simnet"
 	"chc/internal/store"
-	"chc/internal/vtime"
+	"chc/internal/transport"
 )
 
 // Clock persistence key: roots store their clock under vertex 0.
@@ -22,6 +21,18 @@ const (
 // or cloned instance (§5.3/§5.4).
 type ReplayCmd struct {
 	CloneID uint16
+}
+
+// RootStatsQuery asks the root for a statistics snapshot through its own
+// event loop — the only way to read a consistent view while traffic is
+// flowing in live mode (the root's counters belong to its process).
+type RootStatsQuery struct{}
+
+// RootStats is the reply to a RootStatsQuery.
+type RootStats struct {
+	Injected, Deleted, Dropped, Replayed uint64
+	LogSize                              int
+	InjectedByClass, DeletedByClass      []uint64
 }
 
 // rootLogEntry is one in-flight packet (§5: "at any time, the root logs all
@@ -44,13 +55,14 @@ type Root struct {
 	ID       uint8
 	Endpoint string
 
-	ctr         uint64
-	log         map[uint64]*rootLogEntry
-	order       []uint64 // insertion-ordered clocks (replay iterates this)
-	commitXor   map[uint64]uint32
-	next        []*Vertex // successor per traffic class (see topology.go)
-	offPathTaps []*Vertex
-	proc        *vtime.Proc
+	ctr          uint64
+	traceCommits map[uint64][]store.CommitMsg // debug only
+	log          map[uint64]*rootLogEntry
+	order        []uint64 // insertion-ordered clocks (replay iterates this)
+	commitXor    map[uint64]uint32
+	next         []*Vertex // successor per traffic class (see topology.go)
+	offPathTaps  []*Vertex
+	proc         transport.Handle
 
 	// Stats.
 	Injected uint64
@@ -78,15 +90,15 @@ func NewRoot(c *Chain, id uint8, endpoint string) *Root {
 
 // Start spawns the root process.
 func (r *Root) Start() {
-	r.proc = r.chain.sim.Spawn(r.Endpoint, r.run)
+	r.proc = r.chain.tr.Spawn(r.Endpoint, r.run)
 }
 
 // Crash fail-stops the root.
 func (r *Root) Crash() {
 	if r.proc != nil {
-		r.chain.sim.Kill(r.proc)
+		r.chain.tr.Kill(r.proc)
 	}
-	r.chain.net.Crash(r.Endpoint)
+	r.chain.tr.Crash(r.Endpoint)
 }
 
 // LogSize reports in-flight packets.
@@ -95,10 +107,10 @@ func (r *Root) LogSize() int { return len(r.log) }
 // Clock returns the current counter (tests).
 func (r *Root) Clock() uint64 { return r.ctr }
 
-func (r *Root) run(p *vtime.Proc) {
-	ep := r.chain.net.Endpoint(r.Endpoint)
+func (r *Root) run(p transport.Proc) {
+	ep := r.chain.tr.Endpoint(r.Endpoint)
 	for {
-		msg := ep.Inbox.Recv(p)
+		msg := ep.Recv(p)
 		switch m := msg.Payload.(type) {
 		case PacketMsg:
 			r.ingest(p, m)
@@ -108,18 +120,21 @@ func (r *Root) run(p *vtime.Proc) {
 			r.handleCommit(m)
 		case ReplayCmd:
 			r.replay(p, m.CloneID)
-		case *simnet.CallMsg:
-			// The root is the authority for the shard partition map: new or
-			// recovering components fetch it here (§5.4-style metadata).
-			if _, ok := m.Payload.(store.PartitionQuery); ok {
+		case transport.Call:
+			switch m.Body().(type) {
+			case store.PartitionQuery:
+				// The root is the authority for the shard partition map: new
+				// or recovering components fetch it here (§5.4 metadata).
 				m.Reply(r.chain.pmap.Copy(), 16+16*len(r.chain.pmap.Shards))
+			case RootStatsQuery:
+				m.Reply(r.statsSnapshot(), 64)
 			}
 		}
 	}
 }
 
 // ingest stamps, persists, logs and forwards one input packet.
-func (r *Root) ingest(p *vtime.Proc, m PacketMsg) {
+func (r *Root) ingest(p transport.Proc, m PacketMsg) {
 	cfg := r.chain.cfg
 	if cfg.RootLogLimit > 0 && len(r.log) >= cfg.RootLogLimit {
 		// Buffer-bloat guard (§5): drop at the root.
@@ -140,7 +155,7 @@ func (r *Root) ingest(p *vtime.Proc, m PacketMsg) {
 	if cfg.ClockPersistEvery > 0 && r.ctr%uint64(cfg.ClockPersistEvery) == 0 {
 		key := store.Key{Vertex: rootVertexID, Obj: rootClockObj, Sub: uint64(r.ID)}
 		req := &store.Request{Op: store.OpSet, Key: key, Arg: store.IntVal(int64(r.ctr))}
-		r.chain.net.Call(p, r.Endpoint, r.chain.pmap.ShardFor(key), req, 32, 10*time.Millisecond)
+		r.chain.tr.Call(p, r.Endpoint, r.chain.pmap.ShardFor(key), req, 32, 10*time.Millisecond)
 	}
 
 	// Packet logging: root-local (fast) or in the datastore (survives
@@ -149,13 +164,17 @@ func (r *Root) ingest(p *vtime.Proc, m PacketMsg) {
 	if cfg.LogInStore {
 		key := store.Key{Vertex: rootVertexID, Obj: rootLogObj, Sub: clock}
 		req := &store.Request{Op: store.OpSet, Key: key, Arg: store.IntVal(int64(m.Pkt.WireLen()))}
-		r.chain.net.Call(p, r.Endpoint, r.chain.pmap.ShardFor(key), req, 64, 10*time.Millisecond)
+		r.chain.tr.Call(p, r.Endpoint, r.chain.pmap.ShardFor(key), req, 64, 10*time.Millisecond)
 	} else {
+		// Root-local logging cost: modeled on the DES; negative disables the
+		// sleep (live mode — the real log append IS the cost).
 		cost := cfg.RootLogCost
 		if cost == 0 {
 			cost = localLogDelay
 		}
-		p.Sleep(cost)
+		if cost > 0 {
+			p.Sleep(cost)
+		}
 	}
 	// Log a CLONE, not the forwarded packet: NFs that forward a packet
 	// unmodified return the same object, and the per-hop BitVec XOR would
@@ -173,7 +192,7 @@ func (r *Root) ingest(p *vtime.Proc, m PacketMsg) {
 	r.forward(p, m.Pkt, p.Now())
 }
 
-func (r *Root) forward(p *vtime.Proc, pkt *packet.Packet, now vtime.Time) {
+func (r *Root) forward(p transport.Proc, pkt *packet.Packet, now transport.Time) {
 	for _, tap := range r.offPathTaps {
 		tap.Splitter.Route(r.Endpoint, pkt.Clone(), now)
 	}
@@ -211,6 +230,9 @@ func (r *Root) handleDelete(m DeleteMsg) {
 // come from stray or duplicated traffic (the class routing never sends the
 // packet there), so it is excluded rather than XORed into the balance.
 func (r *Root) handleCommit(m store.CommitMsg) {
+	if r.traceCommits != nil {
+		r.traceCommits[m.Clock] = append(r.traceCommits[m.Clock], m)
+	}
 	if in := r.chain.instanceByID(m.Instance); in != nil {
 		if in.vertex.Spec.OffPath {
 			return
@@ -244,7 +266,7 @@ func (r *Root) tryDelete(clock uint64, ent *rootLogEntry) {
 	// hold entries for the clock (the packet's updates can span shards), so
 	// the delete broadcasts.
 	for _, s := range r.chain.Stores {
-		r.chain.net.Send(simnet.Message{From: r.Endpoint, To: s.Name,
+		r.chain.tr.Send(transport.Message{From: r.Endpoint, To: s.Name,
 			Payload: store.PruneMsg{Clock: clock}, Size: 12})
 	}
 }
@@ -255,7 +277,7 @@ func (r *Root) tryDelete(clock uint64, ent *rootLogEntry) {
 // class path never reaches the clone's vertex cannot rebuild any state the
 // clone needs (it would only burn cycles on other branches before being
 // duplicate-suppressed), so it stays logged but is not resent.
-func (r *Root) replay(p *vtime.Proc, cloneID uint16) {
+func (r *Root) replay(p transport.Proc, cloneID uint16) {
 	// Compact order: drop deleted clocks.
 	live := r.order[:0]
 	for _, c := range r.order {
@@ -315,9 +337,57 @@ func (r *Root) replay(p *vtime.Proc, cloneID uint16) {
 	}
 }
 
+// statsSnapshot builds a RootStats inside the root process.
+func (r *Root) statsSnapshot() RootStats {
+	return RootStats{
+		Injected: r.Injected, Deleted: r.Deleted,
+		Dropped: r.Dropped, Replayed: r.Replayed,
+		LogSize:         len(r.log),
+		InjectedByClass: append([]uint64(nil), r.InjectedByClass...),
+		DeletedByClass:  append([]uint64(nil), r.DeletedByClass...),
+	}
+}
+
+// QueryRootStats fetches root statistics through the root's event loop,
+// consistent even while traffic flows (live mode). ok is false when the
+// root did not answer within timeout.
+func (c *Chain) QueryRootStats(timeout time.Duration) (RootStats, bool) {
+	sig := c.tr.NewSignal()
+	var st RootStats
+	var got bool
+	c.tr.Spawn("stats-query", func(p transport.Proc) {
+		res, ok := c.tr.Call(p, "stats-query", c.Root.Endpoint, RootStatsQuery{}, 16, timeout)
+		if ok {
+			st, got = res.(RootStats), true
+		}
+		sig.Resolve(nil)
+	})
+	if !c.tr.Drive(sig, timeout+50*time.Millisecond) {
+		return RootStats{}, false
+	}
+	return st, got
+}
+
+// AwaitDrained polls the root until every in-flight packet has completed
+// the Fig 6 delete protocol (log empty, injected == deleted) or the
+// budget elapses. The budget is virtual time on the DES, real time live.
+func (c *Chain) AwaitDrained(budget time.Duration) bool {
+	const step = 20 * time.Millisecond
+	for spent := time.Duration(0); ; spent += step {
+		st, ok := c.QueryRootStats(step)
+		if ok && st.LogSize == 0 && st.Injected == st.Deleted {
+			return true
+		}
+		if spent > budget {
+			return false
+		}
+		c.tr.RunFor(step)
+	}
+}
+
 // Inject delivers an external packet to the root (workload drivers).
-func (c *Chain) Inject(pkt *packet.Packet, at vtime.Time) {
-	c.net.Send(simnet.Message{
+func (c *Chain) Inject(pkt *packet.Packet, at transport.Time) {
+	c.tr.Send(transport.Message{
 		From:    "driver",
 		To:      c.Root.Endpoint,
 		Payload: PacketMsg{Pkt: pkt, SentAt: at, InjectedAt: at},
@@ -337,14 +407,14 @@ func (c *Chain) RecoverRoot() (newRoot *Root, took time.Duration) {
 	nr.InjectedByClass = make([]uint64, len(old.InjectedByClass))
 	nr.DeletedByClass = make([]uint64, len(old.DeletedByClass))
 
-	done := vtime.NewFuture[time.Duration](c.sim)
-	c.sim.Spawn("root-recovery", func(p *vtime.Proc) {
+	done := c.tr.NewSignal()
+	c.tr.Spawn("root-recovery", func(p transport.Proc) {
 		start := p.Now()
-		c.net.Restart(old.Endpoint)
+		c.tr.Restart(old.Endpoint)
 		// Read the last persisted clock from the shard owning it.
 		key := store.Key{Vertex: rootVertexID, Obj: rootClockObj, Sub: uint64(old.ID)}
 		req := &store.Request{Op: store.OpGet, Key: key}
-		res, ok := c.net.Call(p, nr.Endpoint, c.pmap.ShardFor(key), req, 32, 10*time.Millisecond)
+		res, ok := c.tr.Call(p, nr.Endpoint, c.pmap.ShardFor(key), req, 32, 10*time.Millisecond)
 		last := uint64(0)
 		if ok {
 			if rep, k := res.(store.Reply); k && rep.OK {
@@ -371,11 +441,11 @@ func (c *Chain) RecoverRoot() (newRoot *Root, took time.Duration) {
 		}
 		// Query flow allocation from one instance of each on-path vertex.
 		for _, v := range c.OnPath() {
-			for _, in := range v.Instances {
-				if in.dead {
+			for _, in := range c.instancesOf(v) {
+				if in.isDead() {
 					continue
 				}
-				c.net.Call(p, nr.Endpoint, in.Endpoint, FlowTableQuery{}, 16, 10*time.Millisecond)
+				c.tr.Call(p, nr.Endpoint, in.Endpoint, FlowTableQuery{}, 16, 10*time.Millisecond)
 				break
 			}
 		}
@@ -383,9 +453,12 @@ func (c *Chain) RecoverRoot() (newRoot *Root, took time.Duration) {
 		nr.Start()
 		done.Resolve(took)
 	})
-	c.sim.RunFor(50 * time.Millisecond)
-	if !done.Resolved() {
-		panic(fmt.Sprintf("root recovery did not complete (live: %v)", c.sim.LiveProcs()))
+	if !c.tr.Drive(done, 50*time.Millisecond) {
+		detail := ""
+		if c.sim != nil {
+			detail = fmt.Sprintf(" (live procs: %v)", c.sim.LiveProcs())
+		}
+		panic("root recovery did not complete" + detail)
 	}
 	c.Root = nr
 	return nr, took

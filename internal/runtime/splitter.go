@@ -2,11 +2,11 @@ package runtime
 
 import (
 	"sort"
+	"sync"
 
 	"chc/internal/packet"
-	"chc/internal/simnet"
 	"chc/internal/store"
-	"chc/internal/vtime"
+	"chc/internal/transport"
 )
 
 // Splitter partitions traffic entering a vertex across its instances
@@ -16,6 +16,12 @@ import (
 type Splitter struct {
 	chain  *Chain
 	vertex *Vertex
+
+	// mu guards the routing tables: in live mode the root process, every
+	// upstream instance's worker and the framework's scaling actions all
+	// route/mutate concurrently (uncontended on the DES). Never held
+	// across blocking operations; Send is non-blocking.
+	mu sync.Mutex
 
 	// scopes are the candidate partitioning granularities, coarsest first
 	// (the paper starts coarse to avoid sharing, refining only for load).
@@ -101,15 +107,22 @@ func NewSplitter(c *Chain, v *Vertex) *Splitter {
 }
 
 // Scope returns the active partitioning scope.
-func (s *Splitter) Scope() store.Scope { return s.scopes[s.scopeIdx] }
+func (s *Splitter) Scope() store.Scope {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scopes[s.scopeIdx]
+}
 
 // Refine moves to the next finer scope (the framework does this when the
 // vertex manager reports uneven load, §4.1). Returns false at the finest.
 func (s *Splitter) Refine() bool {
+	s.mu.Lock()
 	if s.scopeIdx+1 >= len(s.scopes) {
+		s.mu.Unlock()
 		return false
 	}
 	s.scopeIdx++
+	s.mu.Unlock()
 	s.notifyExclusivity()
 	return true
 }
@@ -117,6 +130,12 @@ func (s *Splitter) Refine() bool {
 // GrantsExclusive reports whether the current partitioning guarantees that
 // any single key of the given scope is only accessed by one instance.
 func (s *Splitter) GrantsExclusive(objScope store.Scope) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.grantsExclusiveLocked(objScope)
+}
+
+func (s *Splitter) grantsExclusiveLocked(objScope store.Scope) bool {
 	alive := s.aliveCount()
 	if alive <= 1 {
 		return true
@@ -127,13 +146,13 @@ func (s *Splitter) GrantsExclusive(objScope store.Scope) bool {
 	// Partitioning at a scope coarser than or equal to the object's scope
 	// keeps each object single-writer (e.g. partition per-host, object
 	// per-host or per-flow).
-	return s.Scope() >= objScope
+	return s.scopes[s.scopeIdx] >= objScope
 }
 
 func (s *Splitter) aliveCount() int {
 	n := 0
-	for _, in := range s.vertex.Instances {
-		if !in.dead {
+	for _, in := range s.chain.instancesOf(s.vertex) {
+		if !in.isDead() {
 			n++
 		}
 	}
@@ -144,8 +163,8 @@ func (s *Splitter) aliveCount() int {
 // instance's client library (§4.3: the framework notifies the client-side
 // library when to cache or flush).
 func (s *Splitter) notifyExclusivity() {
-	for _, in := range s.vertex.Instances {
-		if in.client == nil || in.dead {
+	for _, in := range s.chain.instancesOf(s.vertex) {
+		if in.client == nil || in.isDead() {
 			continue
 		}
 		in.applyExclusivityDefaults()
@@ -192,7 +211,7 @@ func mix(x uint64) uint64 {
 // were all moved or pinned before the drain flag was set), so no in-flight
 // flow changes instance without a handover.
 func (s *Splitter) instanceFor(key uint64) *Instance {
-	insts := s.vertex.Instances
+	insts := s.chain.instancesOf(s.vertex)
 	if id, ok := s.overrides[key]; ok {
 		if in := s.chain.instanceByID(s.resolve(id)); in != nil {
 			return in
@@ -200,7 +219,7 @@ func (s *Splitter) instanceFor(key uint64) *Instance {
 	}
 	idx := int(mix(key) % uint64(len(insts)))
 	in := s.chain.instanceByID(s.resolve(insts[idx].ID))
-	if in != nil && in.draining {
+	if in != nil && in.isDraining() {
 		// A retired instance keeps its draining flag, so post-drain traffic
 		// also lands here (crashed-but-not-drained instances are the
 		// failover path's business, via redirect).
@@ -219,8 +238,8 @@ func (s *Splitter) instanceFor(key uint64) *Instance {
 // placement).
 func (s *Splitter) rehashLive(key uint64) *Instance {
 	var live []*Instance
-	for _, in := range s.vertex.Instances {
-		if !in.dead && !in.draining {
+	for _, in := range s.chain.instancesOf(s.vertex) {
+		if !in.isDead() && !in.isDraining() {
 			live = append(live, in)
 		}
 	}
@@ -243,7 +262,9 @@ func (s *Splitter) resolve(id uint16) uint16 {
 
 // Route delivers pkt to the owning instance, applying handover marks,
 // host-split routing and straggler replication.
-func (s *Splitter) Route(from string, pkt *packet.Packet, now vtime.Time) {
+func (s *Splitter) Route(from string, pkt *packet.Packet, now transport.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.Routed++
 
 	// End-of-replay marker: deliver straight to the clone when it lives in
@@ -291,18 +312,18 @@ func (s *Splitter) Route(from string, pkt *packet.Packet, now vtime.Time) {
 	var target *Instance
 	switch {
 	case s.IdxFn != nil:
-		insts := s.vertex.Instances
+		insts := s.chain.instancesOf(s.vertex)
 		idx := s.IdxFn(pkt) % len(insts)
 		target = s.chain.instanceByID(s.resolve(insts[idx].ID))
 	case s.KeyFn != nil:
 		target = s.instanceFor(s.KeyFn(pkt))
 	case len(s.splitHosts) > 0 && s.splitHosts[insideHost(pkt)]:
 		// Shared-set hosts: flow-granularity spray across instances.
-		insts := s.vertex.Instances
+		insts := s.chain.instancesOf(s.vertex)
 		idx := int(mix(flowKey) % uint64(len(insts)))
 		target = s.chain.instanceByID(s.resolve(insts[idx].ID))
 	default:
-		pk := partKey(pkt, s.Scope())
+		pk := partKey(pkt, s.scopes[s.scopeIdx])
 		s.seenKeys[pk] = struct{}{}
 		target = s.instanceFor(pk)
 	}
@@ -314,8 +335,8 @@ func (s *Splitter) Route(from string, pkt *packet.Packet, now vtime.Time) {
 	}
 }
 
-func (s *Splitter) deliver(from string, target *Instance, pkt *packet.Packet, now vtime.Time) {
-	s.chain.net.Send(simnet.Message{
+func (s *Splitter) deliver(from string, target *Instance, pkt *packet.Packet, now transport.Time) {
+	s.chain.tr.Send(transport.Message{
 		From:    from,
 		To:      target.Endpoint,
 		Payload: PacketMsg{Pkt: pkt, SentAt: now},
@@ -330,6 +351,8 @@ func (s *Splitter) deliver(from string, target *Instance, pkt *packet.Packet, no
 // instance first, so the new instance's acquire cannot overtake packets
 // still queued at a backlogged old instance.
 func (s *Splitter) StartMove(flowKeys []uint64, to uint16) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, k := range flowKeys {
 		from := uint16(0)
 		if in := s.instanceFor(k); in != nil {
@@ -357,7 +380,7 @@ func (s *Splitter) startMoveFrom(k uint64, from, to uint16) {
 func (s *Splitter) seedOwnership(flowKey uint64, owner uint16) {
 	for _, obj := range s.flowObjs {
 		k := store.Key{Vertex: s.vertex.ID, Obj: obj, Sub: flowKey}
-		s.chain.net.Send(simnet.Message{
+		s.chain.tr.Send(transport.Message{
 			From: "framework", To: s.chain.pmap.ShardFor(k),
 			Payload: store.OwnerSeedMsg{Key: k, Instance: owner}, Size: 20,
 		})
@@ -373,6 +396,8 @@ type scaleOutPlan map[uint64]uint16
 // planScaleOut snapshots current placements; call BEFORE appending the new
 // instance so the pre-scale hash targets are still computable.
 func (s *Splitter) planScaleOut() scaleOutPlan {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	plan := make(scaleOutPlan, len(s.seenKeys))
 	for k := range s.seenKeys {
 		if _, ov := s.overrides[k]; ov {
@@ -396,7 +421,9 @@ func (s *Splitter) planScaleOut() scaleOutPlan {
 // consistent-hashing property that scale-out moves ~1/(N+1) of the keys and
 // only toward the newcomer.
 func (s *Splitter) applyScaleOut(plan scaleOutPlan, newID uint16) {
-	canMove := s.Scope() == store.ScopeFlow
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	canMove := s.scopes[s.scopeIdx] == store.ScopeFlow
 	insts := s.vertex.Instances
 	// Deterministic key order: moves send ownership-seed messages, and map
 	// iteration order would perturb same-instant scheduling (seed contract).
@@ -427,13 +454,15 @@ func (s *Splitter) applyScaleOut(plan scaleOutPlan, newID uint16) {
 // drain relies on the drain-aware re-hash plus retirement-time flush —
 // the same unmanaged re-placement AddInstance performs at those scopes.
 func (s *Splitter) planScaleIn(drainID uint16) map[uint64]uint16 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	targets := make(map[uint64]uint16)
-	if s.Scope() != store.ScopeFlow {
+	if s.scopes[s.scopeIdx] != store.ScopeFlow {
 		return targets
 	}
 	var live []*Instance
-	for _, in := range s.vertex.Instances {
-		if !in.dead && !in.draining && in.ID != drainID {
+	for _, in := range s.chain.instancesOf(s.vertex) {
+		if !in.isDead() && !in.isDraining() && in.ID != drainID {
 			live = append(live, in)
 		}
 	}
@@ -468,6 +497,8 @@ func (s *Splitter) planScaleIn(drainID uint16) map[uint64]uint16 {
 //   - stale overrides pointing at the retiree are deleted, letting the
 //     drain-aware hash place those keys.
 func (s *Splitter) RetireInstance(id uint16) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for k, mv := range s.moves {
 		switch {
 		case mv.hasFrom && mv.from == id:
@@ -497,6 +528,8 @@ func (s *Splitter) RetireInstance(id uint16) {
 // store ops until exclusivity returns. Passing nil reverts to scope
 // partitioning and restores cache permission for the previously split set.
 func (s *Splitter) SetSplitHosts(hosts []uint32, objs []uint16) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	prev := s.splitHosts
 	prevObjs := s.splitObjs
 	s.splitHosts = make(map[uint32]bool)
@@ -504,15 +537,15 @@ func (s *Splitter) SetSplitHosts(hosts []uint32, objs []uint16) {
 		s.splitHosts[h] = true
 	}
 	s.splitObjs = objs
-	for _, in := range s.vertex.Instances {
-		if in.client == nil || in.dead {
+	for _, in := range s.chain.instancesOf(s.vertex) {
+		if in.client == nil || in.isDead() {
 			continue
 		}
 		// Revert the previous split set first.
 		for _, obj := range prevObjs {
 			for h := range prev {
 				if !s.splitHosts[h] {
-					in.client.SetExclusive(obj, uint64(h), s.GrantsExclusive(store.ScopeSrcIP))
+					in.client.SetExclusive(obj, uint64(h), s.grantsExclusiveLocked(store.ScopeSrcIP))
 				}
 			}
 		}
@@ -525,13 +558,25 @@ func (s *Splitter) SetSplitHosts(hosts []uint32, objs []uint16) {
 }
 
 // Redirect reroutes a failed instance's traffic to its replacement.
-func (s *Splitter) Redirect(from, to uint16) { s.redirect[from] = to }
+func (s *Splitter) Redirect(from, to uint16) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.redirect[from] = to
+}
 
 // Replicate mirrors primary's traffic to clone (straggler mitigation).
-func (s *Splitter) Replicate(primary, clone uint16) { s.replicate[primary] = clone }
+func (s *Splitter) Replicate(primary, clone uint16) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.replicate[primary] = clone
+}
 
 // StopReplicate ends mirroring for primary.
-func (s *Splitter) StopReplicate(primary uint16) { delete(s.replicate, primary) }
+func (s *Splitter) StopReplicate(primary uint16) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.replicate, primary)
+}
 
 // FlowTable is the splitter state a recovering root retrieves (§5.4).
 type FlowTable struct {
@@ -541,9 +586,11 @@ type FlowTable struct {
 
 // TableSnapshot returns a copy of the routing state.
 func (s *Splitter) TableSnapshot() FlowTable {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	ov := make(map[uint64]uint16, len(s.overrides))
 	for k, v := range s.overrides {
 		ov[k] = v
 	}
-	return FlowTable{Scope: s.Scope(), Overrides: ov}
+	return FlowTable{Scope: s.scopes[s.scopeIdx], Overrides: ov}
 }

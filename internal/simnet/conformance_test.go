@@ -1,0 +1,18 @@
+package simnet_test
+
+import (
+	"testing"
+
+	"chc/internal/simnet"
+	"chc/internal/transport"
+	"chc/internal/transport/transporttest"
+	"chc/internal/vtime"
+)
+
+// TestTransportConformance runs the shared substrate contract suite
+// against the DES-backed implementation.
+func TestTransportConformance(t *testing.T) {
+	transporttest.Run(t, func() transport.Transport {
+		return simnet.New(vtime.NewSim(1), transport.LinkConfig{})
+	})
+}

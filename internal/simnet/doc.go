@@ -8,4 +8,10 @@
 // All latency results in the CHC paper are RTT-dominated, so modeling the
 // network at this level preserves the shape of every evaluation result while
 // staying deterministic (see DESIGN.md §1).
+//
+// *Network implements transport.Transport, the substrate interface the
+// chain runtime is written against: this package is the deterministic
+// correctness oracle, internal/livenet is the real-goroutine performance
+// substrate, and internal/transport/transporttest pins the contract both
+// must satisfy (see DESIGN.md §7).
 package simnet

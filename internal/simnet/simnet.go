@@ -1,30 +1,19 @@
 package simnet
 
 import (
-	"fmt"
 	"time"
 
+	"chc/internal/transport"
 	"chc/internal/vtime"
 )
 
-// Message is a unit of delivery between endpoints.
-type Message struct {
-	From    string
-	To      string
-	Payload any
-	Size    int // wire bytes; used for bandwidth/serialization modeling
-}
+// Message is a unit of delivery between endpoints (the shared transport
+// message type).
+type Message = transport.Message
 
-// LinkConfig describes one direction of a link.
-type LinkConfig struct {
-	Latency      time.Duration // propagation, one-way
-	Jitter       time.Duration // uniform in [0, Jitter)
-	BandwidthBps int64         // 0 means infinite (no serialization delay)
-	LossProb     float64
-	DupProb      float64
-	ReorderProb  float64 // probability a message gets ReorderDelay extra
-	ReorderDelay time.Duration
-}
+// LinkConfig describes one direction of a link (the shared transport link
+// model).
+type LinkConfig = transport.LinkConfig
 
 // link is the runtime state for one directed endpoint pair.
 type link struct {
@@ -50,6 +39,12 @@ func (e *Endpoint) Name() string { return e.name }
 // Down reports whether the endpoint is crashed.
 func (e *Endpoint) Down() bool { return e.down }
 
+// Recv implements transport.Endpoint on top of the typed inbox.
+func (e *Endpoint) Recv(p transport.Proc) Message { return e.Inbox.Recv(p.(*vtime.Proc)) }
+
+// Len implements transport.Endpoint.
+func (e *Endpoint) Len() int { return e.Inbox.Len() }
+
 // Network is a set of endpoints and directed links.
 type Network struct {
 	sim        *vtime.Sim
@@ -72,7 +67,9 @@ func New(sim *vtime.Sim, def LinkConfig) *Network {
 func (n *Network) Sim() *vtime.Sim { return n.sim }
 
 // Endpoint returns (creating on first use) the named endpoint.
-func (n *Network) Endpoint(name string) *Endpoint {
+func (n *Network) Endpoint(name string) transport.Endpoint { return n.endpoint(name) }
+
+func (n *Network) endpoint(name string) *Endpoint {
 	if e, ok := n.endpoints[name]; ok {
 		return e
 	}
@@ -110,7 +107,7 @@ func (n *Network) SetLinkUp(from, to string, up bool) {
 // Crash marks an endpoint down: all traffic to or from it is dropped and its
 // inbox is cleared. Used for fail-stop failure injection.
 func (n *Network) Crash(name string) {
-	e := n.Endpoint(name)
+	e := n.endpoint(name)
 	e.down = true
 	e.Inbox.Drain()
 }
@@ -118,7 +115,7 @@ func (n *Network) Crash(name string) {
 // Restart brings a crashed endpoint back (with an empty inbox, as a fresh
 // process would have).
 func (n *Network) Restart(name string) {
-	e := n.Endpoint(name)
+	e := n.endpoint(name)
 	e.down = false
 	e.Inbox.Drain()
 }
@@ -132,8 +129,8 @@ func (n *Network) LinkStats(from, to string) (sent, delivered, dropped uint64) {
 // Send transmits msg from msg.From to msg.To, applying the link model.
 // It never blocks; delivery (if any) is scheduled on the destination inbox.
 func (n *Network) Send(msg Message) {
-	src := n.Endpoint(msg.From)
-	dst := n.Endpoint(msg.To)
+	src := n.endpoint(msg.From)
+	dst := n.endpoint(msg.To)
 	l := n.linkFor(msg.From, msg.To)
 	l.Sent++
 	if src.down || dst.down || !l.up {
@@ -186,11 +183,11 @@ func (n *Network) Send(msg Message) {
 // a reply future, then blocks p until the server resolves the future or the
 // timeout elapses. Servers receive a *CallMsg and must call Reply exactly
 // once (or never, to model a lost reply).
-func (n *Network) Call(p *vtime.Proc, from, to string, payload any, size int, timeout time.Duration) (any, bool) {
+func (n *Network) Call(p transport.Proc, from, to string, payload any, size int, timeout time.Duration) (any, bool) {
 	fut := vtime.NewFuture[any](n.sim)
 	cm := &CallMsg{Payload: payload, fut: fut, net: n, from: from, to: to}
 	n.Send(Message{From: from, To: to, Payload: cm, Size: size})
-	return fut.WaitTimeout(p, timeout)
+	return fut.WaitTimeout(p.(*vtime.Proc), timeout)
 }
 
 // CallMsg is the payload wrapper for simulated RPCs.
@@ -205,12 +202,15 @@ type CallMsg struct {
 // From returns the calling endpoint's name.
 func (c *CallMsg) From() string { return c.from }
 
+// Body implements transport.Call.
+func (c *CallMsg) Body() any { return c.Payload }
+
 // Reply resolves the caller's future after the return path latency of the
 // link to->from. replySize models the reply message size.
 func (c *CallMsg) Reply(v any, replySize int) {
 	l := c.net.linkFor(c.to, c.from)
-	src := c.net.Endpoint(c.to)
-	dst := c.net.Endpoint(c.from)
+	src := c.net.endpoint(c.to)
+	dst := c.net.endpoint(c.from)
 	l.Sent++
 	if src.down || dst.down || !l.up {
 		l.Dropped++
@@ -246,7 +246,66 @@ func (c *CallMsg) Reply(v any, replySize int) {
 	})
 }
 
-// String implements fmt.Stringer for diagnostics.
-func (m Message) String() string {
-	return fmt.Sprintf("%s->%s (%dB) %T", m.From, m.To, m.Size, m.Payload)
+// --- transport.Transport implementation --------------------------------------
+//
+// The methods below complete the Transport interface on *Network, exposing
+// the simulator's execution primitives behind the substrate-neutral API the
+// chain runtime is written against.
+
+// Spawn starts a simulated process.
+func (n *Network) Spawn(name string, fn func(transport.Proc)) transport.Handle {
+	return n.sim.Spawn(name, func(p *vtime.Proc) { fn(p) })
 }
+
+// Kill fail-stops a spawned process at its next blocking point.
+func (n *Network) Kill(h transport.Handle) {
+	if p, ok := h.(*vtime.Proc); ok && p != nil {
+		n.sim.Kill(p)
+	}
+}
+
+// Schedule runs fn once after virtual delay d.
+func (n *Network) Schedule(d time.Duration, fn func()) { n.sim.Schedule(d, fn) }
+
+// Now returns the current virtual time.
+func (n *Network) Now() transport.Time { return n.sim.Now() }
+
+// Intn draws from the simulator's deterministic random source.
+func (n *Network) Intn(v int64) int64 { return n.sim.Rand().Int63n(v) }
+
+// simSignal adapts vtime.Future to transport.Signal with first-wins
+// Resolve semantics.
+type simSignal struct{ fut *vtime.Future[any] }
+
+func (s *simSignal) Resolve(v any) {
+	if !s.fut.Resolved() {
+		s.fut.Resolve(v)
+	}
+}
+func (s *simSignal) Resolved() bool { return s.fut.Resolved() }
+func (s *simSignal) WaitTimeout(p transport.Proc, d time.Duration) (any, bool) {
+	return s.fut.WaitTimeout(p.(*vtime.Proc), d)
+}
+
+// NewSignal creates a one-shot handoff on the simulator.
+func (n *Network) NewSignal() transport.Signal {
+	return &simSignal{fut: vtime.NewFuture[any](n.sim)}
+}
+
+// RunFor advances the simulation by virtual duration d.
+func (n *Network) RunFor(d time.Duration) { n.sim.RunFor(d) }
+
+// Drive runs exactly timeout of virtual time and reports whether sig
+// resolved. The horizon is fixed regardless of when the signal fires so the
+// virtual clock after Drive never depends on the signal (determinism).
+func (n *Network) Drive(sig transport.Signal, timeout time.Duration) bool {
+	n.sim.RunFor(timeout)
+	return sig.Resolved()
+}
+
+// Shutdown is a no-op: simulated processes only run while the caller
+// drives the scheduler, so there is nothing to join.
+func (n *Network) Shutdown() {}
+
+// Live reports that this is the virtual-time substrate.
+func (n *Network) Live() bool { return false }

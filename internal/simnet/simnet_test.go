@@ -14,7 +14,7 @@ func newNet(seed int64, lat time.Duration) (*vtime.Sim, *Network) {
 
 func TestDeliveryLatency(t *testing.T) {
 	sim, n := newNet(1, 15*time.Microsecond)
-	dst := n.Endpoint("b")
+	dst := n.endpoint("b")
 	var at vtime.Time
 	sim.Spawn("recv", func(p *vtime.Proc) {
 		dst.Inbox.Recv(p)
@@ -29,7 +29,7 @@ func TestDeliveryLatency(t *testing.T) {
 
 func TestFIFOPerLink(t *testing.T) {
 	sim, n := newNet(1, 10*time.Microsecond)
-	dst := n.Endpoint("b")
+	dst := n.endpoint("b")
 	var got []int
 	sim.Spawn("recv", func(p *vtime.Proc) {
 		for i := 0; i < 5; i++ {
@@ -53,7 +53,7 @@ func TestLoss(t *testing.T) {
 	n.SetLink("a", "b", LinkConfig{Latency: time.Microsecond, LossProb: 1.0})
 	n.Send(Message{From: "a", To: "b", Payload: 1})
 	sim.Run()
-	if n.Endpoint("b").Inbox.Len() != 0 {
+	if n.endpoint("b").Inbox.Len() != 0 {
 		t.Fatal("lossy link delivered a message")
 	}
 	_, _, dropped := n.LinkStats("a", "b")
@@ -67,13 +67,13 @@ func TestCrashDropsTraffic(t *testing.T) {
 	n.Crash("b")
 	n.Send(Message{From: "a", To: "b", Payload: 1})
 	sim.Run()
-	if n.Endpoint("b").Inbox.Len() != 0 {
+	if n.endpoint("b").Inbox.Len() != 0 {
 		t.Fatal("crashed endpoint received a message")
 	}
 	n.Restart("b")
 	n.Send(Message{From: "a", To: "b", Payload: 2})
 	sim.Run()
-	if n.Endpoint("b").Inbox.Len() != 1 {
+	if n.endpoint("b").Inbox.Len() != 1 {
 		t.Fatal("restarted endpoint did not receive")
 	}
 }
@@ -85,7 +85,7 @@ func TestCrashAtDeliveryTime(t *testing.T) {
 	n.Send(Message{From: "a", To: "b", Payload: 1})
 	sim.Schedule(50*time.Microsecond, func() { n.Crash("b") })
 	sim.Run()
-	if n.Endpoint("b").Inbox.Len() != 0 {
+	if n.endpoint("b").Inbox.Len() != 0 {
 		t.Fatal("message delivered to endpoint that crashed in flight")
 	}
 }
@@ -97,10 +97,10 @@ func TestPartition(t *testing.T) {
 	// Reverse direction should be unaffected.
 	n.Send(Message{From: "b", To: "a", Payload: 2})
 	sim.Run()
-	if n.Endpoint("b").Inbox.Len() != 0 {
+	if n.endpoint("b").Inbox.Len() != 0 {
 		t.Fatal("partitioned link delivered")
 	}
-	if n.Endpoint("a").Inbox.Len() != 1 {
+	if n.endpoint("a").Inbox.Len() != 1 {
 		t.Fatal("reverse direction was affected")
 	}
 }
@@ -110,7 +110,7 @@ func TestBandwidthSerialization(t *testing.T) {
 	// sent back-to-back: second delivers one serialization time later.
 	sim := vtime.NewSim(1)
 	n := New(sim, LinkConfig{Latency: 5 * time.Microsecond, BandwidthBps: 10_000_000_000})
-	dst := n.Endpoint("b")
+	dst := n.endpoint("b")
 	var times []vtime.Time
 	sim.Spawn("recv", func(p *vtime.Proc) {
 		for i := 0; i < 2; i++ {
@@ -134,7 +134,7 @@ func TestBandwidthSerialization(t *testing.T) {
 
 func TestRPCRoundTrip(t *testing.T) {
 	sim, n := newNet(1, 10*time.Microsecond)
-	srv := n.Endpoint("server")
+	srv := n.endpoint("server")
 	sim.Spawn("server", func(p *vtime.Proc) {
 		m := srv.Inbox.Recv(p)
 		cm := m.Payload.(*CallMsg)
@@ -177,7 +177,7 @@ func TestDuplication(t *testing.T) {
 	n := New(sim, LinkConfig{Latency: time.Microsecond, DupProb: 1.0})
 	n.Send(Message{From: "a", To: "b", Payload: 9})
 	sim.Run()
-	if got := n.Endpoint("b").Inbox.Len(); got != 2 {
+	if got := n.endpoint("b").Inbox.Len(); got != 2 {
 		t.Fatalf("inbox = %d, want 2 (original + duplicate)", got)
 	}
 }
@@ -185,7 +185,7 @@ func TestDuplication(t *testing.T) {
 func TestReorderAddsDelay(t *testing.T) {
 	sim := vtime.NewSim(3)
 	n := New(sim, LinkConfig{Latency: time.Microsecond, ReorderProb: 1.0, ReorderDelay: 40 * time.Microsecond})
-	dst := n.Endpoint("b")
+	dst := n.endpoint("b")
 	var at vtime.Time
 	sim.Spawn("recv", func(p *vtime.Proc) {
 		dst.Inbox.Recv(p)

@@ -1,10 +1,10 @@
 package store
 
 import (
+	"sync"
 	"time"
 
-	"chc/internal/simnet"
-	"chc/internal/vtime"
+	"chc/internal/transport"
 )
 
 // Mode selects the state-management model of §7.1, so the same NF code can
@@ -94,12 +94,20 @@ type cacheEntry struct {
 	registered bool      // update callback registered with the store
 }
 
-// Client is the per-instance datastore library. Its blocking methods must be
-// called from the owning NF instance's simulation process; HandleMessage
+// Client is the per-instance datastore library. Its blocking methods must
+// be called from one of the owning NF instance's processes; HandleMessage
 // must be invoked by the instance's event loop for store-pushed messages.
+// The client is safe for concurrent use by the instance's worker processes
+// (live execution mode): mu guards all mutable state and is released
+// around blocking network waits. On the single-threaded DES the mutex is
+// always uncontended and changes nothing.
 type Client struct {
-	cfg   ClientConfig
-	net   *simnet.Network
+	cfg ClientConfig
+	net transport.Transport
+
+	// mu guards every mutable field below (cache, pending, coalescing
+	// buffers, WAL, read log, ownership waits, stats).
+	mu    sync.Mutex
 	pmap  *PartitionMap
 	decls map[uint16]ObjDecl
 	cache map[Key]*cacheEntry
@@ -119,10 +127,10 @@ type Client struct {
 	// Recovery metadata.
 	wal       []WalOp
 	readLog   []ReadRecord
-	flushProc *vtime.Proc
+	flushProc transport.Handle
 
 	// Handover waits: per-flow keys whose release we are waiting on.
-	ownerWait map[Key]*vtime.Future[struct{}]
+	ownerWait map[Key]transport.Signal
 
 	// Per-object exclusivity defaults (set by the framework from the
 	// upstream splitter's partitioning); per-sub cache entries override.
@@ -153,7 +161,7 @@ type coKey struct {
 }
 
 // NewClient builds a client library instance.
-func NewClient(net *simnet.Network, cfg ClientConfig) *Client {
+func NewClient(net transport.Transport, cfg ClientConfig) *Client {
 	if cfg.RPCTimeout == 0 {
 		cfg.RPCTimeout = 10 * time.Millisecond
 	}
@@ -180,7 +188,7 @@ func NewClient(net *simnet.Network, cfg ClientConfig) *Client {
 		pending:     make(map[uint64]AsyncOp),
 		co:          make(map[coKey]*Request),
 		coalesceOff: coalesceOff,
-		ownerWait:   make(map[Key]*vtime.Future[struct{}]),
+		ownerWait:   make(map[Key]transport.Signal),
 		objExcl:     make(map[uint16]bool),
 	}
 	for _, d := range cfg.Decls {
@@ -192,31 +200,46 @@ func NewClient(net *simnet.Network, cfg ClientConfig) *Client {
 // Config returns the client configuration.
 func (c *Client) Config() ClientConfig { return c.cfg }
 
-// WAL returns the client-side write-ahead log (store recovery input).
-func (c *Client) WAL() []WalOp { return c.wal }
+// WAL returns a copy of the client-side write-ahead log (store recovery
+// input).
+func (c *Client) WAL() []WalOp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]WalOp(nil), c.wal...)
+}
 
 // PendingAcks reports async operations not yet acknowledged.
-func (c *Client) PendingAcks() int { return len(c.pending) }
+func (c *Client) PendingAcks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
 
 // Shutdown stops retransmission of outstanding async ops and drops unsent
 // coalesced batches (instance crash: a dead NF cannot keep retrying; replay
 // regenerates anything lost).
 func (c *Client) Shutdown() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.shutdown = true
 	c.pending = make(map[uint64]AsyncOp)
 	c.co = make(map[coKey]*Request)
 	c.coOrder = c.coOrder[:0]
 }
 
-// ReadLog returns logged shared reads with their TS vectors.
-func (c *Client) ReadLog() []ReadRecord { return c.readLog }
+// ReadLog returns a copy of the logged shared reads with their TS vectors.
+func (c *Client) ReadLog() []ReadRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]ReadRecord(nil), c.readLog...)
+}
 
 // StartFlusher spawns the periodic cache flusher if configured.
 func (c *Client) StartFlusher() {
 	if c.cfg.FlushEvery <= 0 {
 		return
 	}
-	c.flushProc = c.net.Sim().Spawn(c.cfg.Endpoint+".flush", func(p *vtime.Proc) {
+	c.flushProc = c.net.Spawn(c.cfg.Endpoint+".flush", func(p transport.Proc) {
 		for {
 			p.Sleep(c.cfg.FlushEvery)
 			c.FlushAll()
@@ -227,7 +250,7 @@ func (c *Client) StartFlusher() {
 // StopFlusher kills the flusher (instance crash).
 func (c *Client) StopFlusher() {
 	if c.flushProc != nil {
-		c.net.Sim().Kill(c.flushProc)
+		c.net.Kill(c.flushProc)
 	}
 }
 
@@ -275,6 +298,8 @@ func (c *Client) cacheable(d ObjDecl, e *cacheEntry) bool {
 // derives this from the splitter's partitioning scope. Losing object-level
 // exclusivity flushes every cached sub of the object.
 func (c *Client) SetObjExclusive(obj uint16, exclusive bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	was := c.objExcl[obj]
 	c.objExcl[obj] = exclusive
 	if was && !exclusive {
@@ -292,6 +317,8 @@ func (c *Client) SetObjExclusive(obj uint16, exclusive bool) {
 // splitter's partitioning changes (§4.3: "CHC notifies the client-side
 // library when to cache or flush the state"). Losing exclusivity flushes.
 func (c *Client) SetExclusive(obj uint16, sub uint64, exclusive bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	k := c.key(obj, sub)
 	e := c.entry(k)
 	wasExcl := e.exclusive
@@ -314,11 +341,19 @@ func (c *Client) Partition() *PartitionMap { return c.pmap }
 
 // call performs a blocking RPC to the key's shard. Buffered coalesced
 // batches flush first (FIFO links): a blocking op must observe every
-// increment the NF issued before it.
-func (c *Client) call(p *vtime.Proc, req *Request) (Reply, bool) {
-	c.FlushCoalesced()
+// increment the NF issued before it. call expects c.mu held and releases
+// it around the network wait.
+func (c *Client) call(p transport.Proc, req *Request) (Reply, bool) {
+	c.flushCoalesced()
 	c.BlockingOps++
-	res, ok := c.net.Call(p, c.cfg.Endpoint, c.shardFor(req.Key), req, req.wireSize(), c.cfg.RPCTimeout)
+	to := c.shardFor(req.Key)
+	// The deferred re-lock (instead of a plain Lock after the call) keeps
+	// the mutex balanced when a killed live process unwinds out of the
+	// network wait: the kill panic must leave c.mu held for the caller's
+	// own deferred Unlock.
+	c.mu.Unlock()
+	defer c.mu.Lock()
+	res, ok := c.net.Call(p, c.cfg.Endpoint, to, req, req.wireSize(), c.cfg.RPCTimeout)
 	if !ok {
 		return Reply{}, false
 	}
@@ -337,12 +372,14 @@ func (c *Client) async(req *Request) {
 }
 
 func (c *Client) sendAsync(op AsyncOp) {
-	c.net.Send(simnet.Message{
+	c.net.Send(transport.Message{
 		From: c.cfg.Endpoint, To: c.shardFor(op.Req.Key), Payload: op,
 		Size: op.Req.wireSize(),
 	})
 	seq := op.Seq
-	c.net.Sim().Schedule(c.cfg.AckTimeout, func() {
+	c.net.Schedule(c.cfg.AckTimeout, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
 		if c.shutdown {
 			return
 		}
@@ -358,6 +395,8 @@ func (c *Client) sendAsync(op AsyncOp) {
 // any inbox payload the framework itself does not consume. It reports
 // whether the message was a store-protocol message.
 func (c *Client) HandleMessage(payload any) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	switch m := payload.(type) {
 	case AckMsg:
 		delete(c.pending, m.Seq)
@@ -371,7 +410,7 @@ func (c *Client) HandleMessage(payload any) bool {
 	case OwnerMsg:
 		if w, ok := c.ownerWait[m.Key]; ok && m.Owner == 0 {
 			delete(c.ownerWait, m.Key)
-			w.Resolve(struct{}{})
+			w.Resolve(nil)
 		}
 		return true
 	case TruncateMsg:
@@ -435,7 +474,9 @@ func (c *Client) logWal(req Request) {
 
 // Get reads object (obj,sub). Per Table 1 it serves from cache when
 // permitted; read-heavy objects register a store callback on first read.
-func (c *Client) Get(p *vtime.Proc, obj uint16, sub uint64, clock uint64) (Value, bool) {
+func (c *Client) Get(p transport.Proc, obj uint16, sub uint64, clock uint64) (Value, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	d := c.decl(obj)
 	k := c.key(obj, sub)
 	e := c.entry(k)
@@ -473,7 +514,9 @@ func (c *Client) Get(p *vtime.Proc, obj uint16, sub uint64, clock uint64) (Value
 // Update issues a mutating op with the routing dictated by the object's
 // strategy and the client mode. Result-needed ops (pop, min-incr, CAS,
 // custom with result) must use UpdateBlocking instead.
-func (c *Client) Update(p *vtime.Proc, req Request) {
+func (c *Client) Update(p transport.Proc, req Request) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	d := c.decl(req.Key.Obj)
 	e := c.entry(req.Key)
 	req.Instance = c.cfg.Instance
@@ -491,7 +534,7 @@ func (c *Client) Update(p *vtime.Proc, req Request) {
 	// Non-coalescible op: flush buffered batches first so the wire (and
 	// the WAL, whose order mirrors it) sees this client's ops in a
 	// consistent send order.
-	c.FlushCoalesced()
+	c.flushCoalesced()
 	c.logWal(req)
 	if c.cfg.Mode.NoAckWait {
 		r := req
@@ -511,7 +554,9 @@ func (c *Client) Update(p *vtime.Proc, req Request) {
 
 // UpdateBlocking issues a mutating op and returns its result (port pops,
 // least-loaded picks, CAS outcomes, non-deterministic values).
-func (c *Client) UpdateBlocking(p *vtime.Proc, req Request) (Reply, bool) {
+func (c *Client) UpdateBlocking(p transport.Proc, req Request) (Reply, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	d := c.decl(req.Key.Obj)
 	e := c.entry(req.Key)
 	req.Instance = c.cfg.Instance
@@ -527,7 +572,7 @@ func (c *Client) UpdateBlocking(p *vtime.Proc, req Request) (Reply, bool) {
 	}
 	// Flush before logging so WAL order matches send order (the ts
 	// position markers store recovery relies on assume it does).
-	c.FlushCoalesced()
+	c.flushCoalesced()
 	c.logWal(req)
 	rep, ok := c.call(p, &req)
 	if ok && rep.OK && c.cfg.Mode.Cache && StrategyFor(d) == StratCacheCallback {
@@ -574,18 +619,27 @@ func (c *Client) armCoalesceTimer() {
 		return
 	}
 	c.coTimer = true
-	c.net.Sim().Schedule(c.cfg.CoalesceWindow, func() {
+	c.net.Schedule(c.cfg.CoalesceWindow, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
 		c.coTimer = false
 		if c.shutdown {
 			return
 		}
-		c.FlushCoalesced()
+		c.flushCoalesced()
 	})
 }
 
 // FlushCoalesced sends every buffered batch, ordered by each batch's
 // oldest (head) op.
 func (c *Client) FlushCoalesced() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flushCoalesced()
+}
+
+// flushCoalesced is FlushCoalesced with c.mu held.
+func (c *Client) flushCoalesced() {
 	for len(c.coOrder) > 0 {
 		c.flushCoalescedKey(c.coOrder[0])
 	}
@@ -623,6 +677,8 @@ func (c *Client) flushCoalescedKey(ck coKey) {
 
 // CoalescePending reports buffered (unsent) coalesced increments.
 func (c *Client) CoalescePending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	n := 0
 	for _, head := range c.co {
 		n += 1 + len(head.Batch)
@@ -640,7 +696,7 @@ func (c *Client) applyLocal(e *cacheEntry, req *Request) {
 // locally-applied mutation, so cached ops build on the store's value
 // ("the datastore's client-side library caches them at the relevant
 // instance", §4.3). Full overwrites (Set) skip the fetch.
-func (c *Client) ensureCached(p *vtime.Proc, e *cacheEntry, req *Request) {
+func (c *Client) ensureCached(p transport.Proc, e *cacheEntry, req *Request) {
 	if e.valid || req.Op == OpSet {
 		return
 	}
@@ -725,7 +781,9 @@ func ensureMapValue(v *Value) {
 
 // NonDet fetches a store-computed non-deterministic value (Appendix A),
 // memoized by packet clock for replay stability. Always blocking.
-func (c *Client) NonDet(p *vtime.Proc, obj uint16, sub uint64, kind NonDetKind, clock uint64) (int64, bool) {
+func (c *Client) NonDet(p transport.Proc, obj uint16, sub uint64, kind NonDetKind, clock uint64) (int64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	req := Request{Op: OpNonDet, Key: c.key(obj, sub), NDKind: kind, Clock: clock, Instance: c.cfg.Instance}
 	rep, ok := c.call(p, &req)
 	if !ok || !rep.OK {
@@ -755,7 +813,9 @@ func (c *Client) flushEntry(k Key, e *cacheEntry) int {
 // FlushAll flushes every cached object's pending ops and any buffered
 // coalesced increments.
 func (c *Client) FlushAll() int {
-	c.FlushCoalesced()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flushCoalesced()
 	n := 0
 	for k, e := range c.cache {
 		if len(e.pending) > 0 {
@@ -767,6 +827,8 @@ func (c *Client) FlushAll() int {
 
 // FlushObject flushes one object's pending ops (Fig 4 step 5 prelude).
 func (c *Client) FlushObject(obj uint16, sub uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	k := c.key(obj, sub)
 	if e, ok := c.cache[k]; ok {
 		return c.flushEntry(k, e)
@@ -776,7 +838,9 @@ func (c *Client) FlushObject(obj uint16, sub uint64) int {
 
 // ReleaseFlow implements the old-instance side of Fig 4 steps 1/5: flush
 // cached per-flow state for the flow's objects and disassociate ownership.
-func (c *Client) ReleaseFlow(p *vtime.Proc, sub uint64) {
+func (c *Client) ReleaseFlow(p transport.Proc, sub uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, d := range c.decls {
 		if d.Scope != ScopeFlow {
 			continue
@@ -795,7 +859,9 @@ func (c *Client) ReleaseFlow(p *vtime.Proc, sub uint64) {
 // associate each per-flow object; on conflict, register an ownership watch
 // and wait until the old instance releases, then associate. Returns false
 // on timeout.
-func (c *Client) AcquireFlow(p *vtime.Proc, sub uint64, timeout time.Duration) bool {
+func (c *Client) AcquireFlow(p transport.Proc, sub uint64, timeout time.Duration) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, d := range c.decls {
 		if d.Scope != ScopeFlow {
 			continue
@@ -814,12 +880,18 @@ func (c *Client) AcquireFlow(p *vtime.Proc, sub uint64, timeout time.Duration) b
 			// notification needs this instance's event loop to pump the
 			// inbox, which a single-threaded instance cannot do while its
 			// only worker blocks here.
-			fut := vtime.NewFuture[struct{}](c.net.Sim())
+			fut := c.net.NewSignal()
 			c.ownerWait[k] = fut
 			deadline := p.Now().Add(timeout)
 			acquired := false
 			for p.Now() < deadline {
-				fut.WaitTimeout(p, acquirePoll)
+				func() {
+					// Re-lock via defer so a kill-unwind mid-wait leaves the
+					// mutex held for AcquireFlow's deferred Unlock.
+					c.mu.Unlock()
+					defer c.mu.Lock()
+					fut.WaitTimeout(p, acquirePoll)
+				}()
 				req2 := Request{Op: OpAssociate, Key: k, Instance: c.cfg.Instance}
 				rep2, ok2 := c.call(p, &req2)
 				if !ok2 {
@@ -857,6 +929,8 @@ func (c *Client) seedCache(k Key, v Value) {
 // manager reads these when a store instance fails (§5.4: "query the last
 // updated value of the cached per-flow state from all NF instances").
 func (c *Client) CachedPerFlow() map[Key]Value {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make(map[Key]Value)
 	for k, e := range c.cache {
 		d := c.decl(k.Obj)
@@ -869,5 +943,27 @@ func (c *Client) CachedPerFlow() map[Key]Value {
 
 // InvalidateAll clears the cache (used by tests and failover bring-up).
 func (c *Client) InvalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.cache = make(map[Key]*cacheEntry)
+}
+
+// Stats is a consistent snapshot of the client's op counters, safe to
+// take while the instance's workers are running (live mode).
+type Stats struct {
+	BlockingOps, AsyncOps, CacheHits, CacheMisses uint64
+	Retransmits, FlushedOps                       uint64
+	CoalescedOps, BatchedSends                    uint64
+}
+
+// StatsSnapshot returns the current counters under the client lock.
+func (c *Client) StatsSnapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		BlockingOps: c.BlockingOps, AsyncOps: c.AsyncOps,
+		CacheHits: c.CacheHits, CacheMisses: c.CacheMisses,
+		Retransmits: c.Retransmits, FlushedOps: c.FlushedOps,
+		CoalescedOps: c.CoalescedOps, BatchedSends: c.BatchedSends,
+	}
 }

@@ -39,7 +39,7 @@ func newRig(t *testing.T, n int, mode Mode, decls []ObjDecl) *testRig {
 		endpoint := net.Endpoint(ep)
 		sim.Spawn(ep+".loop", func(p *vtime.Proc) {
 			for {
-				msg := endpoint.Inbox.Recv(p)
+				msg := endpoint.Recv(p)
 				cl.HandleMessage(msg.Payload)
 			}
 		})
@@ -301,7 +301,7 @@ func TestCommitSignalsToRoot(t *testing.T) {
 	rootEp := net.Endpoint("root")
 	sim.Spawn("root", func(p *vtime.Proc) {
 		for {
-			msg := rootEp.Inbox.Recv(p)
+			msg := rootEp.Recv(p)
 			if cm, ok := msg.Payload.(CommitMsg); ok {
 				commits = append(commits, cm)
 			}
@@ -330,7 +330,7 @@ func TestWALTruncationOnCheckpoint(t *testing.T) {
 	ep := net.Endpoint("nfa")
 	sim.Spawn("nfa.loop", func(p *vtime.Proc) {
 		for {
-			msg := ep.Inbox.Recv(p)
+			msg := ep.Recv(p)
 			c.HandleMessage(msg.Payload)
 		}
 	})

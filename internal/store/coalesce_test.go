@@ -280,7 +280,7 @@ func newRigCfg(t *testing.T, mode Mode, decls []ObjDecl, tweak func(*ClientConfi
 	endpoint := r.net.Endpoint("nfa")
 	r.sim.Spawn("nfa.loop", func(p *vtime.Proc) {
 		for {
-			msg := endpoint.Inbox.Recv(p)
+			msg := endpoint.Recv(p)
 			c.HandleMessage(msg.Payload)
 		}
 	})

@@ -8,9 +8,10 @@
 //     the paper's offloaded operations, duplicate-suppresses by inducing
 //     packet clock (Fig 5b), tracks per-instance TS position markers, and
 //     emits commit signals for the root's Fig 6 XOR/delete check.
-//   - Server wraps one Engine behind a simnet endpoint: one shard of the
-//     datastore tier, with checkpointing, callback/ownership registries and
-//     at-most-once async-op execution.
+//   - Server wraps one Engine behind a transport endpoint (DES or live
+//     substrate alike): one shard of the datastore tier, with
+//     checkpointing, callback/ownership registries and at-most-once
+//     async-op execution.
 //   - PartitionMap assigns every Key to a shard by rendezvous hashing;
 //     Client routes each operation to its key's shard and keeps a
 //     write-ahead log whose per-shard slices (FilterForShard) drive

@@ -1,8 +1,7 @@
 package store
 
 import (
-	"chc/internal/simnet"
-	"chc/internal/vtime"
+	"chc/internal/transport"
 )
 
 // Server-side locking exists ONLY for the naive baseline the paper compares
@@ -29,7 +28,7 @@ type SetUnlockReq struct {
 type lockState struct {
 	held    bool
 	holder  uint16
-	waiters []*simnet.CallMsg
+	waiters []transport.Call
 }
 
 // lockTable is lazily attached to a Server.
@@ -50,7 +49,7 @@ func (s *Server) lockStateFor(k Key) *lockState {
 }
 
 // handleLockGet grants the lock (replying with the value) or queues.
-func (s *Server) handleLockGet(p *vtime.Proc, cm *simnet.CallMsg, req LockGetReq) {
+func (s *Server) handleLockGet(p transport.Proc, cm transport.Call, req LockGetReq) {
 	p.Sleep(s.cfg.OpService)
 	ls := s.lockStateFor(req.Key)
 	if ls.held {
@@ -64,7 +63,7 @@ func (s *Server) handleLockGet(p *vtime.Proc, cm *simnet.CallMsg, req LockGetReq
 }
 
 // handleSetUnlock writes, releases, and grants the next waiter.
-func (s *Server) handleSetUnlock(p *vtime.Proc, cm *simnet.CallMsg, req SetUnlockReq) {
+func (s *Server) handleSetUnlock(p transport.Proc, cm transport.Call, req SetUnlockReq) {
 	p.Sleep(s.cfg.OpService)
 	rep := s.engine.Apply(&Request{Op: OpSet, Key: req.Key, Arg: req.Val, Instance: req.Instance, Clock: req.Clock})
 	ls := s.lockStateFor(req.Key)
@@ -74,7 +73,7 @@ func (s *Server) handleSetUnlock(p *vtime.Proc, cm *simnet.CallMsg, req SetUnloc
 	if len(ls.waiters) > 0 {
 		next := ls.waiters[0]
 		ls.waiters = ls.waiters[1:]
-		nreq := next.Payload.(LockGetReq)
+		nreq := next.Body().(LockGetReq)
 		ls.held = true
 		ls.holder = nreq.Instance
 		nrep := s.engine.Apply(&Request{Op: OpGet, Key: nreq.Key, Instance: nreq.Instance})
@@ -84,9 +83,12 @@ func (s *Server) handleSetUnlock(p *vtime.Proc, cm *simnet.CallMsg, req SetUnloc
 
 // LockGet is the client side of the naive RMW: one RTT (plus lock wait)
 // returning the current value with the lock held.
-func (c *Client) LockGet(p *vtime.Proc, key Key) (Value, bool) {
+func (c *Client) LockGet(p transport.Proc, key Key) (Value, bool) {
+	c.mu.Lock()
 	c.BlockingOps++
-	res, ok := c.net.Call(p, c.cfg.Endpoint, c.shardFor(key), LockGetReq{Key: key, Instance: c.cfg.Instance}, 24, c.cfg.RPCTimeout)
+	to := c.shardFor(key)
+	c.mu.Unlock()
+	res, ok := c.net.Call(p, c.cfg.Endpoint, to, LockGetReq{Key: key, Instance: c.cfg.Instance}, 24, c.cfg.RPCTimeout)
 	if !ok {
 		return Value{}, false
 	}
@@ -95,9 +97,12 @@ func (c *Client) LockGet(p *vtime.Proc, key Key) (Value, bool) {
 }
 
 // SetUnlock writes back and releases: the second RTT of the naive RMW.
-func (c *Client) SetUnlock(p *vtime.Proc, key Key, v Value, clock uint64) bool {
+func (c *Client) SetUnlock(p transport.Proc, key Key, v Value, clock uint64) bool {
+	c.mu.Lock()
 	c.BlockingOps++
-	_, ok := c.net.Call(p, c.cfg.Endpoint, c.shardFor(key),
+	to := c.shardFor(key)
+	c.mu.Unlock()
+	_, ok := c.net.Call(p, c.cfg.Endpoint, to,
 		SetUnlockReq{Key: key, Val: v, Instance: c.cfg.Instance, Clock: clock}, 24+v.wireSize(), c.cfg.RPCTimeout)
 	return ok
 }

@@ -1,10 +1,10 @@
 package store
 
 import (
+	"sync"
 	"time"
 
-	"chc/internal/simnet"
-	"chc/internal/vtime"
+	"chc/internal/transport"
 )
 
 // Protocol messages exchanged between store servers, clients and the chain
@@ -91,19 +91,22 @@ func DefaultServerConfig() ServerConfig {
 // but its last checkpoint is recoverable).
 type Stable struct {
 	Checkpoint *Snapshot
-	CkptTime   vtime.Time
+	CkptTime   transport.Time
 }
 
-// Server is a simulated datastore instance: an Engine behind a simnet
-// endpoint, processing offloaded operations serially (one event-loop
-// process, matching the paper's lock-free one-thread-per-object design).
+// Server is a datastore instance: an Engine behind a transport endpoint,
+// processing offloaded operations serially (one event-loop process,
+// matching the paper's lock-free one-thread-per-object design).
 type Server struct {
 	Name   string
-	net    *simnet.Network
+	net    transport.Transport
 	engine *Engine
 	cfg    ServerConfig
 	decls  map[uint16]map[uint16]ObjDecl // vertex -> obj -> decl
 
+	// regMu guards the registries shared between the serving process and
+	// the checkpointer process (live mode runs them concurrently).
+	regMu sync.Mutex
 	// callback registry: key -> instance -> client endpoint
 	callbacks map[Key]map[uint16]string
 	// ownership-change watchers: key -> instance -> client endpoint
@@ -114,8 +117,8 @@ type Server struct {
 	appliedSeqs map[string]map[uint64]struct{}
 
 	stable  *Stable
-	proc    *vtime.Proc
-	ckpProc *vtime.Proc
+	proc    transport.Handle
+	ckpProc transport.Handle
 	locks   *lockTable // naive-baseline lock manager (lock.go)
 
 	// stats
@@ -126,10 +129,10 @@ type Server struct {
 // NewServerWithEngine creates a server around an existing engine (store
 // failover: the recovered engine from RecoverEngine becomes the new
 // instance's state).
-func NewServerWithEngine(net *simnet.Network, name string, cfg ServerConfig, eng *Engine) *Server {
+func NewServerWithEngine(net transport.Transport, name string, cfg ServerConfig, eng *Engine) *Server {
 	s := NewServer(net, name, cfg)
 	s.engine = eng
-	eng.SetNowFn(func() int64 { return int64(net.Sim().Now()) })
+	eng.SetNowFn(func() int64 { return int64(net.Now()) })
 	eng.SetHooks(Hooks{
 		OnCommit:      s.onCommit,
 		OnUpdate:      s.onUpdate,
@@ -139,7 +142,7 @@ func NewServerWithEngine(net *simnet.Network, name string, cfg ServerConfig, eng
 }
 
 // NewServer creates a store server attached to endpoint name.
-func NewServer(net *simnet.Network, name string, cfg ServerConfig) *Server {
+func NewServer(net transport.Transport, name string, cfg ServerConfig) *Server {
 	if cfg.OpService == 0 {
 		cfg.OpService = DefaultServerConfig().OpService
 	}
@@ -154,7 +157,7 @@ func NewServer(net *simnet.Network, name string, cfg ServerConfig) *Server {
 		appliedSeqs: make(map[string]map[uint64]struct{}),
 		stable:      &Stable{},
 	}
-	s.engine.SetNowFn(func() int64 { return int64(net.Sim().Now()) })
+	s.engine.SetNowFn(func() int64 { return int64(net.Now()) })
 	s.engine.SetHooks(Hooks{
 		OnCommit:      s.onCommit,
 		OnUpdate:      s.onUpdate,
@@ -205,33 +208,31 @@ func (s *Server) RegisterCustom(name string, fn CustomOp) { s.engine.RegisterCus
 
 // Start spawns the server process (and checkpointer, if configured).
 func (s *Server) Start() {
-	sim := s.net.Sim()
-	s.proc = sim.Spawn(s.Name, s.run)
+	s.proc = s.net.Spawn(s.Name, s.run)
 	if s.cfg.CheckpointEvery > 0 {
-		s.ckpProc = sim.Spawn(s.Name+".ckpt", s.runCheckpointer)
+		s.ckpProc = s.net.Spawn(s.Name+".ckpt", s.runCheckpointer)
 	}
 }
 
 // Crash fail-stops the server: processes killed, endpoint down, in-memory
 // engine state lost. The Stable checkpoint survives.
 func (s *Server) Crash() {
-	sim := s.net.Sim()
 	if s.proc != nil {
-		sim.Kill(s.proc)
+		s.net.Kill(s.proc)
 	}
 	if s.ckpProc != nil {
-		sim.Kill(s.ckpProc)
+		s.net.Kill(s.ckpProc)
 	}
 	s.net.Crash(s.Name)
 }
 
-func (s *Server) run(p *vtime.Proc) {
+func (s *Server) run(p transport.Proc) {
 	ep := s.net.Endpoint(s.Name)
 	for {
-		msg := ep.Inbox.Recv(p)
+		msg := ep.Recv(p)
 		switch pl := msg.Payload.(type) {
-		case *simnet.CallMsg:
-			switch inner := pl.Payload.(type) {
+		case transport.Call:
+			switch inner := pl.Body().(type) {
 			case LockGetReq:
 				s.handleLockGet(p, pl, inner)
 				continue
@@ -239,7 +240,7 @@ func (s *Server) run(p *vtime.Proc) {
 				s.handleSetUnlock(p, pl, inner)
 				continue
 			}
-			req, ok := pl.Payload.(*Request)
+			req, ok := pl.Body().(*Request)
 			if !ok {
 				continue
 			}
@@ -265,7 +266,7 @@ func (s *Server) run(p *vtime.Proc) {
 				seen[pl.Seq] = struct{}{}
 				s.engine.Apply(pl.Req)
 			}
-			s.net.Send(simnet.Message{From: s.Name, To: pl.From, Payload: AckMsg{Seq: pl.Seq}, Size: 12})
+			s.net.Send(transport.Message{From: s.Name, To: pl.From, Payload: AckMsg{Seq: pl.Seq}, Size: 12})
 		case OwnerSeedMsg:
 			p.Sleep(s.cfg.OpService)
 			s.engine.Apply(&Request{Op: OpAssociate, Key: pl.Key, Instance: pl.Instance})
@@ -275,7 +276,7 @@ func (s *Server) run(p *vtime.Proc) {
 	}
 }
 
-func (s *Server) runCheckpointer(p *vtime.Proc) {
+func (s *Server) runCheckpointer(p transport.Proc) {
 	for {
 		p.Sleep(s.cfg.CheckpointEvery)
 		s.checkpoint()
@@ -286,22 +287,25 @@ func (s *Server) runCheckpointer(p *vtime.Proc) {
 // clients to truncate their WALs.
 func (s *Server) checkpoint() {
 	snap := s.engine.Snapshot(s.isShared)
+	s.regMu.Lock()
 	s.stable.Checkpoint = snap
-	s.stable.CkptTime = s.net.Sim().Now()
-	ts := snap.TS
-	for _, insts := range s.callbackClients() {
+	s.stable.CkptTime = s.net.Now()
+	eps := make(map[string]bool)
+	for _, insts := range s.callbacks {
 		for _, ep := range insts {
-			s.net.Send(simnet.Message{From: s.Name, To: ep, Payload: TruncateMsg{TS: ts, Shard: s.Name}, Size: 8 * (len(ts) + 1)})
+			eps[ep] = true
 		}
+	}
+	s.regMu.Unlock()
+	ts := snap.TS
+	for ep := range eps {
+		s.net.Send(transport.Message{From: s.Name, To: ep, Payload: TruncateMsg{TS: ts, Shard: s.Name}, Size: 8 * (len(ts) + 1)})
 	}
 }
 
-// callbackClients lists known client endpoints (via callback registry).
-// Truncation is best-effort: clients that never registered keep their WAL,
-// which is safe (re-execution is idempotent via duplicate suppression).
-func (s *Server) callbackClients() map[Key]map[uint16]string { return s.callbacks }
-
 func (s *Server) registerCallback(k Key, inst uint16, ep string) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
 	m := s.callbacks[k]
 	if m == nil {
 		m = make(map[uint16]string)
@@ -311,6 +315,8 @@ func (s *Server) registerCallback(k Key, inst uint16, ep string) {
 }
 
 func (s *Server) registerOwnerWatch(k Key, inst uint16, ep string) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
 	m := s.ownWatch[k]
 	if m == nil {
 		m = make(map[uint16]string)
@@ -325,7 +331,7 @@ func (s *Server) onCommit(clock uint64, instance uint16, key Key) {
 	if s.cfg.RootEndpoint == "" {
 		return
 	}
-	s.net.Send(simnet.Message{
+	s.net.Send(transport.Message{
 		From: s.Name, To: s.cfg.RootEndpoint,
 		Payload: CommitMsg{Clock: clock, Instance: instance, Key: key},
 		Size:    20,
@@ -336,15 +342,22 @@ func (s *Server) onCommit(clock uint64, instance uint16, key Key) {
 // to every registered instance except the updater, which already receives
 // the updated object in its op reply (§4.3).
 func (s *Server) onUpdate(key Key, val Value, by uint16) {
+	s.regMu.Lock()
 	m, ok := s.callbacks[key]
 	if !ok {
+		s.regMu.Unlock()
 		return
 	}
+	targets := make(map[uint16]string, len(m))
 	for inst, ep := range m {
+		targets[inst] = ep
+	}
+	s.regMu.Unlock()
+	for inst, ep := range targets {
 		if inst == by {
 			continue
 		}
-		s.net.Send(simnet.Message{
+		s.net.Send(transport.Message{
 			From: s.Name, To: ep,
 			Payload: CallbackMsg{Key: key, Val: val.Copy()},
 			Size:    16 + val.wireSize(),
@@ -354,21 +367,28 @@ func (s *Server) onUpdate(key Key, val Value, by uint16) {
 
 // onOwnerChange notifies handover watchers (Fig 4 step 6) and clears them.
 func (s *Server) onOwnerChange(key Key, owner uint16) {
+	s.regMu.Lock()
 	m, ok := s.ownWatch[key]
 	if !ok {
+		s.regMu.Unlock()
 		return
 	}
+	targets := make(map[uint16]string, len(m))
 	for inst, ep := range m {
+		targets[inst] = ep
+	}
+	if owner == 0 {
+		delete(s.ownWatch, key)
+	}
+	s.regMu.Unlock()
+	for inst, ep := range targets {
 		if inst == owner {
 			continue // the new owner caused this change
 		}
-		s.net.Send(simnet.Message{
+		s.net.Send(transport.Message{
 			From: s.Name, To: ep,
 			Payload: OwnerMsg{Key: key, Owner: owner},
 			Size:    16,
 		})
-	}
-	if owner == 0 {
-		delete(s.ownWatch, key)
 	}
 }
