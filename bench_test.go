@@ -224,6 +224,18 @@ func BenchmarkDAG(b *testing.B) {
 	}
 }
 
+// BenchmarkAutoscale regenerates the metrics-driven autoscaling ramp:
+// the DES segment's convergence goodput is the deterministic trend line
+// (guarded by perf-guard); the live segment's ingest rate is
+// machine-dependent.
+func BenchmarkAutoscale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := experiments.Autoscale(benchOpts())
+		b.ReportMetric(metric(tb, []string{"des-ramp"}, 1, "Gbps"), "des-ramp-gbps")
+		b.ReportMetric(metric(tb, []string{"live-ramp"}, 1, "pps"), "live-ramp-pps")
+	}
+}
+
 // BenchmarkLive runs the live execution mode (real goroutines, wall
 // clock) and reports achieved goodput — machine-dependent by design; the
 // DES benchmarks above are the deterministic trend lines.

@@ -13,9 +13,12 @@
 //
 // The datastore tier shards across N servers (ChainConfig.StoreShards)
 // behind consistent-hash key partitioning, each shard checkpointing and
-// recovering independently; Chain.ScaleOut and Chain.ScaleIn grow and
-// shrink a vertex's instance set mid-run using the Fig 4 handover
-// machinery (DESIGN.md §5).
+// recovering independently. Reconfiguration is declarative: the chain's
+// Controller reconciles a submitted DeploymentSpec (per-vertex replica
+// counts) into the minimal sequence of safe primitives, growing and
+// shrinking vertex instance sets mid-run over the Fig 4 handover
+// machinery, and Controller.StartAutoscaler drives the same path from a
+// per-instance load band (DESIGN.md §5, §8).
 //
 // This package is the public facade. Typical use:
 //
@@ -117,6 +120,36 @@ type (
 	Trace = trace.Trace
 	// TraceConfig drives synthetic trace generation.
 	TraceConfig = trace.Config
+)
+
+// Control plane. Reconfiguration is declarative: build a DeploymentSpec
+// (per-vertex replica counts), submit it to the chain's Controller, and
+// the controller diffs it against the running deployment and emits the
+// minimal sequence of safe primitives (consistent-hash scale-out,
+// drain-and-retire scale-in, Fig 4 flow handovers) to converge. The raw
+// imperative scaling methods on Chain are no longer exported —
+// Controller.ApplySpec is the supported mutation path, and failure verbs
+// (Failover, CloneStraggler) are controller-mediated.
+type (
+	// DeploymentSpec declares the desired deployment shape.
+	DeploymentSpec = runtime.DeploymentSpec
+	// VertexDesire is one vertex's desired replica count (and optional
+	// mode restatement, validated immutable).
+	VertexDesire = runtime.VertexDesire
+	// Controller reconciles DeploymentSpecs against the running chain.
+	Controller = runtime.Controller
+	// ReconcileAction records one primitive emitted while converging.
+	ReconcileAction = runtime.ReconcileAction
+	// ControllerStatus is the admin-facing control-plane snapshot.
+	ControllerStatus = runtime.ControllerStatus
+	// AutoscalerConfig is the metrics-driven scaling policy: a target
+	// per-instance load band with hysteresis and cooldown, bounded by
+	// min/max replicas.
+	AutoscalerConfig = runtime.AutoscalerConfig
+	// Autoscaler is a running policy attached to a vertex.
+	Autoscaler = runtime.Autoscaler
+	// ReplicaSample is one point of an autoscaler's replica trajectory.
+	ReplicaSample = runtime.ReplicaSample
 )
 
 // Backend kinds.

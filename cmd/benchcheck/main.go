@@ -14,7 +14,7 @@
 // Usage:
 //
 //	benchcheck -baseline BENCH_baseline.json -fresh BENCH_fresh.json
-//	benchcheck -baseline ... -fresh ... -ids fig8,fig10,scale,dag -max-regress 0.25
+//	benchcheck -baseline ... -fresh ... -ids fig8,fig10,scale,dag,autoscale -max-regress 0.25
 package main
 
 import (
@@ -65,7 +65,7 @@ func gbpsCell(s string) (float64, bool) {
 func main() {
 	basePath := flag.String("baseline", "BENCH_baseline.json", "checked-in baseline results")
 	freshPath := flag.String("fresh", "BENCH_fresh.json", "freshly generated results")
-	idsFlag := flag.String("ids", "fig8,fig10,scale,dag", "comma-separated headline experiment ids to guard")
+	idsFlag := flag.String("ids", "fig8,fig10,scale,dag,autoscale", "comma-separated headline experiment ids to guard")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated fractional goodput regression")
 	flag.Parse()
 

@@ -41,12 +41,29 @@
 // packet rate, goodput and end-to-end latency percentiles; -json writes
 // them machine-readably and -min-pps N exits nonzero if the sustained
 // ingest rate falls below N (the CI perf gate).
+//
+// Reconfiguration goes through the chain's declarative Controller. In
+// live mode -admin ADDR serves it as an HTTP JSON API while the run is
+// active:
+//
+//	GET  /spec            observed DeploymentSpec
+//	GET  /status          controller status: spec, reconcile log, autoscaler counters
+//	POST /spec            apply a DeploymentSpec; responds with the emitted actions
+//	POST /drain/{vertex}  take one replica of the vertex out of service
+//
+// -autoscale VERTEX starts the metrics-driven autoscaling policy on that
+// vertex (band tuned by -as-low/-as-high pps, bounds by -as-min/-as-max),
+// and the -json report's "controller" block records whether it ran —
+// the live-soak CI gate asserts autoscaler_evals > 0.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -163,6 +180,12 @@ func main() {
 	live := flag.Bool("live", false, "run on real goroutines and wall-clock time (livenet)")
 	jsonPath := flag.String("json", "", "write a machine-readable run report to this path (- for stdout)")
 	minPPS := flag.Float64("min-pps", 0, "exit nonzero if sustained ingest pkts/s falls below this (live perf gate)")
+	admin := flag.String("admin", "", "serve the controller admin API (HTTP JSON) on this address while the run is active (live mode only)")
+	autoscale := flag.String("autoscale", "", "start the metrics-driven autoscaler on this vertex")
+	asLow := flag.Float64("as-low", 3_000, "autoscaler low band edge (pkts/s per instance)")
+	asHigh := flag.Float64("as-high", 20_000, "autoscaler high band edge (pkts/s per instance)")
+	asMin := flag.Int("as-min", 1, "autoscaler minimum replicas")
+	asMax := flag.Int("as-max", 4, "autoscaler maximum replicas")
 	flag.Parse()
 
 	if *cfgPath == "" {
@@ -227,6 +250,26 @@ func main() {
 	for i, seeder := range seeders {
 		seeder(ch.Vertices[i])
 	}
+	ctl := ch.Controller()
+	if *autoscale != "" {
+		interval := 50 * time.Millisecond
+		if !*live {
+			interval = 2 * time.Millisecond // DES: virtual-time sampling
+		}
+		if _, err := ctl.StartAutoscaler(runtime.AutoscalerConfig{
+			Vertex: *autoscale, Min: *asMin, Max: *asMax,
+			LowPPS: *asLow, HighPPS: *asHigh, Interval: interval,
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	var adminSrv *http.Server
+	if *admin != "" {
+		if !*live {
+			fatal(errors.New("-admin requires -live (the DES has no real-time event loop to serve HTTP against)"))
+		}
+		adminSrv = startAdmin(*admin, ctl)
+	}
 
 	var tr *trace.Trace
 	if *tracePath != "" {
@@ -266,6 +309,9 @@ func main() {
 		if !ch.AwaitDrained(30 * time.Second) {
 			fmt.Fprintln(os.Stderr, "chcd: warning: chain did not fully drain")
 		}
+		if adminSrv != nil {
+			adminSrv.Close() // the run is over; stop admin mutations before teardown
+		}
 		ch.Stop()
 	}
 
@@ -293,6 +339,12 @@ func main() {
 	}
 	e2e := ch.Metrics.Get("total.chain")
 	fmt.Printf("chain: e2e p50=%v p95=%v\n", e2e.Percentile(50), e2e.Percentile(95))
+	status := ctl.Status()
+	fmt.Printf("ctrl:  specs=%d actions=%d autoscaler evals=%d actions=%d\n",
+		status.SpecsApplied, status.TotalActions, status.AutoscalerEvals, status.AutoscalerActions)
+	if status.AutoscalerLast != "" {
+		fmt.Printf("ctrl:  last autoscaler decision: %s\n", status.AutoscalerLast)
+	}
 	if n := ch.Metrics.AlertCount("scanner-detected"); n > 0 {
 		fmt.Printf("alerts: %d scanners detected\n", n)
 	}
@@ -312,6 +364,7 @@ func main() {
 	if *jsonPath != "" {
 		report := runReport{
 			Mode:         mode,
+			Controller:   status,
 			ElapsedSec:   secs,
 			Offered:      tr.Len(),
 			Injected:     ch.Root.Injected,
@@ -344,19 +397,74 @@ func main() {
 
 // runReport is the -json output: the live-mode perf artifact CI records.
 type runReport struct {
-	Mode         string  `json:"mode"`
-	ElapsedSec   float64 `json:"elapsed_sec"`
-	Offered      int     `json:"offered_pkts"`
-	Injected     uint64  `json:"injected"`
-	Deleted      uint64  `json:"deleted"`
-	LogResidue   int     `json:"log_residue"`
-	SinkReceived uint64  `json:"sink_received"`
-	SinkDups     uint64  `json:"sink_duplicates"`
-	PktsPerSec   float64 `json:"pkts_per_sec"`
-	GoodputGbps  float64 `json:"goodput_gbps"`
-	P50us        float64 `json:"latency_p50_us"`
-	P95us        float64 `json:"latency_p95_us"`
-	P99us        float64 `json:"latency_p99_us"`
+	Mode string `json:"mode"`
+	// Controller is the control-plane status block: current spec, the
+	// recent reconcile actions, and the autoscaler decision counters the
+	// live-soak CI gate asserts on.
+	Controller   runtime.ControllerStatus `json:"controller"`
+	ElapsedSec   float64                  `json:"elapsed_sec"`
+	Offered      int                      `json:"offered_pkts"`
+	Injected     uint64                   `json:"injected"`
+	Deleted      uint64                   `json:"deleted"`
+	LogResidue   int                      `json:"log_residue"`
+	SinkReceived uint64                   `json:"sink_received"`
+	SinkDups     uint64                   `json:"sink_duplicates"`
+	PktsPerSec   float64                  `json:"pkts_per_sec"`
+	GoodputGbps  float64                  `json:"goodput_gbps"`
+	P50us        float64                  `json:"latency_p50_us"`
+	P95us        float64                  `json:"latency_p95_us"`
+	P99us        float64                  `json:"latency_p99_us"`
+}
+
+// startAdmin serves the controller admin API: the declarative mutation
+// path (POST /spec), the drain verb, and the observed spec/status reads.
+// It binds synchronously (so a bad address fails the run up front) and
+// serves in the background for the lifetime of the run.
+func startAdmin(addr string, ctl *runtime.Controller) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /spec", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, ctl.CurrentSpec())
+	})
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, ctl.Status())
+	})
+	mux.HandleFunc("POST /spec", func(w http.ResponseWriter, r *http.Request) {
+		var spec runtime.DeploymentSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		actions, err := ctl.ApplySpec(spec)
+		if err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"applied": true, "actions": actions})
+	})
+	mux.HandleFunc("POST /drain/{vertex}", func(w http.ResponseWriter, r *http.Request) {
+		actions, err := ctl.Drain(r.PathValue("vertex"))
+		if err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"drained": true, "actions": actions})
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(fmt.Errorf("admin listen: %w", err))
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	fmt.Printf("admin: controller API on http://%s (GET /spec, GET /status, POST /spec, POST /drain/{vertex})\n", ln.Addr())
+	return srv
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
 }
 
 func fatal(err error) {

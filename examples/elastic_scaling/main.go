@@ -1,8 +1,11 @@
-// Elastic scaling: start a NAT with one instance over a 2-shard datastore
-// tier, scale out under live traffic with chain.ScaleOut — only the flows
-// that remap onto the new instance move, each through CHC's Fig 4 handover
-// protocol (loss-free, order-preserving, no state bytes copied) — then
-// drain the instance back out with chain.ScaleIn.
+// Elastic scaling through the declarative control plane: start a NAT with
+// one instance over a 2-shard datastore tier, then — instead of imperative
+// scale calls — submit DeploymentSpecs to the chain's Controller. The
+// controller diffs each spec against the running chain and emits the
+// minimal sequence of safe primitives: scaling to 2 replicas moves only
+// the flows that remap onto the new instance, each through CHC's Fig 4
+// handover protocol (loss-free, order-preserving, no state bytes copied);
+// scaling back to 1 drains the newest instance out.
 //
 //	go run ./examples/elastic_scaling
 package main
@@ -35,6 +38,7 @@ func main() {
 	chain.Start()
 	v := chain.Vertices[0]
 	v.Seed(func(apply func(store.Request)) { nfnat.New().SeedPorts(apply) })
+	ctl := chain.Controller()
 
 	tr := chc.GenerateTrace(chc.TraceConfig{
 		Seed: 11, Flows: 300, PktsPerFlowMean: 14, PayloadMedian: 1000,
@@ -47,26 +51,46 @@ func main() {
 	chain.RunTrace(&trace.Trace{Events: tr.Events[:third]}, 20*time.Millisecond)
 	fmt.Printf("phase 1: instance 1 processed %d packets\n", v.Instances[0].Processed)
 
-	// Phase 2: scale out. The splitter moves only the flows whose hash
-	// lands on the new instance (consistent-hash movement); each one is
-	// handed over with a "last" mark to the old owner and a "first" mark to
-	// the new one, transferring ownership through the store.
-	nu := chain.ScaleOut(v)
+	// Phase 2: declare 2 replicas. The controller scales out; the splitter
+	// moves only the flows whose hash lands on the new instance
+	// (consistent-hash movement), each handed over with a "last" mark to
+	// the old owner and a "first" mark to the new one, transferring
+	// ownership through the store.
+	actions, err := ctl.ApplySpec(chc.DeploymentSpec{
+		Vertices: []chc.VertexDesire{{Name: "nat", Replicas: 2}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("phase 2: ApplySpec(replicas=2) emitted %d action(s): %s i%d\n",
+		len(actions), actions[0].Op, actions[0].Instance)
+	nu := v.Instances[1]
 	chain.RunTrace(&trace.Trace{Events: tr.Events[third : 2*third]}, 50*time.Millisecond)
 	fmt.Printf("phase 2: instance 2 processed %d packets after scale-out\n", nu.Processed)
 
-	// Phase 3: drain instance 2 back out and finish on instance 1.
-	chain.ScaleIn(v, nu, 10*time.Millisecond)
+	// Phase 3: declare 1 replica again; the controller drains the newest
+	// instance back out and the chain finishes on instance 1. A spec that
+	// matches the running deployment is a no-op (zero actions).
+	if _, err := ctl.ApplySpec(chc.DeploymentSpec{
+		Vertices: []chc.VertexDesire{{Name: "nat", Replicas: 1}},
+	}); err != nil {
+		panic(err)
+	}
 	chain.RunFor(15 * time.Millisecond)
+	noop, _ := ctl.ApplySpec(chc.DeploymentSpec{
+		Vertices: []chc.VertexDesire{{Name: "nat", Replicas: 1}},
+	})
+	fmt.Printf("phase 3: scaled back to 1 instance (re-applying the same spec: %d actions)\n", len(noop))
 	chain.RunTrace(&trace.Trace{Events: tr.Events[2*third:]}, 300*time.Millisecond)
 
 	// Loss-freeness: the shared packet counter equals the trace length.
 	total, _ := chain.StoreGet(store.Key{Vertex: 1, Obj: nfnat.ObjTotal})
-	fmt.Printf("phase 3: scaled back to 1 instance\n")
 	fmt.Printf("shared counter = %d (trace = %d) -> loss-free: %v\n",
 		total.Int, tr.Len(), total.Int == int64(tr.Len()))
 	acq := chain.Metrics.Get("handover.acquire")
 	fmt.Printf("per-flow handover latency: p50=%v p95=%v\n",
 		acq.Percentile(50), acq.Percentile(95))
 	fmt.Printf("duplicates at receiver: %d\n", chain.Sink.Duplicates)
+	st := ctl.Status()
+	fmt.Printf("controller: %d specs applied, %d actions total\n", st.SpecsApplied, st.TotalActions)
 }

@@ -46,7 +46,7 @@ func main() {
 	old := v.Instances[0]
 	fmt.Printf("crashing NF instance %d (processed %d)...\n", old.ID, old.Processed)
 	old.Crash()
-	nu := chain.FailoverNF(old)
+	nu := chain.Controller().Failover(old)
 	chain.RunTrace(&trace.Trace{Events: tr.Events[third : 2*third]}, 100*time.Millisecond)
 	fmt.Printf("failover instance %d took over (processed %d, replayed dups suppressed: %d)\n",
 		nu.ID, nu.Processed, nu.Suppressed)

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"chc/internal/nf"
+	"chc/internal/runtime"
+	"chc/internal/store"
+	"chc/internal/trace"
+)
+
+// This file implements the `autoscale` experiment: the control plane's
+// load-driven elasticity story. A ramp workload (low → high → low offered
+// rate) drives the Autoscaler policy — a per-instance load band with
+// hysteresis and cooldown on top of Controller.ApplySpec — and the
+// replica count must track the load up and back down while every
+// reconfiguration stays safe: the shared counters remain exactly-once
+// (conservation), the Fig 6 XOR/delete protocol balances (empty in-flight
+// log), and the receiver sees no duplicates. Two segments:
+//
+//  1. DES ramp: deterministic virtual time, so the full replica
+//     trajectory (e.g. 1→2→3→4→3→2→1) is bit-for-bit reproducible — the
+//     golden-parity style assertion TestAutoscaleDESTrajectoryParity
+//     pins. The completion goodput over the ramp is the convergence
+//     number the perf-guard CI job watches.
+//  2. Live ramp: the same chain and policy on real goroutines and
+//     wall-clock pacing. Timing is machine-dependent, so the assertions
+//     are shape-level (replicas rose above 1 and returned to the floor)
+//     plus the full invariant set.
+
+// autoscaleResult is one ramp run's outcome (shared by the experiment
+// table and the determinism/shape tests).
+type autoscaleResult struct {
+	Goodput    float64 // completion goodput, bits/sec of substrate time
+	Trajectory string
+	Peak       int
+	Final      int
+	Conserved  bool
+	Residue    int
+	Dups       uint64
+	Evals      uint64
+	Actions    uint64
+	Drained    bool
+	IngestPPS  float64
+}
+
+// autoscalePolicy is the DES ramp's load band: per-instance capacity is
+// 8 threads / 150µs ≈ 53.3k pps, so a saturated instance always reads
+// above the 45k high edge and the low phases sit inside the band at one
+// replica (~26k pps) but below the 20k low edge per instance once spread
+// over several.
+func autoscalePolicy() runtime.AutoscalerConfig {
+	return runtime.AutoscalerConfig{
+		Vertex: "count", Min: 1, Max: 4,
+		LowPPS: 20_000, HighPPS: 45_000,
+		Interval:   2 * time.Millisecond,
+		Hysteresis: 2,
+		Cooldown:   5 * time.Millisecond,
+	}
+}
+
+// autoscalePhase generates one ramp phase: a fresh flow population paced
+// at the given rate.
+func autoscalePhase(seed int64, flows int, bps int64) *trace.Trace {
+	tr := trace.Generate(trace.Config{
+		Seed:            seed,
+		Flows:           flows,
+		PktsPerFlowMean: 16,
+		PayloadMedian:   1394,
+		Hosts:           32,
+		Servers:         16,
+	})
+	tr.Pace(bps)
+	return tr
+}
+
+// autoscaleDES runs the deterministic ramp: 0.3Gbps (~26k pps) → 2Gbps
+// (~174k pps, saturating up to Max instances) → 0.3Gbps, then drains.
+func autoscaleDES(o Opts) autoscaleResult {
+	cfg := throughputConfig(o.Seed)
+	cfg.StoreShards = 2
+	cfg.DefaultServiceTime = 150 * time.Microsecond
+	ch := runtime.New(cfg, runtime.VertexSpec{
+		Name: "count", Make: func() nf.NF { return newCountNF() },
+		Instances: 1, Backend: runtime.BackendCHC, Mode: store.ModeEOCNA,
+	})
+	ch.Start()
+	ch.Controller().DrainGrace = 5 * time.Millisecond
+	as, err := ch.Controller().StartAutoscaler(autoscalePolicy())
+	if err != nil {
+		panic(err)
+	}
+
+	phases := []*trace.Trace{
+		autoscalePhase(o.Seed, o.Flows, 300_000_000),
+		autoscalePhase(o.Seed+1, o.Flows*3, 2_000_000_000),
+		autoscalePhase(o.Seed+2, o.Flows, 300_000_000),
+	}
+	start := ch.Sim().Now()
+	total := 0
+	for _, tr := range phases {
+		total += tr.Len()
+		ch.RunTrace(tr, 0)
+	}
+	// Completion: every offloaded update committed and every root log
+	// entry deleted; keep driving so the autoscaler also drains the
+	// now-idle vertex back to the floor.
+	for i := 0; i < 20000 && ch.Root.LogSize() > 0; i++ {
+		ch.RunFor(time.Millisecond)
+	}
+	ch.RunFor(60 * time.Millisecond) // idle: scale-in staircase to Min
+	elapsed := time.Duration(ch.Sim().Now() - start)
+
+	v := ch.Vertices[0]
+	var bytes uint64
+	for _, in := range v.Instances {
+		bytes += in.BytesProcessed
+	}
+	var counted int64
+	for k, val := range ch.StoreSnapshot().Entries {
+		if k.Vertex == 1 && k.Obj == scaleObjTotal {
+			counted += val.Int
+		}
+	}
+	evals, actions, _ := as.Counters()
+	return autoscaleResult{
+		Goodput:    runtime.ThroughputBps(bytes, elapsed),
+		Trajectory: as.TrajectoryString(),
+		Peak:       trajectoryPeak(as),
+		Final:      ch.Controller().CurrentSpec().Vertices[0].Replicas,
+		Conserved:  counted == int64(total),
+		Residue:    ch.Root.LogSize(),
+		Dups:       ch.Sink.Duplicates,
+		Evals:      evals,
+		Actions:    actions,
+	}
+}
+
+func trajectoryPeak(as *runtime.Autoscaler) int {
+	peak := 0
+	for _, p := range as.Trajectory() {
+		if p.Replicas > peak {
+			peak = p.Replicas
+		}
+	}
+	return peak
+}
+
+// autoscaleLive runs the same ramp shape on livenet: wall-clock pacing at
+// ~2k pps → ~40k pps → ~2k pps against a measured-load band (real
+// goroutines are far from saturation at these rates; the policy reacts to
+// offered load, which is the operable signal in live deployments).
+func autoscaleLive(o Opts) autoscaleResult {
+	cfg := runtime.LiveChainConfig()
+	cfg.Seed = o.Seed
+	cfg.StoreShards = 2
+	ch := runtime.New(cfg, runtime.VertexSpec{
+		Name: "count", Make: func() nf.NF { return newCountNF() },
+		Instances: 1, Backend: runtime.BackendCHC, Mode: store.ModeEOCNA,
+	})
+	ch.Start()
+	ch.Controller().DrainGrace = 50 * time.Millisecond
+	as, err := ch.Controller().StartAutoscaler(runtime.AutoscalerConfig{
+		Vertex: "count", Min: 1, Max: 4,
+		LowPPS: 2_500, HighPPS: 5_000,
+		Interval:   50 * time.Millisecond,
+		Hysteresis: 2,
+		Cooldown:   150 * time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// ~1000B packets: 12Mbps ≈ 1.5k pps, 96Mbps ≈ 12k pps. Rates are
+	// deliberately modest: the test matrix runs this under the race
+	// detector on loaded CI machines, and the policy only needs the
+	// MEASURED rate to cross the band edges, not a saturated chain.
+	mkPhase := func(seed int64, flows int, bps int64) *trace.Trace {
+		tr := trace.Generate(trace.Config{
+			Seed: seed, Flows: flows, PktsPerFlowMean: 14,
+			PayloadMedian: 1000, Hosts: 32, Servers: 16,
+		})
+		tr.Pace(bps)
+		return tr
+	}
+	phases := []*trace.Trace{
+		mkPhase(o.Seed, 50, 12_000_000),
+		mkPhase(o.Seed+1, o.Flows*5, 96_000_000),
+		mkPhase(o.Seed+2, 60, 12_000_000),
+	}
+	total := 0
+	var elapsed time.Duration
+	for _, tr := range phases {
+		total += tr.Len()
+		elapsed += ch.RunTrace(tr, 0)
+	}
+	drained := ch.AwaitDrained(30 * time.Second)
+	// Idle tail: give the policy time to staircase back to the floor
+	// (cooldown-bounded, so a few seconds suffice).
+	final := 0
+	for i := 0; i < 100; i++ {
+		final = ch.Controller().CurrentSpec().Vertices[0].Replicas
+		if final == 1 {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	ch.Stop()
+
+	var counted int64
+	for k, val := range ch.StoreSnapshot().Entries {
+		if k.Vertex == 1 && k.Obj == scaleObjTotal {
+			counted += val.Int
+		}
+	}
+	secs := elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	evals, actions, _ := as.Counters()
+	return autoscaleResult{
+		IngestPPS:  float64(ch.Root.Injected) / secs,
+		Trajectory: as.TrajectoryString(),
+		Peak:       trajectoryPeak(as),
+		Final:      final,
+		Conserved:  counted == int64(total) && ch.Root.Injected == ch.Root.Deleted,
+		Residue:    ch.Root.LogSize(),
+		Dups:       ch.Sink.Duplicates,
+		Evals:      evals,
+		Actions:    actions,
+		Drained:    drained,
+	}
+}
+
+// Autoscale reproduces the load-driven elasticity story on both
+// substrates: replicas track a ramp workload up and back down through the
+// declarative control plane, with the paper's safety invariants intact
+// across every transition.
+func Autoscale(o Opts) *Table {
+	t := &Table{
+		ID:     "autoscale",
+		Title:  "Metrics-driven autoscaling: ramp load, replicas converge up and back down",
+		Header: []string{"segment", "goodput", "replicas", "detail"},
+	}
+	des := autoscaleDES(o)
+	t.AddRow("des-ramp", gbps(des.Goodput), des.Trajectory,
+		fmt.Sprintf("conserved=%v residue=%d dups=%d evals=%d actions=%d",
+			des.Conserved, des.Residue, des.Dups, des.Evals, des.Actions))
+	live := autoscaleLive(o)
+	t.AddRow("live-ramp", fmt.Sprintf("%.0fpps", live.IngestPPS),
+		fmt.Sprintf("peak=%d final=%d", live.Peak, live.Final),
+		fmt.Sprintf("conserved=%v residue=%d dups=%d actions=%d drained=%v",
+			live.Conserved, live.Residue, live.Dups, live.Actions, live.Drained))
+	t.Note("policy: per-instance load band with hysteresis + cooldown over Controller.ApplySpec; " +
+		"every transition rides the Fig 4 handover machinery, so conservation and the XOR/delete " +
+		"check hold through the whole staircase")
+	t.Note("the DES trajectory is deterministic (pinned by parity test); live-ramp timing is " +
+		"machine-dependent, so only its shape (up from 1, back to the floor) is asserted")
+	return t
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestAutoscaleDESTrajectoryParity is the golden-parity style assertion
+// for the autoscale experiment's DES segment: two runs from the same seed
+// must produce bit-identical results — the same replica trajectory, the
+// same decision counts, the same goodput — because the autoscaler runs as
+// a deterministic simulation proc like everything else.
+func TestAutoscaleDESTrajectoryParity(t *testing.T) {
+	a := autoscaleDES(Small())
+	b := autoscaleDES(Small())
+	if a != b {
+		t.Fatalf("DES autoscale runs diverged:\n  run 1: %+v\n  run 2: %+v", a, b)
+	}
+
+	// Shape: the ramp drove replicas up to the Max bound and back down to
+	// the floor, with every safety invariant intact across the staircase.
+	if a.Peak != 4 {
+		t.Errorf("peak replicas = %d, want the Max bound 4 (trajectory %s)", a.Peak, a.Trajectory)
+	}
+	if a.Final != 1 {
+		t.Errorf("final replicas = %d, want the floor 1 (trajectory %s)", a.Final, a.Trajectory)
+	}
+	if a.Actions < 6 {
+		t.Errorf("only %d scaling actions over the ramp (trajectory %s)", a.Actions, a.Trajectory)
+	}
+	if !a.Conserved {
+		t.Error("shared counters lost updates across the autoscaling staircase")
+	}
+	if a.Residue != 0 {
+		t.Errorf("XOR/delete imbalance: %d clocks still logged", a.Residue)
+	}
+	if a.Dups != 0 {
+		t.Errorf("receiver saw %d duplicates", a.Dups)
+	}
+	if a.Goodput <= 0 {
+		t.Error("zero convergence goodput")
+	}
+}
+
+// TestAutoscaleLiveShape runs the live-ramp segment on real goroutines:
+// wall-clock timing is machine-dependent, so only the trajectory's shape
+// is asserted — up from one replica under load, back to the floor when it
+// subsides — plus the full invariant set.
+func TestAutoscaleLiveShape(t *testing.T) {
+	r := autoscaleLive(Small())
+	if !r.Drained {
+		t.Fatal("live chain did not drain")
+	}
+	if r.Peak < 2 {
+		t.Errorf("live ramp never scaled out (trajectory %s)", r.Trajectory)
+	}
+	if r.Final != 1 {
+		t.Errorf("live final replicas = %d, want the floor 1 (trajectory %s)", r.Final, r.Trajectory)
+	}
+	if !r.Conserved {
+		t.Error("live ramp lost updates (conservation violated)")
+	}
+	if r.Residue != 0 {
+		t.Errorf("live XOR/delete imbalance: %d clocks still logged", r.Residue)
+	}
+	if r.Dups != 0 {
+		t.Errorf("live receiver saw %d duplicates", r.Dups)
+	}
+}

@@ -141,10 +141,8 @@ func Move(o Opts) *Table {
 		keyList = append(keyList, k)
 	}
 	nu := ch.Vertices[0].Instances[1]
-	moveStart := ch.Sim().Now()
-	ch.MoveFlows(ch.Vertices[0], keyList, nu)
+	ch.Controller().MoveFlows(ch.Vertices[0], keyList, nu)
 	ch.RunTrace(&trace.Trace{Events: tr.Events[half:]}, 200*time.Millisecond)
-	_ = moveStart
 	acq := ch.Metrics.Get("handover.acquire")
 	// CHC moves are per-flow and concurrent: each flow's state is
 	// unavailable only for its own handover (a couple of store RTTs); no
@@ -314,7 +312,7 @@ func runTable5(o Opts, bps int64, suppress bool) (dupPkts, dupUpds uint64, false
 	tr.Pace(bps)
 	third := tr.Len() / 3
 	ch.RunTrace(&trace.Trace{Events: tr.Events[:third]}, 5*time.Millisecond)
-	ch.CloneStraggler(straggler)
+	ch.Controller().CloneStraggler(straggler)
 	ch.RunTrace(&trace.Trace{Events: tr.Events[third:]}, 500*time.Millisecond)
 
 	ps := ch.Vertices[1].Instances[0]
@@ -359,7 +357,7 @@ func Fig13(o Opts) *Table {
 		var failoverAt vtime.Time
 		ch.Sim().ScheduleAt(failAt, func() {
 			old.Crash()
-			ch.FailoverNF(old)
+			ch.Controller().Failover(old)
 			failoverAt = ch.Sim().Now()
 		})
 		ch.RunTrace(tr, 500*time.Millisecond)
@@ -451,6 +449,7 @@ func All() map[string]func(Opts) *Table {
 		"fig14":      Fig14,
 		"scale":      Scale,
 		"dag":        DAG,
+		"autoscale":  Autoscale,
 		"live":       Live,
 	}
 }
@@ -460,5 +459,5 @@ var Order = []string{
 	"fig8", "chain-lat", "offload", "fig9", "fig10", "dstore",
 	"meta-clock", "meta-log", "meta-xor",
 	"fig11", "fig12", "move", "table-r4", "table5", "fig13", "root-rec", "fig14",
-	"scale", "dag", "live",
+	"scale", "dag", "autoscale", "live",
 }

@@ -204,7 +204,7 @@ func dagBranchCrash(o Opts) []string {
 	udpInst := ch.VertexByName("udpnf").Instances[0]
 	old := tcpV.Instances[0]
 	old.Crash()
-	ch.FailoverNF(old)
+	ch.Controller().Failover(old)
 	ch.RunTrace(&trace.Trace{Events: tr.Events[half:]}, 500*time.Millisecond)
 
 	conserved := dagConserved(ch, map[string]int{"tcpnf": tcpN, "udpnf": udpN, "join": tr.Len()})

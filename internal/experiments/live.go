@@ -62,7 +62,7 @@ func liveRun(ch *runtime.Chain, tr *trace.Trace, crash bool) (elapsed time.Durat
 			time.Sleep(time.Duration(tr.Duration()) / 2)
 			// Crash a NAT instance mid-stream: the TCP branch fails over
 			// and replays while the UDP branch keeps serving.
-			ch.FailoverNF(ch.Vertices[0].Instances[0])
+			ch.Controller().Failover(ch.Vertices[0].Instances[0])
 		}()
 	} else {
 		close(crashed)

@@ -187,7 +187,7 @@ func Fig9(o Opts) *Table {
 
 	// Phase B: add an instance, split H across both; shared likelihood
 	// state becomes blocking.
-	ch.AddInstance(v)
+	ch.Controller().AddInstance(v)
 	v.Splitter.SetSplitHosts(hosts, []uint16{nfps.ObjLikelihood})
 	ch.RunTrace(mk(), 50*time.Millisecond)
 	bEnd := s.N()

@@ -177,10 +177,23 @@ func scaleElastic(o Opts) []string {
 	tr.Pace(2_000_000_000)
 	third := tr.Len() / 3
 
+	// Reconfiguration goes through the declarative control plane: submit
+	// the desired replica count and the controller emits the scale-out /
+	// newest-first scale-in over the same Fig 4 machinery.
+	ctl := ch.Controller()
 	ch.RunTrace(&trace.Trace{Events: tr.Events[:third]}, 20*time.Millisecond)
-	nu := ch.ScaleOut(v)
+	if _, err := ctl.ApplySpec(runtime.DeploymentSpec{
+		Vertices: []runtime.VertexDesire{{Name: "nat", Replicas: 2}},
+	}); err != nil {
+		panic(err)
+	}
+	nu := v.Instances[1]
 	ch.RunTrace(&trace.Trace{Events: tr.Events[third : 2*third]}, 50*time.Millisecond)
-	ch.ScaleIn(v, nu, 10*time.Millisecond)
+	if _, err := ctl.ApplySpec(runtime.DeploymentSpec{
+		Vertices: []runtime.VertexDesire{{Name: "nat", Replicas: 1}},
+	}); err != nil {
+		panic(err)
+	}
 	ch.RunFor(15 * time.Millisecond) // let the drain grace elapse
 	ch.RunTrace(&trace.Trace{Events: tr.Events[2*third:]}, 300*time.Millisecond)
 

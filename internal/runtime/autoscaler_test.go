@@ -1,0 +1,159 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"chc/internal/nf/nat"
+	"chc/internal/store"
+	"chc/internal/trace"
+	"chc/internal/vtime"
+)
+
+// windowedTrace builds a trace with an EXACT per-window packet rate: the
+// autoscaler samples every window (its Interval), so the measured pps per
+// sample is the window's count by construction — constant-bit-rate pacing
+// would instead make handshake-heavy windows packet-dense and the "steady"
+// load unsteady in pps. counts[w] packets are spread across the front of
+// window w (clear of the sampling instant so queueing never smears a
+// packet into the next sample).
+func windowedTrace(window time.Duration, counts []int) *trace.Trace {
+	need := 0
+	for _, n := range counts {
+		need += n
+	}
+	src := trace.Generate(trace.Config{Seed: 5, Flows: need/4 + 8, PktsPerFlowMean: 6,
+		PayloadMedian: 600, Hosts: 16, Servers: 8})
+	if src.Len() < need {
+		panic("windowedTrace: source trace too short")
+	}
+	tr := &trace.Trace{}
+	i := 0
+	for w, n := range counts {
+		base := vtime.Time(w) * vtime.Time(window)
+		span := 3 * window / 4
+		for k := 0; k < n; k++ {
+			at := base + vtime.Time(span)*vtime.Time(k)/vtime.Time(n)
+			tr.Events = append(tr.Events, trace.Event{At: at, Pkt: src.Events[i].Pkt})
+			i++
+		}
+	}
+	return tr
+}
+
+// repeatCounts builds a per-window count sequence.
+func repeatCounts(n, windows int) []int {
+	out := make([]int, windows)
+	for i := range out {
+		out[i] = n
+	}
+	return out
+}
+
+// TestAutoscalerRampConvergence: under a load exceeding the per-instance
+// band the vertex scales out, and when the load stops it drains back to
+// the floor — the full trajectory driven only by measured rates, on the
+// deterministic DES.
+func TestAutoscalerRampConvergence(t *testing.T) {
+	c := New(testConfig(), natVertex(1, BackendCHC, store.ModeEOCNA))
+	c.Start()
+	seedNAT(c, c.Vertices[0])
+	c.Controller().DrainGrace = 2 * time.Millisecond
+
+	// 21 pkts per 2ms window = 10.5k pps offered. High band edge at 8k
+	// pps/instance: 1 replica (10.5k) is over, 2 replicas (5.25k each)
+	// are inside [1k, 8k]; zero load after the trace is below the low
+	// edge, draining back to the floor.
+	as, err := c.Controller().StartAutoscaler(AutoscalerConfig{
+		Vertex: "nat", Min: 1, Max: 4,
+		LowPPS: 1_000, HighPPS: 8_000,
+		Interval: 2 * time.Millisecond, Hysteresis: 2, Cooldown: 6 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("StartAutoscaler: %v", err)
+	}
+
+	tr := windowedTrace(2*time.Millisecond, repeatCounts(21, 30))
+	c.RunTrace(tr, 100*time.Millisecond) // settle: zero load drains back to Min
+
+	if got := as.TrajectoryString(); got != "1→2→1" {
+		t.Fatalf("replica trajectory = %s, want 1→2→1 (samples %+v)", got, as.Trajectory())
+	}
+	if got := c.liveReplicas(c.Vertices[0]); got != 1 {
+		t.Fatalf("final serving replicas = %d, want the Min floor of 1", got)
+	}
+	evals, actions, _ := as.Counters()
+	if evals < 10 || actions != 2 {
+		t.Fatalf("evals=%d actions=%d, want >=10 evals and exactly 2 actions", evals, actions)
+	}
+	// The reconfigurations were safe: exactly-once shared counters, no
+	// receiver duplicates, empty in-flight log.
+	total, ok := c.StoreGet(store.Key{Vertex: 1, Obj: nat.ObjTotal})
+	if !ok || total.Int != int64(tr.Len()) {
+		t.Fatalf("total = %v,%v want %d across autoscaling", total, ok, tr.Len())
+	}
+	if c.Sink.Duplicates != 0 {
+		t.Fatalf("receiver saw %d duplicates", c.Sink.Duplicates)
+	}
+	if c.Root.LogSize() != 0 {
+		t.Fatalf("root log holds %d packets after settle", c.Root.LogSize())
+	}
+}
+
+// TestAutoscalerHysteresisNoFlap: a noisy steady load — EVERY sample lands
+// outside the band, alternating sides (7k, 15k, 7k, ... against a
+// [9k, 12k] band) — must not flap: no streak of same-side samples ever
+// reaches the hysteresis threshold. The Hysteresis-1 control run proves
+// the noise is real (it flaps immediately on the same workload).
+func TestAutoscalerHysteresisNoFlap(t *testing.T) {
+	counts := make([]int, 40)
+	for i := range counts {
+		if i%2 == 0 {
+			counts[i] = 14 // 7k pps: below the low edge
+		} else {
+			counts[i] = 30 // 15k pps: above the high edge
+		}
+	}
+	run := func(hysteresis int) (uint64, string) {
+		c := New(testConfig(), natVertex(1, BackendCHC, store.ModeEOCNA))
+		c.Start()
+		seedNAT(c, c.Vertices[0])
+		c.Controller().DrainGrace = 2 * time.Millisecond
+		as, err := c.Controller().StartAutoscaler(AutoscalerConfig{
+			Vertex: "nat", Min: 1, Max: 4,
+			LowPPS: 9_000, HighPPS: 12_000,
+			Interval: 2 * time.Millisecond, Hysteresis: hysteresis, Cooldown: 6 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("StartAutoscaler: %v", err)
+		}
+		tr := windowedTrace(2*time.Millisecond, counts)
+		c.RunTrace(tr, 0) // no settle: an idle tail would legitimately read 0 pps
+		_, actions, _ := as.Counters()
+		return actions, as.TrajectoryString()
+	}
+
+	flappy, _ := run(1)
+	if flappy == 0 {
+		t.Fatal("hysteresis-1 control run took no actions — the load is not noisy enough to prove anything")
+	}
+	steady, traj := run(2)
+	if steady != 0 {
+		t.Fatalf("autoscaler flapped %d times on a noisy steady load (trajectory %s)", steady, traj)
+	}
+}
+
+// TestAutoscalerConfigValidation: bad policies are rejected up front.
+func TestAutoscalerConfigValidation(t *testing.T) {
+	c := New(testConfig(), natVertex(1, BackendCHC, store.ModeEOCNA))
+	c.Start()
+	if _, err := c.Controller().StartAutoscaler(AutoscalerConfig{Vertex: "nosuch", HighPPS: 1}); err == nil {
+		t.Fatal("unknown vertex accepted")
+	}
+	if _, err := c.Controller().StartAutoscaler(AutoscalerConfig{Vertex: "nat"}); err == nil {
+		t.Fatal("zero HighPPS accepted")
+	}
+	if _, err := c.Controller().StartAutoscaler(AutoscalerConfig{Vertex: "nat", LowPPS: 5, HighPPS: 4}); err == nil {
+		t.Fatal("inverted band accepted")
+	}
+}

@@ -194,6 +194,9 @@ type Chain struct {
 	Vertices []*Vertex
 	Sink     *Sink
 	Metrics  *Metrics
+	// ctl is the chain's control plane (Controller): the only supported
+	// reconfiguration path.
+	ctl *Controller
 
 	// mu guards the mutable deployment topology (instance lists,
 	// nextInstanceID, xorAlias): in live mode scaling/failover actions run
@@ -290,6 +293,7 @@ func New(cfg ChainConfig, spec ...VertexSpec) *Chain {
 		}
 	}
 	c.wireTopology()
+	c.ctl = newController(c)
 	return c
 }
 

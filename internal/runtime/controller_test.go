@@ -1,0 +1,258 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"chc/internal/nf"
+	"chc/internal/nf/nat"
+	"chc/internal/nf/portscan"
+	"chc/internal/store"
+)
+
+// applyReplicas reconciles one vertex to n replicas through the
+// controller, failing the test on a rejected spec.
+func applyReplicas(t *testing.T, c *Chain, name string, n int) []ReconcileAction {
+	t.Helper()
+	acts, err := c.Controller().ApplySpec(DeploymentSpec{
+		Vertices: []VertexDesire{{Name: name, Replicas: n}},
+	})
+	if err != nil {
+		t.Fatalf("ApplySpec(%s=%d): %v", name, n, err)
+	}
+	return acts
+}
+
+// twoVertexChain deploys nat -> ids for reconciliation tests.
+func twoVertexChain(t *testing.T, natInstances, idsInstances int) *Chain {
+	t.Helper()
+	c := New(testConfig(),
+		natVertex(natInstances, BackendCHC, store.ModeEOCNA),
+		VertexSpec{
+			Name:      "ids",
+			Make:      func() nf.NF { return portscan.New() },
+			Instances: idsInstances,
+			Backend:   BackendCHC,
+			Mode:      store.ModeEOCNA,
+		},
+	)
+	c.Start()
+	seedNAT(c, c.Vertices[0])
+	return c
+}
+
+// TestApplySpecNoop: a spec that matches the running deployment emits
+// ZERO primitive calls — the reconciler is a fixpoint, not a restart.
+func TestApplySpecNoop(t *testing.T) {
+	c := twoVertexChain(t, 2, 1)
+	ctl := c.Controller()
+
+	// Total no-op spec, exactly as CurrentSpec reports it.
+	acts, err := ctl.ApplySpec(ctl.CurrentSpec())
+	if err != nil {
+		t.Fatalf("ApplySpec(CurrentSpec): %v", err)
+	}
+	if len(acts) != 0 {
+		t.Fatalf("no-op spec emitted %d actions: %+v", len(acts), acts)
+	}
+	// The instance sets are untouched.
+	if got := len(c.Vertices[0].Instances); got != 2 {
+		t.Fatalf("nat has %d instances after no-op", got)
+	}
+	if got := len(c.Vertices[1].Instances); got != 1 {
+		t.Fatalf("ids has %d instances after no-op", got)
+	}
+	st := ctl.Status()
+	if st.SpecsApplied != 1 || st.TotalActions != 0 {
+		t.Fatalf("status = %+v, want 1 spec applied / 0 actions", st)
+	}
+}
+
+// TestApplySpecScaleOutAndInTogether: one spec may scale one vertex out
+// while scaling another in; both deltas converge in a single reconcile.
+func TestApplySpecScaleOutAndInTogether(t *testing.T) {
+	c := twoVertexChain(t, 1, 2)
+	ctl := c.Controller()
+	ctl.DrainGrace = 2 * time.Millisecond
+
+	acts, err := ctl.ApplySpec(DeploymentSpec{Vertices: []VertexDesire{
+		{Name: "nat", Replicas: 3},
+		{Name: "ids", Replicas: 1},
+	}})
+	if err != nil {
+		t.Fatalf("ApplySpec: %v", err)
+	}
+	var outs, ins int
+	for _, a := range acts {
+		switch {
+		case a.Op == "scale-out" && a.Vertex == "nat":
+			outs++
+		case a.Op == "scale-in" && a.Vertex == "ids":
+			ins++
+		default:
+			t.Fatalf("unexpected action %+v", a)
+		}
+	}
+	if outs != 2 || ins != 1 {
+		t.Fatalf("got %d scale-outs / %d scale-ins, want 2/1 (actions: %+v)", outs, ins, acts)
+	}
+	if got := c.liveReplicas(c.Vertices[0]); got != 3 {
+		t.Fatalf("nat serving replicas = %d, want 3", got)
+	}
+	// The ids drain completes asynchronously; drive past the grace.
+	c.RunFor(10 * time.Millisecond)
+	if got := c.liveReplicas(c.Vertices[1]); got != 1 {
+		t.Fatalf("ids serving replicas = %d after drain, want 1", got)
+	}
+	// Convergence: re-applying the same spec is now a no-op.
+	acts, err = ctl.ApplySpec(DeploymentSpec{Vertices: []VertexDesire{
+		{Name: "nat", Replicas: 3},
+		{Name: "ids", Replicas: 1},
+	}})
+	if err != nil || len(acts) != 0 {
+		t.Fatalf("second apply: acts=%+v err=%v, want converged no-op", acts, err)
+	}
+}
+
+// TestApplySpecValidation: invalid specs are rejected atomically — the
+// error cases emit nothing and leave the deployment untouched.
+func TestApplySpecValidation(t *testing.T) {
+	c := twoVertexChain(t, 1, 1)
+	ctl := c.Controller()
+
+	cases := []struct {
+		name string
+		spec DeploymentSpec
+		want string // substring of the error
+	}{
+		{"unknown vertex", DeploymentSpec{Vertices: []VertexDesire{{Name: "firewall", Replicas: 2}}}, "unknown vertex"},
+		{"replica floor", DeploymentSpec{Vertices: []VertexDesire{{Name: "nat", Replicas: 0}}}, "floor is 1"},
+		{"negative replicas", DeploymentSpec{Vertices: []VertexDesire{{Name: "nat", Replicas: -3}}}, "floor is 1"},
+		{"duplicate vertex", DeploymentSpec{Vertices: []VertexDesire{
+			{Name: "nat", Replicas: 2}, {Name: "nat", Replicas: 3}}}, "twice"},
+		{"mode change", DeploymentSpec{Vertices: []VertexDesire{{Name: "nat", Replicas: 1, Mode: "eo"}}}, "mode is fixed"},
+		{"shard change", DeploymentSpec{StoreShards: 4}, "store shards"},
+		{"topology change", DeploymentSpec{Paths: []PathSpec{{Class: "tcp", Vertices: []string{"nat"}}}}, "topology is fixed"},
+	}
+	for _, tc := range cases {
+		acts, err := ctl.ApplySpec(tc.spec)
+		if err == nil {
+			t.Fatalf("%s: spec accepted, actions %+v", tc.name, acts)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// Atomicity: a spec that mixes a valid desire with an invalid one
+	// performs neither.
+	_, err := ctl.ApplySpec(DeploymentSpec{Vertices: []VertexDesire{
+		{Name: "nat", Replicas: 2},
+		{Name: "firewall", Replicas: 2},
+	}})
+	if err == nil {
+		t.Fatal("mixed valid/invalid spec accepted")
+	}
+	if got := len(c.Vertices[0].Instances); got != 1 {
+		t.Fatalf("rejected spec still scaled nat to %d instances", got)
+	}
+	st := ctl.Status()
+	if st.TotalActions != 0 {
+		t.Fatalf("rejected specs recorded %d actions", st.TotalActions)
+	}
+}
+
+// TestApplySpecPartial: vertices absent from the spec keep their replica
+// count (partial specs reconcile only what they name).
+func TestApplySpecPartial(t *testing.T) {
+	c := twoVertexChain(t, 1, 2)
+	applyReplicas(t, c, "nat", 2)
+	if got := c.liveReplicas(c.Vertices[0]); got != 2 {
+		t.Fatalf("nat = %d, want 2", got)
+	}
+	if got := c.liveReplicas(c.Vertices[1]); got != 2 {
+		t.Fatalf("ids = %d, want 2 (partial spec must not touch it)", got)
+	}
+}
+
+// TestDrain: the admin drain verb takes one replica out of service and
+// refuses to drain the last one.
+func TestDrain(t *testing.T) {
+	c := twoVertexChain(t, 2, 1)
+	ctl := c.Controller()
+	ctl.DrainGrace = 2 * time.Millisecond
+
+	acts, err := ctl.Drain("nat")
+	if err != nil {
+		t.Fatalf("Drain(nat): %v", err)
+	}
+	if len(acts) != 1 || acts[0].Op != "scale-in" {
+		t.Fatalf("Drain emitted %+v, want one scale-in", acts)
+	}
+	c.RunFor(10 * time.Millisecond)
+	if got := c.liveReplicas(c.Vertices[0]); got != 1 {
+		t.Fatalf("nat serving replicas = %d after drain, want 1", got)
+	}
+	if _, err := ctl.Drain("nat"); err == nil {
+		t.Fatal("draining the last replica was not refused")
+	}
+	if _, err := ctl.Drain("nosuch"); err == nil {
+		t.Fatal("draining an unknown vertex was not refused")
+	}
+}
+
+// TestCurrentSpecObservesDeployment: CurrentSpec reflects live serving
+// replicas (draining and crashed instances excluded) plus the immutable
+// shard count and modes.
+func TestCurrentSpecObservesDeployment(t *testing.T) {
+	cfg := testConfig()
+	cfg.StoreShards = 2
+	c := New(cfg, natVertex(2, BackendCHC, store.ModeEOC))
+	c.Start()
+	seedNAT(c, c.Vertices[0])
+
+	spec := c.Controller().CurrentSpec()
+	if spec.StoreShards != 2 {
+		t.Fatalf("StoreShards = %d, want 2", spec.StoreShards)
+	}
+	if len(spec.Vertices) != 1 || spec.Vertices[0].Name != "nat" ||
+		spec.Vertices[0].Replicas != 2 || spec.Vertices[0].Mode != "eoc" {
+		t.Fatalf("CurrentSpec vertices = %+v", spec.Vertices)
+	}
+
+	// A crashed instance no longer counts as serving.
+	c.Vertices[0].Instances[1].Crash()
+	if got := c.Controller().CurrentSpec().Vertices[0].Replicas; got != 1 {
+		t.Fatalf("replicas after crash = %d, want 1", got)
+	}
+	// ...and reconciling back to 2 replaces the lost capacity.
+	applyReplicas(t, c, "nat", 2)
+	if got := c.liveReplicas(c.Vertices[0]); got != 2 {
+		t.Fatalf("replicas after re-reconcile = %d, want 2", got)
+	}
+}
+
+// TestControllerFailoverRecorded: controller-mediated failure verbs land
+// in the action log alongside reconciles.
+func TestControllerFailoverRecorded(t *testing.T) {
+	c := New(testConfig(), natVertex(2, BackendCHC, store.ModeEOCNA))
+	c.Start()
+	seedNAT(c, c.Vertices[0])
+	tr := smallTrace(20)
+	c.RunTrace(tr, 50*time.Millisecond)
+
+	old := c.Vertices[0].Instances[0]
+	nu := c.Controller().Failover(old)
+	c.RunFor(50 * time.Millisecond)
+	if nu == old || nu.isDead() {
+		t.Fatal("failover did not produce a live replacement")
+	}
+	st := c.Controller().Status()
+	if st.TotalActions != 1 || len(st.LastActions) != 1 || st.LastActions[0].Op != "failover" {
+		t.Fatalf("status after failover = %+v", st)
+	}
+	total, ok := c.StoreGet(store.Key{Vertex: 1, Obj: nat.ObjTotal})
+	if !ok || total.Int != int64(tr.Len()) {
+		t.Fatalf("total = %v,%v want %d after controller failover", total, ok, tr.Len())
+	}
+}

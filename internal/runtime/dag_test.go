@@ -207,12 +207,14 @@ func TestDAGBranchScaleOutIn(t *testing.T) {
 	third := len(tr.Events) / 3
 
 	c.RunTrace(subTrace(tr, 0, third), 20*time.Millisecond)
-	nu := c.ScaleOut(v)
+	c.Controller().DrainGrace = 5 * time.Millisecond
+	applyReplicas(t, c, "nat", 2)
+	nu := v.Instances[1]
 	c.RunTrace(subTrace(tr, third, 2*third), 50*time.Millisecond)
 	if nu.Processed == 0 {
 		t.Fatal("scale-out instance on the tcp branch received no traffic")
 	}
-	c.ScaleIn(v, nu, 5*time.Millisecond)
+	applyReplicas(t, c, "nat", 1)
 	c.RunFor(10 * time.Millisecond)
 	if !nu.dead {
 		t.Fatal("drained branch instance still alive after grace")
@@ -262,7 +264,7 @@ func TestDAGBranchMoveFlows(t *testing.T) {
 	for k := range keys {
 		keyList = append(keyList, k)
 	}
-	c.MoveFlows(v, keyList, v.Instances[1])
+	c.Controller().MoveFlows(v, keyList, v.Instances[1])
 	c.RunTrace(subTrace(tr, half, len(tr.Events)), 300*time.Millisecond)
 
 	total, ok := c.StoreGet(store.Key{Vertex: v.ID, Obj: nat.ObjTotal})
@@ -301,7 +303,7 @@ func TestDAGBranchFailoverReplaysOnlyBranch(t *testing.T) {
 
 	old := v.Instances[0]
 	old.Crash()
-	nu := c.FailoverNF(old)
+	nu := c.Controller().Failover(old)
 	c.RunTrace(subTrace(tr, half, len(tr.Events)), 300*time.Millisecond)
 
 	if nu.Processed == 0 {
@@ -382,7 +384,7 @@ func TestDownstreamVertexFailover(t *testing.T) {
 
 	old := tailV.Instances[0]
 	old.Crash()
-	nu := c.FailoverNF(old)
+	nu := c.Controller().Failover(old)
 	c.RunTrace(subTrace(tr, half, len(tr.Events)), 500*time.Millisecond)
 
 	if nu.Processed == 0 {
@@ -428,7 +430,7 @@ func TestDAGRejoinVertexFailover(t *testing.T) {
 
 	old := join.Instances[0]
 	old.Crash()
-	nu := c.FailoverNF(old)
+	nu := c.Controller().Failover(old)
 	c.RunTrace(subTrace(tr, half, len(tr.Events)), 500*time.Millisecond)
 
 	if nu.Processed == 0 {

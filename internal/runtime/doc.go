@@ -17,10 +17,18 @@
 // The datastore tier is a set of shard servers (ChainConfig.StoreShards)
 // behind consistent-hash key partitioning; Chain.StoreFor locates a key's
 // shard and Chain.RecoverStoreShard rebuilds a crashed shard from the
-// clients' per-shard WAL slices. Elastic scaling is first-class:
-// Chain.ScaleOut adds an NF instance and moves only the flows that remap
-// onto it (Fig 4 handovers, no in-flight reordering), and Chain.ScaleIn
-// drains an instance back out loss-free — on any branch of the DAG.
+// clients' per-shard WAL slices.
+//
+// Reconfiguration is declarative: Chain.Controller reconciles a submitted
+// DeploymentSpec (per-vertex replica counts) against the running chain,
+// emitting the minimal sequence of safe primitives — consistent-hash
+// scale-out moving only the flows that remap onto the newcomer (Fig 4
+// handovers, no in-flight reordering), newest-first drain-and-retire
+// scale-in — on any branch of the DAG. Controller.StartAutoscaler layers
+// a load-band policy (hysteresis + cooldown) on top, and failure verbs
+// (Failover, CloneStraggler) are controller-mediated. The raw Chain
+// scaling methods are unexported: ApplySpec is the supported mutation
+// path (DESIGN.md §8).
 //
 // The runtime is written against transport.Transport, so the same chain
 // code runs on two substrates: the deterministic DES of internal/vtime +

@@ -66,6 +66,10 @@ type Instance struct {
 	// seen implements queue-level duplicate suppression (R5): clocks this
 	// instance has already accepted.
 	seen map[uint64]struct{}
+	// inFlight counts packets a worker has accepted (marked seen) but not
+	// finished processing — a worker blocked in a handover acquire or a
+	// service sleep holds one. Scale-in quiescence requires zero.
+	inFlight int
 	// xorLog records the XOR bit-vector contribution of each processed
 	// clock. A replayed packet re-executed here on its way to a downstream
 	// clone repeats the RECORDED contribution instead of the recomputed
@@ -91,7 +95,7 @@ type Instance struct {
 	dead bool
 	// draining marks an instance being scaled in: the splitter stops
 	// placing NEW partition keys on it while its existing flows hand over
-	// to the survivors (Chain.ScaleIn).
+	// to the survivors (Chain.scaleIn).
 	draining bool
 
 	// Stats.
@@ -167,6 +171,24 @@ func (i *Instance) ProcessedCount() uint64 {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	return i.Processed
+}
+
+// inFlightCount reads the accepted-but-unfinished packet count under the
+// instance lock (scale-in quiescence).
+func (i *Instance) inFlightCount() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.inFlight
+}
+
+// holdsParked reports whether the instance is a replay target still
+// buffering, or holds parked live packets awaiting the end-of-replay
+// drain. Such an instance is never quiescent: the parked packets are in
+// no inbox and no counter, and crashing would silently drop them.
+func (i *Instance) holdsParked() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.buffering || len(i.parked) > 0
 }
 
 // isDead reads the fail-stop flag under the instance lock (live-mode
@@ -336,7 +358,17 @@ func (i *Instance) handlePacket(p transport.Proc, ctx *nf.Ctx, m PacketMsg) {
 		return
 	}
 	i.seen[clock] = struct{}{}
+	// inFlight covers the accepted-but-not-finished window: a worker can
+	// block for a long time below (handover acquire, service sleep) with
+	// the packet in hand and the inbox already empty — the scale-in
+	// quiescence check must not read that as "nothing left to do".
+	i.inFlight++
 	i.mu.Unlock()
+	defer func() {
+		i.mu.Lock()
+		i.inFlight--
+		i.mu.Unlock()
+	}()
 
 	// Fig 4 handover, new-instance side: the first packet of a moved flow
 	// acquires per-flow state ownership (waiting for the old instance's
@@ -370,7 +402,6 @@ func (i *Instance) handlePacket(p transport.Proc, ctx *nf.Ctx, m PacketMsg) {
 		sub := pkt.Key().Canonical().Hash()
 		i.client.ReleaseFlow(p, sub)
 	}
-	_ = replay
 }
 
 // process runs the NF and forwards outputs.

@@ -82,7 +82,7 @@ func TestLiveFailoverReplay(t *testing.T) {
 	crashed := make(chan struct{})
 	go func() {
 		time.Sleep(time.Duration(tr.Duration()) / 2)
-		ch.FailoverNF(ch.Vertices[0].Instances[0])
+		ch.Controller().Failover(ch.Vertices[0].Instances[0])
 		close(crashed)
 	}()
 

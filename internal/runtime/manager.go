@@ -65,9 +65,10 @@ func (m *VertexManager) Snapshot() []InstanceStats {
 
 // --- Dynamic actions ---------------------------------------------------------
 
-// AddInstance scales the vertex up with a fresh instance (elastic scaling,
-// §5.1). The caller then moves flows to it via MoveFlows.
-func (c *Chain) AddInstance(v *Vertex) *Instance {
+// addInstance scales the vertex up with a fresh instance (elastic scaling,
+// §5.1) without rebalancing. Deployment mutations go through the
+// Controller (ApplySpec / AddInstance); this is its internal primitive.
+func (c *Chain) addInstance(v *Vertex) *Instance {
 	in := c.newInstance(v)
 	c.mu.Lock()
 	v.Instances = append(v.Instances, in)
@@ -77,33 +78,34 @@ func (c *Chain) AddInstance(v *Vertex) *Instance {
 	return in
 }
 
-// MoveFlows reallocates the given canonical flow hashes to instance to,
-// using the Fig 4 handover protocol.
-func (c *Chain) MoveFlows(v *Vertex, flowKeys []uint64, to *Instance) {
+// moveFlows reallocates the given canonical flow hashes to instance to,
+// using the Fig 4 handover protocol (Controller.MoveFlows is the public
+// entry point).
+func (c *Chain) moveFlows(v *Vertex, flowKeys []uint64, to *Instance) {
 	v.Splitter.StartMove(flowKeys, to.ID)
 }
 
-// ScaleOut adds an instance mid-run and rebalances the splitter with
+// scaleOut adds an instance mid-run and rebalances the splitter with
 // consistent-hash movement: of the partition keys seen so far, only those
 // that remap onto the NEW instance actually move — via Fig 4 handovers, so
 // no in-flight flow is reordered — while keys that would merely reshuffle
 // among the existing instances are pinned where they are. New keys hash
 // across the enlarged instance set immediately.
-func (c *Chain) ScaleOut(v *Vertex) *Instance {
+func (c *Chain) scaleOut(v *Vertex) *Instance {
 	plan := v.Splitter.planScaleOut()
-	in := c.AddInstance(v)
+	in := c.addInstance(v)
 	v.Splitter.applyScaleOut(plan, in.ID)
 	return in
 }
 
-// ScaleIn drains one instance and removes it. Its partition keys hand over
+// scaleIn drains one instance and removes it. Its partition keys hand over
 // to the survivors through the move protocol (ordered per flow); the
 // splitter stops placing new keys on it immediately; once grace has
 // elapsed AND the instance is quiescent, it flushes its caches, any
 // per-flow ownership left behind is released at the store tier, and the
 // instance stops. Callers drive the simulation past grace (plus drain
 // slack under backlog) before relying on the instance being gone.
-func (c *Chain) ScaleIn(v *Vertex, inst *Instance, grace time.Duration) {
+func (c *Chain) scaleIn(v *Vertex, inst *Instance, grace time.Duration) {
 	targets := v.Splitter.planScaleIn(inst.ID)
 	keys := make([]uint64, 0, len(targets))
 	for key := range targets {
@@ -121,12 +123,22 @@ func (c *Chain) ScaleIn(v *Vertex, inst *Instance, grace time.Duration) {
 }
 
 // pollScaleIn retires the instance only once it is quiescent: an empty
-// inbox and no packet processed since the previous poll. The poll spacing
-// exceeds the link latency, so quiescence across one interval means
-// nothing is in flight toward the instance either — the final
-// flush/release/crash then runs atomically without dropping a packet.
+// inbox, no packet processed since the previous poll, and no outstanding
+// async state operations. The poll spacing exceeds the link latency, so
+// quiescence across one interval means nothing is in flight toward the
+// instance either — the final flush/release/crash then runs atomically
+// without dropping a packet. The unacked-op condition matters when the
+// drain follows a scale-out under backlog: ops this instance issued for a
+// flow whose handover release is still pending sit conflicted-unacked,
+// kept alive only by the client's retransmission — crashing now would
+// silence the retries and lose the updates (their clocks' Fig 6 vectors
+// could never balance).
 func (c *Chain) pollScaleIn(v *Vertex, inst *Instance, lastProcessed uint64) {
-	idle := c.tr.Endpoint(inst.Endpoint).Len() == 0 && inst.ProcessedCount() == lastProcessed
+	idle := c.tr.Endpoint(inst.Endpoint).Len() == 0 && inst.ProcessedCount() == lastProcessed &&
+		inst.inFlightCount() == 0 && !inst.holdsParked()
+	if inst.client != nil && (inst.client.PendingAcks() > 0 || inst.client.CoalescePending() > 0) {
+		idle = false
+	}
 	if !idle {
 		interval := 500 * time.Microsecond
 		if m := 4 * c.cfg.LinkLatency; m > interval {
@@ -157,7 +169,7 @@ func (c *Chain) finishScaleIn(v *Vertex, inst *Instance) {
 	v.Splitter.notifyExclusivity()
 }
 
-// FailoverNF replaces a crashed (or about-to-be-crashed) instance: a fresh
+// failoverNF replaces a crashed (or about-to-be-crashed) instance: a fresh
 // instance takes over its ID space, the datastore manager re-binds per-flow
 // state, the splitter redirects, and the root replays logged packets
 // (§5.4 "NF Failover").
@@ -172,7 +184,7 @@ func (c *Chain) finishScaleIn(v *Vertex, inst *Instance) {
 // clock. The DES never surfaced this (its failovers land at quiescent
 // instants where every op is already flushed and re-execution is fully
 // emulated); live mid-stream crashes hit it immediately.
-func (c *Chain) FailoverNF(old *Instance) *Instance {
+func (c *Chain) failoverNF(old *Instance) *Instance {
 	if !old.isDead() {
 		old.Crash()
 	}
@@ -209,11 +221,11 @@ func (c *Chain) FailoverNF(old *Instance) *Instance {
 	return nu
 }
 
-// CloneStraggler deploys a clone alongside a straggler (§5.3): the clone is
+// cloneStraggler deploys a clone alongside a straggler (§5.3): the clone is
 // initialized from the store (nothing to copy — state is already external),
 // replayed packets bring it up to speed, and the splitter replicates
 // incoming traffic to both.
-func (c *Chain) CloneStraggler(straggler *Instance) *Instance {
+func (c *Chain) cloneStraggler(straggler *Instance) *Instance {
 	v := straggler.vertex
 	clone := c.newInstance(v) // per-instance ExtraDelay is not inherited
 	c.aliasInstance(clone, straggler)
@@ -227,9 +239,9 @@ func (c *Chain) CloneStraggler(straggler *Instance) *Instance {
 	return clone
 }
 
-// RetainFaster ends straggler mitigation keeping the clone: the straggler
+// retainFaster ends straggler mitigation keeping the clone: the straggler
 // is killed and its traffic redirected.
-func (c *Chain) RetainFaster(straggler, clone *Instance) {
+func (c *Chain) retainFaster(straggler, clone *Instance) {
 	v := straggler.vertex
 	v.Splitter.StopReplicate(straggler.ID)
 	straggler.Crash()

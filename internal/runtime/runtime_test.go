@@ -153,7 +153,7 @@ func TestElasticScaleOutMove(t *testing.T) {
 
 	c.RunTrace(first, 20*time.Millisecond)
 
-	nu := c.AddInstance(v)
+	nu := c.Controller().AddInstance(v)
 	// Move every flow (canonical hashes) to the new instance.
 	keys := map[uint64]bool{}
 	for _, e := range tr.Events {
@@ -163,7 +163,7 @@ func TestElasticScaleOutMove(t *testing.T) {
 	for k := range keys {
 		keyList = append(keyList, k)
 	}
-	c.MoveFlows(v, keyList, nu)
+	c.Controller().MoveFlows(v, keyList, nu)
 
 	c.RunTrace(second, 200*time.Millisecond)
 
@@ -191,7 +191,7 @@ func TestNFFailoverRecoversState(t *testing.T) {
 
 	old := v.Instances[0]
 	old.Crash()
-	nu := c.FailoverNF(old)
+	nu := c.Controller().Failover(old)
 	c.RunTrace(&trace.Trace{Events: tr.Events[half:]}, 200*time.Millisecond)
 
 	// The shared counter must be exactly the number of distinct packets the
@@ -229,7 +229,7 @@ func TestStragglerCloneDupSuppression(t *testing.T) {
 	third := tr.Len() / 3
 	c.RunTrace(&trace.Trace{Events: tr.Events[:third]}, 5*time.Millisecond)
 
-	clone := c.CloneStraggler(straggler)
+	clone := c.Controller().CloneStraggler(straggler)
 	c.RunTrace(&trace.Trace{Events: tr.Events[third:]}, 300*time.Millisecond)
 
 	ps := c.Vertices[1].Instances[0]

@@ -134,12 +134,14 @@ func TestScaleOutScaleIn(t *testing.T) {
 	third := len(tr.Events) / 3
 
 	c.RunTrace(subTrace(tr, 0, third), 20*time.Millisecond)
-	nu := c.ScaleOut(v)
+	c.Controller().DrainGrace = 5 * time.Millisecond
+	applyReplicas(t, c, "nat", 2)
+	nu := v.Instances[1]
 	c.RunTrace(subTrace(tr, third, 2*third), 50*time.Millisecond)
 	if nu.Processed == 0 {
 		t.Fatal("scale-out instance received no traffic")
 	}
-	c.ScaleIn(v, nu, 5*time.Millisecond)
+	applyReplicas(t, c, "nat", 1)
 	c.RunFor(10 * time.Millisecond)
 	if !nu.dead {
 		t.Fatal("drained instance still alive after grace")

@@ -452,7 +452,7 @@ func (s *Splitter) applyScaleOut(plan scaleOutPlan, newID uint16) {
 // Handovers are flow-granularity only (Route matches moves by canonical
 // flow hash): at a coarser partitioning scope the plan is empty, and the
 // drain relies on the drain-aware re-hash plus retirement-time flush —
-// the same unmanaged re-placement AddInstance performs at those scopes.
+// the same unmanaged re-placement addInstance performs at those scopes.
 func (s *Splitter) planScaleIn(drainID uint16) map[uint64]uint16 {
 	s.mu.Lock()
 	defer s.mu.Unlock()

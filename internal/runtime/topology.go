@@ -19,8 +19,8 @@ import (
 // PathSpec routes one traffic class through an ordered subset of the
 // chain's on-path vertices (named by VertexSpec.Name), root to sink.
 type PathSpec struct {
-	Class    string
-	Vertices []string
+	Class    string   `json:"class"`
+	Vertices []string `json:"vertices"`
 }
 
 // TopologySpec declares the policy DAG.

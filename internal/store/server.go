@@ -263,8 +263,21 @@ func (s *Server) run(p transport.Proc) {
 				s.appliedSeqs[pl.From] = seen
 			}
 			if _, dup := seen[pl.Seq]; !dup {
+				rep := s.engine.Apply(pl.Req)
+				if rep.Conflict {
+					// Transient ownership conflict: mid-handover, the new
+					// instance can issue (or flush) ops for a flow whose
+					// per-flow key the old instance still owns — with
+					// multiple workers, packets behind the "first"-marked
+					// one process while the acquire is still waiting for
+					// the release. Absorbing-and-acking here would lose the
+					// update forever (its clock's Fig 6 vector could never
+					// balance); staying silent instead makes the client's
+					// retransmission re-offer the op once the release has
+					// landed, and appliedSeqs dedups the retries.
+					continue
+				}
 				seen[pl.Seq] = struct{}{}
-				s.engine.Apply(pl.Req)
 			}
 			s.net.Send(transport.Message{From: s.Name, To: pl.From, Payload: AckMsg{Seq: pl.Seq}, Size: 12})
 		case OwnerSeedMsg:
