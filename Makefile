@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet lint fmt-check fmt bench bench-smoke live-soak perf-guard examples ci
+.PHONY: build test test-race vet lint lint-fix fmt-check fmt bench bench-smoke live-soak perf-guard examples ci
 
 build:
 	$(GO) build ./...
@@ -21,16 +21,29 @@ test-race:
 vet:
 	$(GO) vet ./...
 
-# lint: go vet and staticcheck are both hard gates. staticcheck's version
-# is pinned in CI (a floating @latest could break the build on a new
-# check); a machine without the tool installed still gets go vet, with a
-# loud notice so the gap is visible.
+# lint: go vet, staticcheck and the chclint invariant suite are all hard
+# gates — the same three CI runs. staticcheck's version is pinned in CI
+# (a floating @latest could break the build on a new check); a machine
+# without the tool installed still gets the other two, with a loud notice
+# so the gap is visible. chclint (cmd/chclint, DESIGN.md §9) enforces the
+# repo's DES-determinism, transport-discipline and controller-only-
+# mutation invariants; suppressions require a reasoned //chc:allow.
 lint: vet
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "lint: WARNING staticcheck not installed (CI enforces it); ran go vet only"; \
 	fi
+	$(GO) run ./cmd/chclint ./...
+
+# lint-fix runs only the chclint suite and prints every finding as
+# file:line:col so editors can jump straight to each site; it exits
+# nonzero while findings remain. The analyzers do not auto-rewrite — the
+# fixes are judgment calls (sorted-keys idiom, routing through
+# Controller.ApplySpec, the unlock/defer-relock pattern) — so "fix" means
+# a tight find→fix→rerun loop over this target.
+lint-fix:
+	$(GO) run ./cmd/chclint -v ./...
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

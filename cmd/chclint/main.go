@@ -1,0 +1,99 @@
+// Command chclint is the repo's domain-specific static-analysis gate: a
+// multichecker over the internal/analysis suite, enforcing the
+// DES-determinism, transport-discipline and controller-only-mutation
+// invariants as build failures (DESIGN.md §9).
+//
+// Usage:
+//
+//	chclint [-list] [-v] [package patterns]
+//
+// Patterns are module-relative ("./...", "./internal/runtime"); no
+// pattern means the whole module. Exit status: 0 clean, 1 findings,
+// 2 usage or load failure. Suppressions require a reason:
+//
+//	//chc:allow <analyzer> -- <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"chc/internal/analysis"
+	"chc/internal/analysis/driver"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	verbose := flag.Bool("v", false, "verbose: surface package load diagnostics")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Suite() {
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	moduleDir, modulePath, err := findModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chclint:", err)
+		os.Exit(2)
+	}
+	findings, err := driver.Run(driver.Config{
+		ModuleDir:      moduleDir,
+		ModulePath:     modulePath,
+		Patterns:       flag.Args(),
+		KnownAnalyzers: analysis.Names(),
+		Verbose:        *verbose,
+	}, analysis.Suite())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chclint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		rel := f
+		if r, err := filepath.Rel(moduleDir, f.Pos.Filename); err == nil {
+			rel.Pos.Filename = r
+		}
+		fmt.Println(rel.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "chclint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// findModule walks up from the working directory to the enclosing go.mod
+// and reads its module path.
+func findModule() (dir, path string, err error) {
+	dir, err = os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			if p := modulePathOf(data); p != "" {
+				return dir, p, nil
+			}
+			return "", "", fmt.Errorf("no module directive in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+func modulePathOf(gomod []byte) string {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}

@@ -1,3 +1,13 @@
 module chc
 
 go 1.23
+
+// Zero third-party requires, deliberately. The chclint static-analysis
+// suite (cmd/chclint, internal/analysis) would normally build on
+// golang.org/x/tools/go/analysis + go/packages, but this module must
+// build in offline environments, so internal/analysis/chcanalysis
+// mirrors that API on the standard library instead (see DESIGN.md §9);
+// migrating to a pinned golang.org/x/tools is a mechanical swap once a
+// network-ful toolchain is the norm. Tool dependencies are pinned at
+// their point of use: staticcheck @2025.1.1 and govulncheck @v1.1.4 in
+// .github/workflows/ci.yml.

@@ -1,0 +1,172 @@
+// Package analysistest runs a chcanalysis analyzer over a GOPATH-style
+// fixture tree and checks its findings against `// want "regex"`
+// expectations, mirroring golang.org/x/tools/go/analysis/analysistest
+// (which the offline build environment cannot vendor; see chcanalysis).
+//
+// Fixtures live under <analyzer>/testdata/src/<import/path>/*.go. Every
+// fixture package is loaded and analyzed in one run — dependency-first,
+// so cross-package fact propagation is exercised — and the run goes
+// through the driver's //chc:allow suppression pipeline, so allow
+// fixtures (reasoned and reasonless) behave exactly as under
+// cmd/chclint. Expectations:
+//
+//	tr.Send(m) // want "map iteration"
+//	bad() // want "first finding" "second finding"
+//
+// Each regex must match a distinct finding message reported on that
+// line; findings on lines without a matching want (and wants without a
+// matching finding) fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"chc/internal/analysis/chcanalysis"
+	"chc/internal/analysis/driver"
+)
+
+// Run analyzes the fixture tree under dir (usually "testdata") with a
+// and reports expectation mismatches on t.
+func Run(t *testing.T, dir string, a *chcanalysis.Analyzer) {
+	t.Helper()
+	src, err := filepath.Abs(filepath.Join(dir, "src", "chc"))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	findings, err := driver.Run(driver.Config{
+		ModuleDir:  src,
+		ModulePath: "chc",
+	}, []*chcanalysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	wants, err := collectWants(src)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	got := map[lineKey][]string{}
+	for _, f := range findings {
+		k := lineKey{f.Pos.Filename, f.Pos.Line}
+		got[k] = append(got[k], f.Message)
+	}
+
+	for k, res := range wants {
+		msgs := append([]string(nil), got[k]...)
+		for _, re := range res {
+			idx := -1
+			for i, m := range msgs {
+				if re.MatchString(m) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				t.Errorf("%s:%d: no finding matching %q (got %v)", k.file, k.line, re, msgs)
+				continue
+			}
+			msgs = append(msgs[:idx], msgs[idx+1:]...)
+		}
+		for _, m := range msgs {
+			t.Errorf("%s:%d: unexpected finding beyond wants: %s", k.file, k.line, m)
+		}
+		delete(got, k)
+	}
+	for k, msgs := range got {
+		for _, m := range msgs {
+			t.Errorf("%s:%d: unexpected finding: %s", k.file, k.line, m)
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// collectWants scans every fixture file for // want expectations.
+func collectWants(src string) (map[lineKey][]*regexp.Regexp, error) {
+	wants := map[lineKey][]*regexp.Regexp{}
+	err := filepath.WalkDir(src, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			res, err := parseWant(m[1])
+			if err != nil {
+				return fmt.Errorf("%s:%d: %v", p, i+1, err)
+			}
+			k := lineKey{p, i + 1}
+			wants[k] = append(wants[k], res...)
+		}
+		return nil
+	})
+	return wants, err
+}
+
+// parseWant parses a sequence of quoted regexes: "a" "b c" `d`.
+func parseWant(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			return out, nil
+		}
+		if s[0] != '"' && s[0] != '`' {
+			return nil, fmt.Errorf("want expectation must be quoted regexes, got %q", s)
+		}
+		end := -1
+		if s[0] == '`' {
+			if i := strings.IndexByte(s[1:], '`'); i >= 0 {
+				end = i + 1
+			}
+		} else {
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated quote in want: %q", s)
+		}
+		lit := s[:end+1]
+		s = s[end+1:]
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want literal %s: %v", lit, err)
+		}
+		re, err := regexp.Compile(unq)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", unq, err)
+		}
+		out = append(out, re)
+	}
+}
+
+// Fset is re-exported for harness extensions (unused today, kept so the
+// API mirrors x/tools analysistest).
+var _ = token.NewFileSet

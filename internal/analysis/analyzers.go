@@ -1,0 +1,35 @@
+// Package analysis aggregates the chclint analyzer suite. Each analyzer
+// mechanically enforces one invariant the repo's correctness story rests
+// on; DESIGN.md §9 documents the invariant → analyzer mapping and the
+// //chc:allow suppression policy.
+package analysis
+
+import (
+	"chc/internal/analysis/chcanalysis"
+	"chc/internal/analysis/detwalltime"
+	"chc/internal/analysis/maporder"
+	"chc/internal/analysis/specmutation"
+	"chc/internal/analysis/transportdiscipline"
+	"chc/internal/analysis/unwindlock"
+)
+
+// Suite is the full chclint analyzer set, in report order.
+func Suite() []*chcanalysis.Analyzer {
+	return []*chcanalysis.Analyzer{
+		detwalltime.Analyzer,
+		transportdiscipline.Analyzer,
+		specmutation.Analyzer,
+		maporder.Analyzer,
+		unwindlock.Analyzer,
+	}
+}
+
+// Names returns the suite's analyzer names (suppression-hygiene
+// validation in the driver).
+func Names() []string {
+	var names []string
+	for _, a := range Suite() {
+		names = append(names, a.Name)
+	}
+	return names
+}

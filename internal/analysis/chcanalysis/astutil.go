@@ -1,0 +1,69 @@
+package chcanalysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Callee resolves a call expression to the *types.Func it invokes
+// (package function, method, or interface method), or nil for builtins,
+// conversions and indirect calls through function values.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// PkgPath returns the defining package path of obj, or "".
+func PkgPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// PathHasSuffix reports whether an import path equals suffix or ends in
+// "/"+suffix. Analyzers match package identity this way so the same rule
+// applies to the real module ("chc/internal/store") and to analysistest
+// fixture stubs mounted at the same paths under testdata.
+func PathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// RecvNamed returns the receiver's named type name for a method (with
+// any pointer indirection stripped), or "" for non-methods.
+func RecvNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// NamedOf strips pointers and returns the *types.Named beneath t, if any.
+func NamedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

@@ -1,0 +1,117 @@
+// Package chcanalysis is the minimal analyzer framework chclint is built
+// on. It deliberately mirrors the golang.org/x/tools go/analysis surface
+// (Analyzer, Pass, Diagnostic, package facts) so the suite can migrate to
+// the real framework verbatim once the build environment can vendor
+// x/tools; the container this repo grows in is offline, so the framework
+// is implemented on the standard library (go/ast, go/types) instead of
+// being fetched. See DESIGN.md §9.
+package chcanalysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name is the identifier used in reports and //chc:allow comments.
+	Name string
+	// Doc is the one-paragraph invariant statement (shown by chclint -list).
+	Doc string
+	// Packages restricts where diagnostics are REPORTED: a package is in
+	// scope when its import path equals an entry or is a subpackage of one
+	// (entry + "/"). Empty means every package. The analyzer still RUNS on
+	// out-of-scope packages so it can export facts (e.g. maporder's
+	// effect-propagation needs store's facts while reporting in runtime).
+	Packages []string
+	// FactsOnly lists additional packages the analyzer runs on purely to
+	// compute facts, never reporting there.
+	FactsOnly []string
+	// Run analyzes one package.
+	Run func(*Pass) error
+}
+
+// InScope reports whether diagnostics should be emitted for pkgPath.
+func (a *Analyzer) InScope(pkgPath string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	return matchAny(a.Packages, pkgPath)
+}
+
+// WantsFacts reports whether the analyzer should run on pkgPath at all
+// (for reporting or fact export).
+func (a *Analyzer) WantsFacts(pkgPath string) bool {
+	return a.InScope(pkgPath) || matchAny(a.FactsOnly, pkgPath)
+}
+
+func matchAny(prefixes []string, path string) bool {
+	for _, p := range prefixes {
+		if path == p || (len(path) > len(p) && path[:len(p)] == p && path[len(p)] == '/') {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Facts is the run-wide fact store, shared by all packages. The driver
+	// analyzes packages in dependency order, so facts exported while
+	// analyzing an import are visible here.
+	Facts *FactStore
+	// Report emits one diagnostic. The driver applies //chc:allow
+	// suppression afterwards; analyzers never filter themselves.
+	Report func(Diagnostic)
+	// InScope mirrors Analyzer.InScope for this package: fact-only passes
+	// should compute facts and skip reporting.
+	InScope bool
+}
+
+// Diagnostic is one finding, positioned in the shared FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf formats and reports a diagnostic at pos. Reports from
+// fact-only passes are dropped by the driver, but analyzers should still
+// guard expensive reporting walks with pass.InScope.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// FactStore is a namespaced string-set store standing in for go/analysis
+// package facts. Keys are stable qualified names (types.Func.FullName for
+// functions), namespaces are "<analyzer>.<fact>".
+type FactStore struct {
+	sets map[string]map[string]bool
+}
+
+// NewFactStore builds an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{sets: make(map[string]map[string]bool)}
+}
+
+// Add records key in namespace ns.
+func (f *FactStore) Add(ns, key string) {
+	s := f.sets[ns]
+	if s == nil {
+		s = make(map[string]bool)
+		f.sets[ns] = s
+	}
+	s[key] = true
+}
+
+// Has reports whether key is recorded in ns.
+func (f *FactStore) Has(ns, key string) bool { return f.sets[ns][key] }
+
+// Len reports the size of namespace ns (tests).
+func (f *FactStore) Len(ns string) int { return len(f.sets[ns]) }

@@ -1,0 +1,15 @@
+package detwalltime_test
+
+import (
+	"testing"
+
+	"chc/internal/analysis/analysistest"
+	"chc/internal/analysis/detwalltime"
+)
+
+// The failing fixture mirrors the real bug class: wall-clock reads in
+// DES-reachable code (the pre-fix experiments/autoscale.go live-ramp
+// tail) silently desynchronize golden-trajectory tests.
+func TestDetWallTime(t *testing.T) {
+	analysistest.Run(t, "testdata", detwalltime.Analyzer)
+}

@@ -1,0 +1,27 @@
+// Package wall is a failing fixture: DES-reachable code reading the
+// wall clock and the process-global rand source.
+package wall
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() time.Duration {
+	start := time.Now()          // want `wall-clock time\.Now`
+	time.Sleep(time.Millisecond) // want `wall-clock time\.Sleep`
+	_ = rand.Intn(10)            // want `global math/rand\.Intn`
+	if time.Since(start) > 0 {   // want `wall-clock time\.Since`
+		_ = rand.Float64() // want `global math/rand\.Float64`
+	}
+	return 0
+}
+
+// good is the passing shape: seeded component-owned randomness and
+// duration arithmetic are legal; only clock READS are banned.
+func good(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	const tick = 10 * time.Millisecond
+	_ = tick
+	return r.Float64()
+}

@@ -1,0 +1,15 @@
+// Package wallallow exercises the //chc:allow policy: a reasoned
+// directive suppresses, a reasonless one suppresses nothing and is
+// itself a finding.
+package wallallow
+
+import "time"
+
+func allowed() {
+	time.Sleep(time.Millisecond) //chc:allow detwalltime -- fixture: live-ramp idle tail runs on the wall-clock substrate
+}
+
+func reasonless() {
+	//chc:allow detwalltime // want "reasonless suppression"
+	time.Sleep(time.Millisecond) // want `wall-clock time\.Sleep`
+}

@@ -1,0 +1,285 @@
+// Package driver runs chcanalysis analyzers over a module: it discovers
+// and loads packages (dependencies first, so package facts flow), runs
+// each analyzer where its scope applies, and post-processes diagnostics
+// through the //chc:allow suppression policy.
+//
+// Suppression policy: a finding is suppressed only by a comment
+//
+//	//chc:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// on the finding's line (trailing comment) or alone on the line above.
+// A directive without a non-empty reason suppresses nothing and is
+// itself reported — the suite fails on reasonless suppressions.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+
+	"chc/internal/analysis/chcanalysis"
+	"chc/internal/analysis/loader"
+)
+
+// Finding is one reportable result (a diagnostic that survived
+// suppression, or a suppression-hygiene violation).
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Config configures a run.
+type Config struct {
+	ModuleDir  string
+	ModulePath string
+	// Patterns filters which packages diagnostics are reported for.
+	// "./..." (or empty) means the whole module; other entries are
+	// module-relative directory prefixes like "./internal/runtime".
+	Patterns []string
+	// KnownAnalyzers, when non-empty, makes directives naming an unknown
+	// analyzer a finding (cmd/chclint passes the full suite; analysistest
+	// leaves it empty since fixtures see a single analyzer).
+	KnownAnalyzers []string
+	// Verbose surfaces package load/type errors to Stderr.
+	Verbose bool
+}
+
+// Run executes the analyzers and returns findings sorted by position.
+func Run(cfg Config, analyzers []*chcanalysis.Analyzer) ([]Finding, error) {
+	fset := token.NewFileSet()
+	l := loader.New(loader.Config{Fset: fset, Roots: map[string]string{cfg.ModulePath: cfg.ModuleDir}})
+	paths, err := loader.DiscoverPackages(cfg.ModuleDir, cfg.ModulePath)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range paths {
+		if _, err := l.Load(p); err != nil {
+			return nil, fmt.Errorf("load %s: %v", p, err)
+		}
+	}
+	report := func(pkg *loader.Package) bool { return matchPatterns(cfg, pkg.Path) }
+
+	facts := chcanalysis.NewFactStore()
+	var diags []analyzerDiag
+	// loader.Order is dependency-first: a package's imports were analyzed
+	// (and exported their facts) before the package itself.
+	for _, pkg := range l.Order() {
+		if cfg.Verbose && len(pkg.TypeErrors) > 0 {
+			fmt.Fprintf(os.Stderr, "chclint: %s: %d type errors (first: %v)\n", pkg.Path, len(pkg.TypeErrors), pkg.TypeErrors[0])
+		}
+		for _, a := range analyzers {
+			if !a.WantsFacts(pkg.Path) {
+				continue
+			}
+			inScope := a.InScope(pkg.Path) && report(pkg)
+			pass := &chcanalysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Facts:     facts,
+				InScope:   inScope,
+			}
+			name := a.Name
+			pass.Report = func(d chcanalysis.Diagnostic) {
+				if inScope {
+					diags = append(diags, analyzerDiag{name, d})
+				}
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+
+	findings := Suppress(fset, packagesInScope(l, cfg), diags, cfg.KnownAnalyzers)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings, nil
+}
+
+func packagesInScope(l *loader.Loader, cfg Config) []*loader.Package {
+	var pkgs []*loader.Package
+	for _, p := range l.Order() {
+		if matchPatterns(cfg, p.Path) {
+			pkgs = append(pkgs, p)
+		}
+	}
+	return pkgs
+}
+
+func matchPatterns(cfg Config, pkgPath string) bool {
+	if len(cfg.Patterns) == 0 {
+		return true
+	}
+	for _, pat := range cfg.Patterns {
+		if pat == "./..." || pat == "..." {
+			return true
+		}
+		pat = strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/...")
+		full := cfg.ModulePath
+		if pat != "" && pat != "." {
+			full = cfg.ModulePath + "/" + pat
+		}
+		if pkgPath == full || strings.HasPrefix(pkgPath, full+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+type analyzerDiag struct {
+	analyzer string
+	diag     chcanalysis.Diagnostic
+}
+
+// allowDirective is one parsed //chc:allow comment.
+type allowDirective struct {
+	pos       token.Position
+	analyzers []string
+	reason    string
+	// standalone means the comment is alone on its line, so it governs
+	// the NEXT line; otherwise it trails code and governs its own line.
+	standalone bool
+	used       bool
+}
+
+// Suppress applies the //chc:allow policy to raw diagnostics: suppressed
+// diagnostics are dropped, reasonless (or unknown-analyzer) directives
+// become findings of their own.
+func Suppress(fset *token.FileSet, pkgs []*loader.Package, diags []analyzerDiag, known []string) []Finding {
+	directives := map[string][]*allowDirective{} // filename -> directives
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			collectDirectives(fset, f, directives)
+		}
+	}
+	var out []Finding
+	for _, d := range diags {
+		pos := fset.Position(d.diag.Pos)
+		if !suppressed(directives, pos, d.analyzer) {
+			out = append(out, Finding{Pos: pos, Analyzer: d.analyzer, Message: d.diag.Message})
+		}
+	}
+	knownSet := map[string]bool{}
+	for _, k := range known {
+		knownSet[k] = true
+	}
+	for _, file := range sortedKeys(directives) {
+		for _, dir := range directives[file] {
+			if dir.reason == "" {
+				out = append(out, Finding{Pos: dir.pos, Analyzer: "chclint",
+					Message: "reasonless suppression: write //chc:allow <analyzer> -- <reason>"})
+			}
+			if len(knownSet) > 0 {
+				for _, a := range dir.analyzers {
+					if !knownSet[a] {
+						out = append(out, Finding{Pos: dir.pos, Analyzer: "chclint",
+							Message: fmt.Sprintf("//chc:allow names unknown analyzer %q", a)})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[string][]*allowDirective) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectDirectives(fset *token.FileSet, f *ast.File, into map[string][]*allowDirective) {
+	var lines map[int]string
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//chc:allow")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			names, reason := splitDirective(text)
+			if lines == nil {
+				lines = fileLines(pos.Filename)
+			}
+			standalone := strings.TrimSpace(prefixOf(lines[pos.Line], pos.Column)) == ""
+			into[pos.Filename] = append(into[pos.Filename], &allowDirective{
+				pos: pos, analyzers: names, reason: reason, standalone: standalone,
+			})
+		}
+	}
+}
+
+// splitDirective parses " detwalltime,maporder -- reason text".
+func splitDirective(text string) (names []string, reason string) {
+	left, right, found := strings.Cut(text, "--")
+	if found {
+		reason = strings.TrimSpace(right)
+	}
+	for _, n := range strings.FieldsFunc(left, func(r rune) bool { return r == ' ' || r == ',' || r == '\t' }) {
+		names = append(names, n)
+	}
+	return names, reason
+}
+
+func suppressed(directives map[string][]*allowDirective, pos token.Position, analyzer string) bool {
+	for _, dir := range directives[pos.Filename] {
+		if dir.reason == "" {
+			continue // reasonless directives suppress nothing
+		}
+		target := dir.pos.Line
+		if dir.standalone {
+			target++
+		}
+		if target != pos.Line {
+			continue
+		}
+		for _, a := range dir.analyzers {
+			if a == analyzer {
+				dir.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func prefixOf(line string, col int) string {
+	if col-1 <= 0 || col-1 > len(line) {
+		return ""
+	}
+	return line[:col-1]
+}
+
+func fileLines(name string) map[int]string {
+	m := map[int]string{}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return m
+	}
+	for i, l := range strings.Split(string(data), "\n") {
+		m[i+1] = l
+	}
+	return m
+}

@@ -1,0 +1,51 @@
+package driver
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitDirective(t *testing.T) {
+	cases := []struct {
+		in     string
+		names  []string
+		reason string
+	}{
+		{" detwalltime -- live ramp polls the wall clock", []string{"detwalltime"}, "live ramp polls the wall clock"},
+		{" maporder,unwindlock -- order-independent fan-out", []string{"maporder", "unwindlock"}, "order-independent fan-out"},
+		{" detwalltime", []string{"detwalltime"}, ""},
+		{" detwalltime --", []string{"detwalltime"}, ""},
+		{" detwalltime --   ", []string{"detwalltime"}, ""},
+		{"", nil, ""},
+	}
+	for _, c := range cases {
+		names, reason := splitDirective(c.in)
+		if !reflect.DeepEqual(names, c.names) || reason != c.reason {
+			t.Errorf("splitDirective(%q) = %v, %q; want %v, %q", c.in, names, reason, c.names, c.reason)
+		}
+	}
+}
+
+func TestMatchPatterns(t *testing.T) {
+	cfg := Config{ModulePath: "chc"}
+	cases := []struct {
+		patterns []string
+		pkg      string
+		want     bool
+	}{
+		{nil, "chc/internal/store", true},
+		{[]string{"./..."}, "chc/internal/store", true},
+		{[]string{"./internal/runtime"}, "chc/internal/runtime", true},
+		{[]string{"./internal/runtime"}, "chc/internal/runtimefoo", false},
+		{[]string{"./internal/runtime/..."}, "chc/internal/runtime/sub", true},
+		{[]string{"./internal/store"}, "chc/internal/runtime", false},
+		{[]string{"."}, "chc", true},
+		{[]string{"."}, "chc/internal/store", true},
+	}
+	for _, c := range cases {
+		cfg.Patterns = c.patterns
+		if got := matchPatterns(cfg, c.pkg); got != c.want {
+			t.Errorf("matchPatterns(%v, %q) = %v; want %v", c.patterns, c.pkg, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package loader parses and type-checks packages for chclint without
+// golang.org/x/tools/go/packages (unavailable offline; see chcanalysis).
+// Module-local import paths resolve through a root map (module path →
+// directory); everything else falls back to the standard library's
+// source importer, sharing one token.FileSet so diagnostic positions
+// stay coherent.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path      string
+	Dir       string
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	// TypeErrors collects soft type-check errors. chclint tolerates them
+	// (analysis is best-effort on broken trees) but surfaces them in
+	// verbose mode; a build that passes `go build` produces none.
+	TypeErrors []error
+}
+
+// Config configures a Loader.
+type Config struct {
+	// Fset is the shared position table. Required.
+	Fset *token.FileSet
+	// Roots maps an import-path prefix to the directory holding its
+	// source, e.g. {"chc": "/root/repo"}. Longest prefix wins.
+	Roots map[string]string
+	// IncludeTests includes _test.go files of loaded packages. chclint
+	// runs with false: the invariants police DES-reachable production
+	// code, while tests legitimately drive live mode with raw goroutines
+	// and wall-clock.
+	IncludeTests bool
+}
+
+// Loader memoizes package loads and records completion order (an import
+// always completes before its importer, giving the driver a dependency
+// order for fact propagation).
+type Loader struct {
+	cfg   Config
+	std   types.ImporterFrom
+	memo  map[string]*Package
+	stack map[string]bool
+	order []*Package
+}
+
+// New builds a Loader.
+func New(cfg Config) *Loader {
+	return &Loader{
+		cfg:  cfg,
+		std:  importer.ForCompiler(cfg.Fset, "source", nil).(types.ImporterFrom),
+		memo: make(map[string]*Package),
+		// stack guards against import cycles (invalid Go, but a clear
+		// error beats a stack overflow on a broken tree).
+		stack: make(map[string]bool),
+	}
+}
+
+// Order returns every module-local package loaded so far, dependencies
+// first.
+func (l *Loader) Order() []*Package { return l.order }
+
+// dirFor resolves a module-local import path to its directory, or "" if
+// the path is not under any root.
+func (l *Loader) dirFor(path string) string {
+	best, bestLen := "", -1
+	for prefix, dir := range l.cfg.Roots {
+		if path == prefix {
+			return dir
+		}
+		if strings.HasPrefix(path, prefix+"/") && len(prefix) > bestLen {
+			best, bestLen = filepath.Join(dir, strings.TrimPrefix(path, prefix+"/")), len(prefix)
+		}
+	}
+	_ = bestLen
+	return best
+}
+
+// Load parses and type-checks the package at import path, memoized.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.memo[path]; ok {
+		return p, nil
+	}
+	if l.stack[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("%s is not under any configured root", path)
+	}
+	l.stack[path] = true
+	defer delete(l.stack, path)
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Files: files}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(ipath string) (*types.Package, error) {
+			if l.dirFor(ipath) != "" {
+				dep, err := l.Load(ipath)
+				if err != nil {
+					return nil, err
+				}
+				return dep.Types, nil
+			}
+			return l.std.ImportFrom(ipath, dir, 0)
+		}),
+		Error: func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(path, l.cfg.Fset, files, info)
+	pkg.Types = tpkg
+	pkg.TypesInfo = info
+	l.memo[path] = pkg
+	l.order = append(l.order, pkg)
+	return pkg, nil
+}
+
+// parseDir parses the directory's Go files (sorted for determinism),
+// honoring IncludeTests and skipping files excluded by build constraints
+// we do not evaluate (none exist in this module).
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		if !l.cfg.IncludeTests && strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.cfg.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+func (f importerFunc) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return f(path)
+}
+
+// DiscoverPackages walks a module directory and returns the import paths
+// of every package directory (one containing at least one non-test .go
+// file), skipping testdata, hidden directories and nested modules.
+func DiscoverPackages(moduleDir, modulePath string) ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(moduleDir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != moduleDir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if p != moduleDir {
+				if _, err := os.Stat(filepath.Join(p, "go.mod")); err == nil {
+					return filepath.SkipDir // nested module
+				}
+			}
+			ok, err := hasGoFiles(p)
+			if err != nil {
+				return err
+			}
+			if ok {
+				rel, err := filepath.Rel(moduleDir, p)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					paths = append(paths, modulePath)
+				} else {
+					paths = append(paths, modulePath+"/"+filepath.ToSlash(rel))
+				}
+			}
+		}
+		return nil
+	})
+	sort.Strings(paths)
+	return paths, err
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") && !strings.HasPrefix(n, ".") {
+			return true, nil
+		}
+	}
+	return false, nil
+}

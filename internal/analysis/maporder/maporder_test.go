@@ -1,0 +1,19 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"chc/internal/analysis/analysistest"
+	"chc/internal/analysis/maporder"
+)
+
+// The failing fixtures mirror the real bug class fixed in this PR: map
+// iteration order reaching substrate Sends (store.Client cache flushes,
+// Splitter revert loop), metrics writes and the controller action log —
+// the nondeterminism that breaks golden-trajectory tests. The fixture
+// tree also exercises cross-package fact propagation: a range in runtime
+// is flagged because a store helper (loaded as a dependency) transitively
+// Sends.
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer)
+}

@@ -1,0 +1,88 @@
+// Package runtime is the maporder fixture: map ranges whose bodies reach
+// substrate emits (directly, via a local helper, and via an imported
+// store helper's fact), metrics writes, and the controller action log.
+package runtime
+
+import (
+	"sort"
+
+	"chc/internal/store"
+	"chc/internal/transport"
+)
+
+type Metrics struct{ c map[string]float64 }
+
+func (m *Metrics) SetCounter(k string, v float64) { m.c[k] = v }
+
+type Controller struct{ lastActions []string }
+
+func emitAll(ep *transport.Endpoint, m map[int]transport.Message) {
+	for k := range m { // want "substrate emit"
+		ep.Send(m[k])
+	}
+}
+
+// kick emits indirectly; the package-local fixed point marks it.
+func kick(ep *transport.Endpoint) { ep.Send(transport.Message{}) }
+
+func viaLocal(ep *transport.Endpoint, m map[int]bool) {
+	for range m { // want `reaches chc/internal/runtime\.kick`
+		kick(ep)
+	}
+}
+
+// viaImport is the cross-package case: Flush's effect arrives as a fact
+// from the store package, analyzed first in dependency order.
+func viaImport(c *store.Client, m map[string]int) {
+	for range m { // want `reaches \(\*chc/internal/store\.Client\)\.Flush`
+		c.Flush()
+	}
+}
+
+func (mt *Metrics) dump(vals map[string]float64) {
+	for k, v := range vals { // want "shared-metrics write"
+		mt.SetCounter(k, v)
+	}
+}
+
+func (c *Controller) record(acts map[string]bool) {
+	for a := range acts { // want "controller action log"
+		c.lastActions = append(c.lastActions, a)
+	}
+}
+
+// sortedEmit is the passing shape — the sorted-keys idiom: the map range
+// only collects keys; the emitting range is over a sorted slice.
+func sortedEmit(ep *transport.Endpoint, m map[int]transport.Message) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		ep.Send(m[k])
+	}
+}
+
+// pureRange is also fine: the body has no ordered effects.
+func pureRange(c *store.Client, m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v + c.Peek()
+	}
+	return sum
+}
+
+func allowed(ep *transport.Endpoint, m map[int]bool) {
+	//chc:allow maporder -- fixture: fan-out is order-independent, proven by the digest test
+	for range m {
+		ep.Send(transport.Message{})
+	}
+}
+
+func reasonless(ep *transport.Endpoint, m map[int]bool) {
+	//chc:allow maporder // want "reasonless suppression"
+	for range m { // want "map iteration order"
+		ep.Send(transport.Message{})
+	}
+}

@@ -1,0 +1,14 @@
+// Package store stubs a datastore client whose Flush transitively emits
+// a substrate message — the effect is exported as a package fact so
+// ranges in importing packages get flagged too.
+package store
+
+import "chc/internal/transport"
+
+type Client struct{ ep *transport.Endpoint }
+
+// Flush emits: effectful, exported as a fact.
+func (c *Client) Flush() { c.ep.Send(transport.Message{}) }
+
+// Peek is pure: calling it from a map range is fine.
+func (c *Client) Peek() int { return 0 }

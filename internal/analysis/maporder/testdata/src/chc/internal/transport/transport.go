@@ -1,0 +1,10 @@
+// Package transport stubs the substrate surface: Send/Call/Spawn/
+// Schedule on anything under internal/transport seed the effect set.
+package transport
+
+type Message struct{ To, Kind int }
+
+type Endpoint struct{}
+
+func (e *Endpoint) Send(m Message)         {}
+func (e *Endpoint) Call(m Message) Message { return Message{} }

@@ -1,0 +1,16 @@
+package specmutation_test
+
+import (
+	"testing"
+
+	"chc/internal/analysis/analysistest"
+	"chc/internal/analysis/specmutation"
+)
+
+// The failing fixtures mirror the real bug classes from the control-plane
+// PR: an out-of-controller call to a Chain scaling internal (a reconcile
+// bypass the action log never sees), a new exported mutation method on
+// Chain, and a raw store.Request literal outside the typed-handle layer.
+func TestSpecMutation(t *testing.T) {
+	analysistest.Run(t, "testdata", specmutation.Analyzer)
+}

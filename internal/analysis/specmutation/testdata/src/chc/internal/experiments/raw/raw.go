@@ -1,0 +1,16 @@
+// Package raw is the failing fixture for the Request rule: raw
+// store.Request literals outside the typed-handle layer.
+package raw
+
+import "chc/internal/store"
+
+func bad(k store.Key) *store.Request {
+	r := store.Request{Op: 1, Key: k} // want `raw store\.Request literal`
+	_ = r
+	return &store.Request{Op: 3} // want `raw store\.Request literal`
+}
+
+// good goes through the handle layer's constructors instead of literals.
+func good() store.Key {
+	return store.Key{Vertex: 1, Obj: 2}
+}

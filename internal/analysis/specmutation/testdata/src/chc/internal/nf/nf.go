@@ -1,0 +1,10 @@
+// Package nf is the typed-handle layer: the passing fixture for the
+// Request rule — this package owns the translation from handles to raw
+// Requests.
+package nf
+
+import "chc/internal/store"
+
+func get(k store.Key) store.Request {
+	return store.Request{Op: 2, Key: k}
+}

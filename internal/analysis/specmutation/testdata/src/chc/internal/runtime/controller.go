@@ -1,0 +1,14 @@
+// controller.go is the reconcile layer: the one sanctioned caller of the
+// scaling internals, so nothing here is flagged.
+package runtime
+
+type Controller struct{ chain *Chain }
+
+func (ct *Controller) ApplySpec(want int) {
+	for ct.chain.n < want {
+		ct.chain.scaleOut(1)
+	}
+	for ct.chain.n > want {
+		ct.chain.scaleIn(1)
+	}
+}

@@ -1,0 +1,17 @@
+// Package store stubs the datastore types: the Request literal rule
+// keys on the named type chc/internal/store.Request, and store itself
+// may always build them.
+package store
+
+type Key struct {
+	Vertex, Obj uint16
+	Sub         uint64
+}
+
+type Request struct {
+	Op       int
+	Key      Key
+	Instance uint16
+}
+
+func internalUse() Request { return Request{Op: 1} }

@@ -1,0 +1,30 @@
+// Package conc is a failing fixture: raw concurrency primitives in a
+// substrate-ported package.
+package conc
+
+import "sync"
+
+type msgChan chan int
+
+func bad() {
+	go work()            // want "raw go statement"
+	ch := make(chan int) // want `make\(chan`
+	_ = ch
+	named := make(msgChan, 4) // want `make\(chan`
+	_ = named
+	var wg sync.WaitGroup // want `sync\.WaitGroup`
+	wg.Wait()
+}
+
+// good is the passing shape: slices, maps and plain mutexes are fine —
+// only the primitives that bypass the transport scheduler are banned.
+func good() {
+	buf := make([]int, 4)
+	idx := make(map[string]int)
+	var mu sync.Mutex
+	mu.Lock()
+	idx["a"] = buf[0]
+	mu.Unlock()
+}
+
+func work() {}

@@ -1,0 +1,14 @@
+// Package concallow exercises the //chc:allow policy for
+// transportdiscipline.
+package concallow
+
+func allowed() {
+	go work() //chc:allow transportdiscipline -- fixture: real-goroutine microbenchmark measures the host scheduler itself
+}
+
+func reasonless() {
+	//chc:allow transportdiscipline // want "reasonless suppression"
+	go work() // want "raw go statement"
+}
+
+func work() {}

@@ -1,0 +1,11 @@
+// Package sched is the out-of-scope passing fixture: vtime is a
+// substrate IMPLEMENTATION — its goroutine/channel machinery IS the
+// deterministic scheduler — so the transport-discipline rules do not
+// apply there.
+package sched
+
+func pump() {
+	ready := make(chan struct{})
+	go func() { close(ready) }()
+	<-ready
+}

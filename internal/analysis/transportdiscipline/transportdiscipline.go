@@ -1,0 +1,73 @@
+// Package transportdiscipline enforces the substrate-equivalence
+// invariant from the live-execution port (DESIGN.md §7): packages that
+// run on BOTH substrates (DES and livenet) must express all concurrency
+// through the transport surface — transport.Transport.Spawn for
+// processes, mailbox endpoints and signals for communication, Schedule
+// for timers. A raw `go` statement, a `make(chan ...)` or a
+// sync.WaitGroup in those packages executes only under the live
+// substrate's scheduler, so the DES can no longer replay the same
+// behavior and stops being the correctness oracle.
+package transportdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"chc/internal/analysis/chcanalysis"
+	"chc/internal/analysis/detwalltime"
+)
+
+// Analyzer is the transportdiscipline pass.
+var Analyzer = &chcanalysis.Analyzer{
+	Name:     "transportdiscipline",
+	Doc:      "forbid raw go statements, make(chan ...) and sync.WaitGroup in substrate-ported packages; concurrency must go through transport.Proc/Spawn/timers so DES and live execution stay equivalent",
+	Packages: detwalltime.PortedPackages,
+	Run:      run,
+}
+
+func run(pass *chcanalysis.Pass) error {
+	if !pass.InScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "raw go statement in substrate-ported package %s; spawn through transport.Transport.Spawn so both substrates schedule the process", pass.Pkg.Path())
+			case *ast.CallExpr:
+				if isMakeChan(pass.TypesInfo, n) {
+					pass.Reportf(n.Pos(), "make(chan ...) in substrate-ported package %s; communicate through transport endpoints and signals, not raw channels", pass.Pkg.Path())
+				}
+			case *ast.Ident:
+				if obj, ok := pass.TypesInfo.Defs[n]; ok && obj != nil && isWaitGroup(obj.Type()) {
+					pass.Reportf(n.Pos(), "sync.WaitGroup in substrate-ported package %s; join processes through transport signals (NewSignal/Drive) instead", pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isMakeChan(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" || len(call.Args) == 0 {
+		return false
+	}
+	if _, builtin := info.Uses[id].(*types.Builtin); !builtin {
+		return false
+	}
+	if _, syntactic := call.Args[0].(*ast.ChanType); syntactic {
+		return true
+	}
+	if t := info.TypeOf(call.Args[0]); t != nil {
+		_, isChan := t.Underlying().(*types.Chan)
+		return isChan
+	}
+	return false
+}
+
+func isWaitGroup(t types.Type) bool {
+	n := chcanalysis.NamedOf(t)
+	return n != nil && n.Obj().Name() == "WaitGroup" && chcanalysis.PkgPath(n.Obj()) == "sync"
+}

@@ -1,0 +1,15 @@
+package transportdiscipline_test
+
+import (
+	"testing"
+
+	"chc/internal/analysis/analysistest"
+	"chc/internal/analysis/transportdiscipline"
+)
+
+// The failing fixture mirrors the real bug class from the live-execution
+// port: raw goroutines/channels in substrate-ported packages run only
+// under the live scheduler, so the DES stops being a replayable oracle.
+func TestTransportDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", transportdiscipline.Analyzer)
+}

@@ -1,0 +1,67 @@
+// Package runtime is the unwindlock fixture: mutexes held across
+// blocking transport waits versus the release-then-defer-relock idiom.
+package runtime
+
+import (
+	"sync"
+
+	"chc/internal/transport"
+)
+
+type node struct {
+	mu  sync.Mutex
+	ep  *transport.Endpoint
+	sig *transport.Signal
+}
+
+func (n *node) bad() {
+	n.mu.Lock()
+	n.ep.Call(transport.Message{}) // want `mutex n\.mu held across blocking Endpoint\.Call`
+	n.mu.Unlock()
+}
+
+func (n *node) badDefer() {
+	n.mu.Lock()
+	defer n.mu.Unlock() // releases only at return: still held at the wait
+	n.sig.Wait()        // want `mutex n\.mu held across blocking Signal\.Wait`
+}
+
+// good is the sanctioned idiom (store.Client.call): release before the
+// wait, re-acquire via defer so a kill-unwind leaves the mutex balanced
+// for the caller's deferred Unlock.
+func (n *node) good() {
+	n.mu.Lock()
+	n.mu.Unlock()
+	defer n.mu.Lock()
+	n.ep.Call(transport.Message{})
+}
+
+// goodBranch: a branch-local lock/unlock pair does not leak into the
+// fall-through path.
+func (n *node) goodBranch(b bool) {
+	if b {
+		n.mu.Lock()
+		n.mu.Unlock()
+	}
+	n.sig.Wait()
+}
+
+// goodSend: Send is fire-and-forget, not a parked wait.
+func (n *node) goodSend() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ep.Send(transport.Message{})
+}
+
+func (n *node) allowed() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ep.Call(transport.Message{}) //chc:allow unwindlock -- fixture: DES-only path, kill cannot unwind a simulated proc here
+}
+
+func (n *node) reasonless() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	//chc:allow unwindlock // want "reasonless suppression"
+	n.sig.Wait() // want `held across blocking Signal\.Wait`
+}

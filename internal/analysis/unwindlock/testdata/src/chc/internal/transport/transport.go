@@ -1,0 +1,15 @@
+// Package transport stubs the blocking wait surface: Call/Recv/Wait/
+// WaitTimeout/Sleep on anything under internal/transport are kill-unwind
+// points.
+package transport
+
+type Message struct{ To, Kind int }
+
+type Endpoint struct{}
+
+func (e *Endpoint) Send(m Message)         {}
+func (e *Endpoint) Call(m Message) Message { return Message{} }
+
+type Signal struct{}
+
+func (s *Signal) Wait() {}

@@ -1,0 +1,195 @@
+// Package unwindlock enforces the kill-unwind lock-balance discipline
+// from the live-execution hardening (DESIGN.md §7): a livenet process
+// blocked in a transport wait (Endpoint.Call/Recv, Signal.Wait/
+// WaitTimeout, Proc.Sleep) can be killed there, unwinding the goroutine
+// by panic. If the process holds a sync.Mutex at that point the unwind
+// either deadlocks later lockers or unbalances the caller's deferred
+// Unlock. The established idiom (store.Client.call) releases the mutex
+// immediately before the wait and re-acquires it via defer:
+//
+//	c.mu.Unlock()
+//	defer c.mu.Lock() // kill-unwind re-locks for the caller's deferred Unlock
+//	res, ok := c.net.Call(...)
+//
+// The analyzer tracks Lock/Unlock pairs per function body (branches are
+// analyzed with forked lock sets; function literals start empty — they
+// run in their own dynamic context) and flags any blocking transport
+// call reached while a mutex is held. `defer mu.Unlock()` does NOT
+// release for this purpose: the mutex is still held at the wait.
+package unwindlock
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"chc/internal/analysis/chcanalysis"
+	"chc/internal/analysis/detwalltime"
+)
+
+// blockingMethods are transport-surface calls a live process can be
+// parked (and killed) in.
+var blockingMethods = map[string]bool{
+	"Call": true, "Recv": true, "Wait": true, "WaitTimeout": true, "Sleep": true,
+}
+
+// blockingPkgs are package-path suffixes owning those wait points.
+var blockingPkgs = []string{"internal/transport", "internal/simnet", "internal/livenet", "internal/vtime"}
+
+// Analyzer is the unwindlock pass.
+var Analyzer = &chcanalysis.Analyzer{
+	Name:     "unwindlock",
+	Doc:      "flag sync mutexes held across blocking transport waits (Call/Recv/Wait/WaitTimeout/Sleep); release before the wait and re-lock via defer so a kill-unwind leaves the mutex balanced",
+	Packages: detwalltime.PortedPackages,
+	Run:      run,
+}
+
+func run(pass *chcanalysis.Pass) error {
+	if !pass.InScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				scanBlock(pass, fd.Body.List, map[string]bool{})
+			}
+		}
+	}
+	return nil
+}
+
+// scanBlock walks statements in order, threading the held-mutex set.
+// Nested control flow forks a copy (approximate: acquisitions inside a
+// branch do not escape it); function literals are scanned separately
+// with an empty set.
+func scanBlock(pass *chcanalysis.Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		scanStmt(pass, s, held)
+	}
+}
+
+func scanStmt(pass *chcanalysis.Pass, s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.DeferStmt:
+		// defer mu.Lock() arms the unwind re-lock (the idiom); defer
+		// mu.Unlock() releases only at return. Neither changes what is
+		// held at subsequent wait points, but a deferred call's nested
+		// literals still get their own scan.
+		scanFuncLits(pass, s.Call)
+	case *ast.GoStmt:
+		scanFuncLits(pass, s.Call)
+	case *ast.BlockStmt:
+		scanBlock(pass, s.List, fork(held))
+	case *ast.IfStmt:
+		if s.Init != nil {
+			scanStmt(pass, s.Init, held)
+		}
+		scanExpr(pass, s.Cond, held)
+		scanBlock(pass, s.Body.List, fork(held))
+		if s.Else != nil {
+			scanStmt(pass, s.Else, fork(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			scanStmt(pass, s.Init, held)
+		}
+		if s.Cond != nil {
+			scanExpr(pass, s.Cond, held)
+		}
+		scanBlock(pass, s.Body.List, fork(held))
+	case *ast.RangeStmt:
+		scanExpr(pass, s.X, held)
+		scanBlock(pass, s.Body.List, fork(held))
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if cc, ok := n.(*ast.CaseClause); ok {
+				scanBlock(pass, cc.Body, fork(held))
+				return false
+			}
+			if cc, ok := n.(*ast.CommClause); ok {
+				scanBlock(pass, cc.Body, fork(held))
+				return false
+			}
+			return true
+		})
+	default:
+		scanExpr(pass, s, held)
+	}
+}
+
+// scanExpr processes every call in a leaf statement/expression in source
+// order: Lock/Unlock mutate the held set, blocking waits report against
+// it, and function literals are scanned independently.
+func scanExpr(pass *chcanalysis.Pass, n ast.Node, held map[string]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			scanBlock(pass, lit.Body.List, map[string]bool{})
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := chcanalysis.Callee(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		switch {
+		case chcanalysis.PkgPath(fn) == "sync" && sel != nil:
+			key := types.ExprString(sel.X)
+			switch fn.Name() {
+			case "Lock", "RLock":
+				held[key] = true
+			case "Unlock", "RUnlock":
+				delete(held, key)
+			}
+		case blockingMethods[fn.Name()] && fromBlockingPkg(fn):
+			for _, m := range sortedKeys(held) {
+				pass.Reportf(call.Pos(), "mutex %s held across blocking %s.%s; unlock before the wait and re-lock via defer so a kill-unwind leaves it balanced", m, chcanalysis.RecvNamed(fn), fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+func scanFuncLits(pass *chcanalysis.Pass, n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			scanBlock(pass, lit.Body.List, map[string]bool{})
+			return false
+		}
+		return true
+	})
+}
+
+func fromBlockingPkg(fn *types.Func) bool {
+	for _, s := range blockingPkgs {
+		if chcanalysis.PathHasSuffix(chcanalysis.PkgPath(fn), s) {
+			return true
+		}
+	}
+	return false
+}
+
+func fork(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+// sortedKeys yields the held set in stable order so multi-mutex reports
+// are deterministic (the linter practices what it preaches).
+func sortedKeys(held map[string]bool) []string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

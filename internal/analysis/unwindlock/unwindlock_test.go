@@ -1,0 +1,17 @@
+package unwindlock_test
+
+import (
+	"testing"
+
+	"chc/internal/analysis/analysistest"
+	"chc/internal/analysis/unwindlock"
+)
+
+// The failing fixture mirrors the real bug class from the live-execution
+// hardening: a mutex held across a transport wait deadlocks (or
+// unbalances the caller's deferred Unlock) when a livenet kill unwinds
+// the blocked goroutine by panic. The passing fixture is the
+// release-then-defer-relock idiom from store.Client.call.
+func TestUnwindLock(t *testing.T) {
+	analysistest.Run(t, "testdata", unwindlock.Analyzer)
+}

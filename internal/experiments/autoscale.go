@@ -204,7 +204,7 @@ func autoscaleLive(o Opts) autoscaleResult {
 		if final == 1 {
 			break
 		}
-		time.Sleep(100 * time.Millisecond)
+		time.Sleep(100 * time.Millisecond) //chc:allow detwalltime -- live-ramp idle tail polls the controller on real wall-clock (livenet substrate)
 	}
 	ch.Stop()
 

@@ -55,11 +55,12 @@ func liveForkTrace(seed int64, flows int) *trace.Trace {
 // failover, then waits for the chain to drain. Returns the elapsed
 // wall-clock duration of the traffic phase.
 func liveRun(ch *runtime.Chain, tr *trace.Trace, crash bool) (elapsed time.Duration, drained bool) {
-	crashed := make(chan struct{})
+	crashed := make(chan struct{}) //chc:allow transportdiscipline -- test-driver scaffolding AROUND the live chain, not chain code: the crash injector races real wall-clock traffic
 	if crash {
+		//chc:allow transportdiscipline -- crash injector must run outside the chain's transport procs (it kills one mid-wait)
 		go func() {
 			defer close(crashed)
-			time.Sleep(time.Duration(tr.Duration()) / 2)
+			time.Sleep(time.Duration(tr.Duration()) / 2) //chc:allow detwalltime -- live mode paces in real time; the injector sleeps half the trace's wall duration
 			// Crash a NAT instance mid-stream: the TCP branch fails over
 			// and replays while the UDP branch keeps serving.
 			ch.Controller().Failover(ch.Vertices[0].Instances[0])

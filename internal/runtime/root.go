@@ -154,7 +154,7 @@ func (r *Root) ingest(p transport.Proc, m PacketMsg) {
 	// the shard owning the root clock key.
 	if cfg.ClockPersistEvery > 0 && r.ctr%uint64(cfg.ClockPersistEvery) == 0 {
 		key := store.Key{Vertex: rootVertexID, Obj: rootClockObj, Sub: uint64(r.ID)}
-		req := &store.Request{Op: store.OpSet, Key: key, Arg: store.IntVal(int64(r.ctr))}
+		req := &store.Request{Op: store.OpSet, Key: key, Arg: store.IntVal(int64(r.ctr))} //chc:allow specmutation -- root clock-persistence protocol (§7.2), framework-internal store access, not NF state
 		r.chain.tr.Call(p, r.Endpoint, r.chain.pmap.ShardFor(key), req, 32, 10*time.Millisecond)
 	}
 
@@ -163,7 +163,7 @@ func (r *Root) ingest(p transport.Proc, m PacketMsg) {
 	// entries spread across shards with their clock-keyed partition.
 	if cfg.LogInStore {
 		key := store.Key{Vertex: rootVertexID, Obj: rootLogObj, Sub: clock}
-		req := &store.Request{Op: store.OpSet, Key: key, Arg: store.IntVal(int64(m.Pkt.WireLen()))}
+		req := &store.Request{Op: store.OpSet, Key: key, Arg: store.IntVal(int64(m.Pkt.WireLen()))} //chc:allow specmutation -- root in-store packet-log protocol (§7.2), framework-internal store access, not NF state
 		r.chain.tr.Call(p, r.Endpoint, r.chain.pmap.ShardFor(key), req, 64, 10*time.Millisecond)
 	} else {
 		// Root-local logging cost: modeled on the DES; negative disables the
@@ -413,7 +413,7 @@ func (c *Chain) RecoverRoot() (newRoot *Root, took time.Duration) {
 		c.tr.Restart(old.Endpoint)
 		// Read the last persisted clock from the shard owning it.
 		key := store.Key{Vertex: rootVertexID, Obj: rootClockObj, Sub: uint64(old.ID)}
-		req := &store.Request{Op: store.OpGet, Key: key}
+		req := &store.Request{Op: store.OpGet, Key: key} //chc:allow specmutation -- root recovery reads its own persisted clock (§7.3); framework protocol, not NF state
 		res, ok := c.tr.Call(p, nr.Endpoint, c.pmap.ShardFor(key), req, 32, 10*time.Millisecond)
 		last := uint64(0)
 		if ok {

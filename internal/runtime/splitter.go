@@ -537,13 +537,20 @@ func (s *Splitter) SetSplitHosts(hosts []uint32, objs []uint16) {
 		s.splitHosts[h] = true
 	}
 	s.splitObjs = objs
+	// Sorted-keys idiom: SetExclusive can flush cache entries (messages to
+	// the store), so the revert fan-out must not follow map order.
+	prevSorted := make([]uint32, 0, len(prev))
+	for h := range prev {
+		prevSorted = append(prevSorted, h)
+	}
+	sort.Slice(prevSorted, func(i, j int) bool { return prevSorted[i] < prevSorted[j] })
 	for _, in := range s.chain.instancesOf(s.vertex) {
 		if in.client == nil || in.isDead() {
 			continue
 		}
 		// Revert the previous split set first.
 		for _, obj := range prevObjs {
-			for h := range prev {
+			for _, h := range prevSorted {
 				if !s.splitHosts[h] {
 					in.client.SetExclusive(obj, uint64(h), s.grantsExclusiveLocked(store.ScopeSrcIP))
 				}

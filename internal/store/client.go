@@ -1,6 +1,7 @@
 package store
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -110,7 +111,11 @@ type Client struct {
 	mu    sync.Mutex
 	pmap  *PartitionMap
 	decls map[uint16]ObjDecl
-	cache map[Key]*cacheEntry
+	// declList holds the declarations sorted by object ID: protocol loops
+	// that walk every declared object (flow acquire/release) iterate this
+	// slice, not the map, so their RPC order is deterministic.
+	declList []ObjDecl
+	cache    map[Key]*cacheEntry
 
 	// Async-op retransmission state.
 	seq     uint64
@@ -194,6 +199,10 @@ func NewClient(net transport.Transport, cfg ClientConfig) *Client {
 	for _, d := range cfg.Decls {
 		c.decls[d.ID] = d
 	}
+	for _, d := range c.decls {
+		c.declList = append(c.declList, d)
+	}
+	sort.Slice(c.declList, func(i, j int) bool { return c.declList[i].ID < c.declList[j].ID })
 	return c
 }
 
@@ -303,13 +312,30 @@ func (c *Client) SetObjExclusive(obj uint16, exclusive bool) {
 	was := c.objExcl[obj]
 	c.objExcl[obj] = exclusive
 	if was && !exclusive {
-		for k, e := range c.cache {
-			if k.Obj == obj && !e.exclSet && len(e.pending) > 0 {
-				c.flushEntry(k, e)
-				e.valid = false
-			}
+		// Sorted-keys idiom: flushing emits async ops, and map iteration
+		// order would make the flush message order nondeterministic.
+		for _, k := range c.sortedCacheKeys(func(k Key, e *cacheEntry) bool {
+			return k.Obj == obj && !e.exclSet && len(e.pending) > 0
+		}) {
+			e := c.cache[k]
+			c.flushEntry(k, e)
+			e.valid = false
 		}
 	}
+}
+
+// sortedCacheKeys returns the cache keys matching keep, sorted: every
+// flush path that walks the cache AND sends messages iterates this so the
+// DES message schedule never depends on map iteration order.
+func (c *Client) sortedCacheKeys(keep func(Key, *cacheEntry) bool) []Key {
+	var keys []Key
+	for k, e := range c.cache {
+		if keep(k, e) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	return keys
 }
 
 // SetExclusive marks a split-aware object (obj,sub) as exclusively accessed
@@ -817,10 +843,8 @@ func (c *Client) FlushAll() int {
 	defer c.mu.Unlock()
 	c.flushCoalesced()
 	n := 0
-	for k, e := range c.cache {
-		if len(e.pending) > 0 {
-			n += c.flushEntry(k, e)
-		}
+	for _, k := range c.sortedCacheKeys(func(_ Key, e *cacheEntry) bool { return len(e.pending) > 0 }) {
+		n += c.flushEntry(k, c.cache[k])
 	}
 	return n
 }
@@ -841,7 +865,7 @@ func (c *Client) FlushObject(obj uint16, sub uint64) int {
 func (c *Client) ReleaseFlow(p transport.Proc, sub uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, d := range c.decls {
+	for _, d := range c.declList {
 		if d.Scope != ScopeFlow {
 			continue
 		}
@@ -862,7 +886,7 @@ func (c *Client) ReleaseFlow(p transport.Proc, sub uint64) {
 func (c *Client) AcquireFlow(p transport.Proc, sub uint64, timeout time.Duration) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, d := range c.decls {
+	for _, d := range c.declList {
 		if d.Scope != ScopeFlow {
 			continue
 		}

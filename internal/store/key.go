@@ -19,6 +19,19 @@ func (k Key) String() string {
 	return fmt.Sprintf("v%d/o%d/%x", k.Vertex, k.Obj, k.Sub)
 }
 
+// Less orders keys (vertex, obj, sub) for the sorted-keys iteration idiom:
+// protocol paths that walk a map of keys and emit messages sort first so
+// the DES message schedule never depends on map iteration order.
+func (k Key) Less(o Key) bool {
+	if k.Vertex != o.Vertex {
+		return k.Vertex < o.Vertex
+	}
+	if k.Obj != o.Obj {
+		return k.Obj < o.Obj
+	}
+	return k.Sub < o.Sub
+}
+
 // Scope is the granularity at which a state object is keyed: the set of
 // packet header fields used to key into it (§4.1). Ordered from most to
 // least fine-grained for partitioning purposes.

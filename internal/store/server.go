@@ -1,6 +1,7 @@
 package store
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -311,7 +312,14 @@ func (s *Server) checkpoint() {
 	}
 	s.regMu.Unlock()
 	ts := snap.TS
+	// Sorted-keys idiom: the truncate fan-out order is scheduling input on
+	// the DES, so it must not depend on map iteration order.
+	sorted := make([]string, 0, len(eps))
 	for ep := range eps {
+		sorted = append(sorted, ep)
+	}
+	sort.Strings(sorted)
+	for _, ep := range sorted {
 		s.net.Send(transport.Message{From: s.Name, To: ep, Payload: TruncateMsg{TS: ts, Shard: s.Name}, Size: 8 * (len(ts) + 1)})
 	}
 }
@@ -361,21 +369,36 @@ func (s *Server) onUpdate(key Key, val Value, by uint16) {
 		s.regMu.Unlock()
 		return
 	}
-	targets := make(map[uint16]string, len(m))
-	for inst, ep := range m {
-		targets[inst] = ep
-	}
+	targets := sortedTargets(m)
 	s.regMu.Unlock()
-	for inst, ep := range targets {
-		if inst == by {
+	for _, t := range targets {
+		if t.inst == by {
 			continue
 		}
 		s.net.Send(transport.Message{
-			From: s.Name, To: ep,
+			From: s.Name, To: t.ep,
 			Payload: CallbackMsg{Key: key, Val: val.Copy()},
 			Size:    16 + val.wireSize(),
 		})
 	}
+}
+
+// instTarget is one (instance, endpoint) notification target.
+type instTarget struct {
+	inst uint16
+	ep   string
+}
+
+// sortedTargets snapshots a registration map in instance-ID order: the
+// notification fan-out order is DES scheduling input, so it must not
+// depend on map iteration order.
+func sortedTargets(m map[uint16]string) []instTarget {
+	out := make([]instTarget, 0, len(m))
+	for inst, ep := range m {
+		out = append(out, instTarget{inst, ep})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].inst < out[j].inst })
+	return out
 }
 
 // onOwnerChange notifies handover watchers (Fig 4 step 6) and clears them.
@@ -386,20 +409,17 @@ func (s *Server) onOwnerChange(key Key, owner uint16) {
 		s.regMu.Unlock()
 		return
 	}
-	targets := make(map[uint16]string, len(m))
-	for inst, ep := range m {
-		targets[inst] = ep
-	}
+	targets := sortedTargets(m)
 	if owner == 0 {
 		delete(s.ownWatch, key)
 	}
 	s.regMu.Unlock()
-	for inst, ep := range targets {
-		if inst == owner {
+	for _, t := range targets {
+		if t.inst == owner {
 			continue // the new owner caused this change
 		}
 		s.net.Send(transport.Message{
-			From: s.Name, To: ep,
+			From: s.Name, To: t.ep,
 			Payload: OwnerMsg{Key: key, Owner: owner},
 			Size:    16,
 		})
