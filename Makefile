@@ -17,6 +17,7 @@ test:
 # concurrency payoff: real goroutines on the protocol hot paths.
 test-race:
 	$(GO) test -race -short $$($(GO) list ./internal/... | grep -v /experiments)
+	$(GO) test -race -count=2 -run 'TestRecoverDeterminism|TestRecoverEquivalence' ./internal/store
 
 vet:
 	$(GO) vet ./...

@@ -195,6 +195,16 @@ func BenchmarkFig14(b *testing.B) {
 	}
 }
 
+// BenchmarkRecovery regenerates the rto experiment: checkpointed store
+// recovery stays flat as history grows, full-WAL replay does not.
+func BenchmarkRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := experiments.Rto(benchOpts())
+		b.ReportMetric(metric(tb, []string{"10x"}, 1, "ms"), "full-10x-ms")
+		b.ReportMetric(metric(tb, []string{"10x"}, 3, "ms"), "ckpt-10x-ms")
+	}
+}
+
 // BenchmarkScale regenerates the sharded-store / elastic scale-out grid.
 func BenchmarkScale(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -4,7 +4,9 @@
 // and a headline experiment losing more than the allowed fraction of
 // goodput fails the build.
 //
-// Only cells expressed in Gbps are compared (goodput numbers). The
+// Cells expressed in Gbps (goodput, higher is better) and ms (recovery
+// time, lower is better) are compared; the regression direction flips
+// accordingly. The
 // headline DES experiments are deterministic — same seed, same virtual
 // time, same numbers on any machine — so the threshold only has to
 // absorb intentional calibration changes, not host noise. Wall-clock
@@ -62,11 +64,26 @@ func gbpsCell(s string) (float64, bool) {
 	return v, true
 }
 
+// msCell parses "1.234ms" duration cells (recovery times). Unlike goodput,
+// durations regress UPWARD, so the comparison direction is inverted. Cells
+// ending in Gbps also end in "s"; require the exact "ms" suffix with a
+// parseable number before it.
+func msCell(s string) (float64, bool) {
+	if !strings.HasSuffix(s, "ms") || strings.HasSuffix(s, "Gbps") {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "ms"), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
 func main() {
 	basePath := flag.String("baseline", "BENCH_baseline.json", "checked-in baseline results")
 	freshPath := flag.String("fresh", "BENCH_fresh.json", "freshly generated results")
-	idsFlag := flag.String("ids", "fig8,fig10,scale,dag,autoscale", "comma-separated headline experiment ids to guard")
-	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated fractional goodput regression")
+	idsFlag := flag.String("ids", "fig8,fig10,scale,dag,autoscale,rto", "comma-separated headline experiment ids to guard")
+	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated fractional regression")
 	flag.Parse()
 
 	base, err := load(*basePath)
@@ -103,26 +120,45 @@ func main() {
 		for ri, brow := range b.Rows {
 			frow := f.Rows[ri]
 			for ci, bcell := range brow {
-				bv, ok := gbpsCell(bcell)
-				if !ok || bv <= 0 {
+				if bv, ok := gbpsCell(bcell); ok && bv > 0 {
+					if ci >= len(frow) {
+						fmt.Printf("FAIL %s row %d: fresh row too short\n", id, ri)
+						failures++
+						continue
+					}
+					fv, ok := gbpsCell(frow[ci])
+					if !ok {
+						fmt.Printf("FAIL %s row %d col %d: %q is no longer a Gbps cell\n", id, ri, ci, frow[ci])
+						failures++
+						continue
+					}
+					compared++
+					if fv < bv*(1.0-*maxRegress) {
+						fmt.Printf("FAIL %s [%s]: goodput %.2fGbps regressed >%.0f%% from baseline %.2fGbps\n",
+							id, strings.Join(brow[:1], ""), fv, *maxRegress*100, bv)
+						failures++
+					}
 					continue
 				}
-				if ci >= len(frow) {
-					fmt.Printf("FAIL %s row %d: fresh row too short\n", id, ri)
-					failures++
-					continue
-				}
-				fv, ok := gbpsCell(frow[ci])
-				if !ok {
-					fmt.Printf("FAIL %s row %d col %d: %q is no longer a Gbps cell\n", id, ri, ci, frow[ci])
-					failures++
-					continue
-				}
-				compared++
-				if fv < bv*(1.0-*maxRegress) {
-					fmt.Printf("FAIL %s [%s]: goodput %.2fGbps regressed >%.0f%% from baseline %.2fGbps\n",
-						id, strings.Join(brow[:1], ""), fv, *maxRegress*100, bv)
-					failures++
+				if bv, ok := msCell(bcell); ok && bv > 0 {
+					if ci >= len(frow) {
+						fmt.Printf("FAIL %s row %d: fresh row too short\n", id, ri)
+						failures++
+						continue
+					}
+					fv, ok := msCell(frow[ci])
+					if !ok {
+						fmt.Printf("FAIL %s row %d col %d: %q is no longer an ms cell\n", id, ri, ci, frow[ci])
+						failures++
+						continue
+					}
+					compared++
+					// Durations: higher is worse.
+					if fv > bv*(1.0+*maxRegress) {
+						fmt.Printf("FAIL %s [%s]: recovery time %.3fms regressed >%.0f%% from baseline %.3fms\n",
+							id, strings.Join(brow[:1], ""), fv, *maxRegress*100, bv)
+						failures++
+					}
 				}
 			}
 		}
@@ -130,9 +166,9 @@ func main() {
 			fmt.Printf("ok   %s\n", id)
 		}
 	}
-	fmt.Printf("benchcheck: %d goodput cells compared, %d failures\n", compared, failures)
+	fmt.Printf("benchcheck: %d cells compared, %d failures\n", compared, failures)
 	if compared == 0 {
-		fmt.Println("FAIL: no comparable goodput cells found (format drift?)")
+		fmt.Println("FAIL: no comparable cells found (format drift?)")
 		failures++
 	}
 	if failures > 0 {

@@ -176,6 +176,8 @@ func main() {
 	gbpsF := flag.Int64("gbps", 2, "offered load in Gbps")
 	udpFrac := flag.Float64("udp-frac", 0, "fraction of generated flows as UDP (drives DAG fork classes)")
 	shards := flag.Int("shards", 0, "datastore shard servers (overrides config; 0 keeps config/default)")
+	ckptInterval := flag.Duration("ckpt-interval", 0, "periodic durable store checkpoints + WAL truncation (0 disables)")
+	ckptRetain := flag.Int("ckpt-retain", 0, "committed checkpoints each shard retains (0 keeps the default of 2)")
 	settle := flag.Duration("settle", 500*time.Millisecond, "post-trace settle time (virtual)")
 	live := flag.Bool("live", false, "run on real goroutines and wall-clock time (livenet)")
 	jsonPath := flag.String("json", "", "write a machine-readable run report to this path (- for stdout)")
@@ -217,6 +219,8 @@ func main() {
 	if *shards > 0 {
 		ccfg.StoreShards = *shards
 	}
+	ccfg.CheckpointInterval = *ckptInterval
+	ccfg.CheckpointRetain = *ckptRetain
 	if len(cfg.Paths) > 0 {
 		topo := &runtime.TopologySpec{}
 		for _, p := range cfg.Paths {
@@ -340,6 +344,10 @@ func main() {
 	e2e := ch.Metrics.Get("total.chain")
 	fmt.Printf("chain: e2e p50=%v p95=%v\n", e2e.Percentile(50), e2e.Percentile(95))
 	status := ctl.Status()
+	for _, cs := range status.Checkpoints {
+		fmt.Printf("ckpt:  %-8s taken=%d retained=%d torn=%d rejected=%d last=%.12s…\n",
+			cs.Shard, cs.Taken, cs.Retained, cs.Torn, cs.Rejected, cs.LastID)
+	}
 	fmt.Printf("ctrl:  specs=%d actions=%d autoscaler evals=%d actions=%d\n",
 		status.SpecsApplied, status.TotalActions, status.AutoscalerEvals, status.AutoscalerActions)
 	if status.AutoscalerLast != "" {

@@ -447,6 +447,7 @@ func All() map[string]func(Opts) *Table {
 		"fig13":      Fig13,
 		"root-rec":   RootRecovery,
 		"fig14":      Fig14,
+		"rto":        Rto,
 		"scale":      Scale,
 		"dag":        DAG,
 		"autoscale":  Autoscale,
@@ -459,5 +460,5 @@ var Order = []string{
 	"fig8", "chain-lat", "offload", "fig9", "fig10", "dstore",
 	"meta-clock", "meta-log", "meta-xor",
 	"fig11", "fig12", "move", "table-r4", "table5", "fig13", "root-rec", "fig14",
-	"scale", "dag", "autoscale", "live",
+	"rto", "scale", "dag", "autoscale", "live",
 }

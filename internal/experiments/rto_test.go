@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+// TestRtoFlatVsLinear is the headline property of §5.4's durable
+// checkpoints: growing the traffic history ~10× grows full-WAL recovery
+// roughly linearly, while checkpointed recovery (WAL truncated at each
+// checkpoint horizon) stays flat. Every recovery must also leave the
+// Fig 6 conservation invariants intact under fresh post-recovery traffic.
+func TestRtoFlatVsLinear(t *testing.T) {
+	o := Opts{Seed: 42, Flows: 60}
+
+	full1 := rtoRun(o, 1, 0)
+	full10 := rtoRun(o, 10, 0)
+	ck1 := rtoRun(o, 1, rtoInterval)
+	ck10 := rtoRun(o, 10, rtoInterval)
+
+	for _, r := range []struct {
+		name string
+		res  rtoResult
+	}{{"full-1x", full1}, {"full-10x", full10}, {"ckpt-1x", ck1}, {"ckpt-10x", ck10}} {
+		if !r.res.conserved {
+			t.Fatalf("%s: post-recovery conservation violated (injected != deleted, "+
+				"root-log residue, or duplicate deliveries)", r.name)
+		}
+		if r.res.reexec == 0 && r.name[:4] == "full" {
+			t.Fatalf("%s: vacuous — full replay re-executed nothing", r.name)
+		}
+	}
+
+	// Control grows with history.
+	if full10.reexec < 3*full1.reexec {
+		t.Fatalf("full replay did not grow with history: reexec 1x=%d 10x=%d",
+			full1.reexec, full10.reexec)
+	}
+	// Checkpointed recovery stays flat (within 2x), in work and in time.
+	if ck10.reexec > 2*ck1.reexec {
+		t.Fatalf("checkpointed reexec not flat: 1x=%d 10x=%d", ck1.reexec, ck10.reexec)
+	}
+	if ck10.took > 2*ck1.took {
+		t.Fatalf("checkpointed recovery time not flat: 1x=%v 10x=%v", ck1.took, ck10.took)
+	}
+	// And it beats the control where it matters.
+	if ck10.reexec >= full10.reexec {
+		t.Fatalf("checkpointing did not reduce replay at 10x history: ckpt=%d full=%d",
+			ck10.reexec, full10.reexec)
+	}
+}

@@ -93,6 +93,18 @@ type ChainConfig struct {
 	StoreOpService time.Duration
 	// CheckpointEvery enables periodic store checkpoints.
 	CheckpointEvery time.Duration
+	// CheckpointInterval is the preferred spelling of CheckpointEvery
+	// (§5.4 durable checkpoints): when nonzero it wins over CheckpointEvery.
+	// Zero (with CheckpointEvery zero) disables checkpointing — recovery
+	// then replays the full WAL, byte-identical to pre-checkpoint behavior.
+	CheckpointInterval time.Duration
+	// CheckpointRetain is how many committed checkpoints each shard keeps
+	// (newest + fallbacks for torn/corrupt rejection); <=0 keeps 2.
+	CheckpointRetain int
+	// CheckpointWriteCost models the durable-write latency of one
+	// checkpoint: a crash inside the window leaves a torn checkpoint that
+	// recovery skips. Zero commits atomically.
+	CheckpointWriteCost time.Duration
 	// FlushEvery drives periodic per-flow cache flushes at clients.
 	FlushEvery time.Duration
 	// CoalesceWindow is passed to every store client (see
@@ -256,11 +268,7 @@ func New(cfg ChainConfig, spec ...VertexSpec) *Chain {
 	if nshards <= 0 {
 		nshards = 1
 	}
-	scfg := store.ServerConfig{
-		OpService:       cfg.StoreOpService,
-		CheckpointEvery: cfg.CheckpointEvery,
-		RootEndpoint:    "root0",
-	}
+	scfg := cfg.storeServerConfig("root0")
 	names := make([]string, nshards)
 	for i := 0; i < nshards; i++ {
 		names[i] = ShardEndpoint(i)
@@ -299,6 +307,23 @@ func New(cfg ChainConfig, spec ...VertexSpec) *Chain {
 
 func mustDecls(vs VertexSpec) []store.ObjDecl {
 	return vs.Make().Decls()
+}
+
+// storeServerConfig derives the shard-server configuration from the chain
+// config (used both at deployment and when RecoverStoreShard rebuilds a
+// crashed shard, so the replacement keeps the same checkpoint cadence).
+func (cfg ChainConfig) storeServerConfig(rootEndpoint string) store.ServerConfig {
+	every := cfg.CheckpointInterval
+	if every == 0 {
+		every = cfg.CheckpointEvery
+	}
+	return store.ServerConfig{
+		OpService:           cfg.StoreOpService,
+		CheckpointEvery:     every,
+		CheckpointRetain:    cfg.CheckpointRetain,
+		CheckpointWriteCost: cfg.CheckpointWriteCost,
+		RootEndpoint:        rootEndpoint,
+	}
 }
 
 // Sim exposes the simulator (experiments drive it directly). Nil when the

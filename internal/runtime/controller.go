@@ -63,6 +63,17 @@ type ControllerStatus struct {
 	AutoscalerEvals   uint64            `json:"autoscaler_evals"`
 	AutoscalerActions uint64            `json:"autoscaler_actions"`
 	AutoscalerLast    string            `json:"autoscaler_last,omitempty"`
+	// Checkpoints reports each shard's durable checkpoint area (§5.4);
+	// omitted when no shard has ever checkpointed.
+	Checkpoints []ShardCheckpointStatus `json:"checkpoints,omitempty"`
+}
+
+// ShardCheckpointStatus is one shard's checkpoint-area view: how many
+// checkpoints were taken, retained, left torn by crashes or rejected by
+// content-hash verification, and the newest checkpoint's content ID.
+type ShardCheckpointStatus struct {
+	Shard string `json:"shard"`
+	store.CheckpointStats
 }
 
 // lastActionCap bounds the action tail kept for Status.
@@ -157,6 +168,15 @@ func (ctl *Controller) Status() ControllerStatus {
 		if last != "" {
 			st.AutoscalerLast = last
 		}
+	}
+	for _, s := range ctl.chain.Stores {
+		cs := s.CheckpointStats()
+		if cs.Taken == 0 && cs.Torn == 0 {
+			continue
+		}
+		st.Checkpoints = append(st.Checkpoints, ShardCheckpointStatus{
+			Shard: s.Name, CheckpointStats: cs,
+		})
 	}
 	return st
 }

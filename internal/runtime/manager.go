@@ -300,24 +300,37 @@ func (c *Chain) RecoverStoreShard(idx int, rcfg StoreRecoveryConfig) (took time.
 					WAL:      in.client.WAL(),
 					ReadLog:  in.client.ReadLog(),
 					PerFlow:  in.client.CachedPerFlow(),
+					Dropped:  in.client.WALDropped()[shard],
 				}
 				clients = append(clients, cs.FilterForShard(c.pmap, shard))
 			}
 		}
+		// Newest checkpoint that passes content-hash verification and
+		// decodes; torn (begun-but-uncommitted) and corrupt entries are
+		// skipped, falling back to the previous stable checkpoint, or to
+		// full-WAL replay when none survives.
+		snap, _, _ := old.StableState().LatestVerified()
 		eng, n := store.RecoverEngine(store.RecoverInput{
-			Checkpoint: old.StableState().Checkpoint,
+			Checkpoint: snap,
 			Clients:    clients,
 		})
 		reexec = n
 		p.Sleep(time.Duration(n) * rcfg.PerOpCost)
 
 		c.tr.Restart(shard)
-		scfg := store.ServerConfig{
-			OpService:       c.cfg.StoreOpService,
-			CheckpointEvery: c.cfg.CheckpointEvery,
-			RootEndpoint:    c.Root.Endpoint,
-		}
+		scfg := c.cfg.storeServerConfig(c.Root.Endpoint)
 		ns := store.NewServerWithEngine(c.tr, shard, scfg, eng)
+		// The replacement keeps writing into the crashed instance's durable
+		// checkpoint area rather than starting an empty one.
+		ns.AdoptStable(old.StableState())
+		// The recovered engine covers each client's entire retained WAL
+		// (plus the truncated prefix before it); seed the position vector
+		// so the replacement's own checkpoints claim at least that much.
+		seedPos := make(map[uint16]uint64, len(clients))
+		for _, cs := range clients {
+			seedPos[cs.Instance] = cs.Dropped + uint64(len(cs.WAL))
+		}
+		ns.SeedPositions(seedPos)
 		for _, v := range c.Vertices {
 			ns.Declare(v.ID, v.Spec.Make().Decls())
 		}

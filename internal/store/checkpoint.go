@@ -1,0 +1,469 @@
+package store
+
+import (
+	"crypto/sha512"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"sort"
+	"sync"
+
+	"chc/internal/transport"
+)
+
+// This file implements durable, content-addressed checkpoints (§5.4 "the
+// store periodically checkpoints shared state"): a canonical (sorted-key)
+// binary encoding of an engine Snapshot, a c4-style content ID over that
+// encoding, and the Stable area a crashed store instance recovers from.
+// Identity IS the integrity check: a checkpoint whose stored bytes no
+// longer hash to its ID (bit rot, torn write) is rejected on load and
+// recovery falls back to the previous stable checkpoint.
+
+// snapshotMagic versions the canonical snapshot encoding.
+const snapshotMagic = "CHCK1"
+
+// defaultCheckpointRetain is how many committed checkpoints a shard keeps
+// when the config does not say: the newest plus one fallback.
+const defaultCheckpointRetain = 2
+
+// --- Canonical encoding ------------------------------------------------------
+
+func appendU16(b []byte, v uint16) []byte {
+	return append(b, byte(v>>8), byte(v))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	var x [8]byte
+	binary.BigEndian.PutUint64(x[:], v)
+	return append(b, x[:]...)
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendKeyBytes(b []byte, k Key) []byte {
+	b = appendU16(b, k.Vertex)
+	b = appendU16(b, k.Obj)
+	return appendU64(b, k.Sub)
+}
+
+func appendValueBytes(b []byte, v Value) []byte {
+	b = append(b, byte(v.Kind))
+	switch v.Kind {
+	case KindNil:
+	case KindInt:
+		b = appendU64(b, uint64(v.Int))
+	case KindFloat:
+		b = appendU64(b, math.Float64bits(v.Float))
+	case KindBytes:
+		b = appendUvarint(b, uint64(len(v.Bytes)))
+		b = append(b, v.Bytes...)
+	case KindList:
+		b = appendUvarint(b, uint64(len(v.List)))
+		for _, x := range v.List {
+			b = appendU64(b, uint64(x))
+		}
+	case KindMap:
+		// Sorted-keys idiom: map iteration order must never reach the
+		// encoding, or the same state would produce different content IDs.
+		fields := make([]string, 0, len(v.Map))
+		for f := range v.Map {
+			fields = append(fields, f)
+		}
+		sort.Strings(fields)
+		b = appendUvarint(b, uint64(len(fields)))
+		for _, f := range fields {
+			b = appendUvarint(b, uint64(len(f)))
+			b = append(b, f...)
+			b = appendU64(b, uint64(v.Map[f]))
+		}
+	}
+	return b
+}
+
+// EncodeSnapshot serializes a snapshot into its canonical form: entries and
+// owners sorted by key, the TS vector sorted by instance, map values by
+// field name. Equal snapshots encode to equal bytes regardless of map
+// iteration order, so the encoding is a stable content-address input.
+func EncodeSnapshot(s *Snapshot) []byte {
+	b := []byte(snapshotMagic)
+
+	keys := make([]Key, 0, len(s.Entries))
+	for k := range s.Entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	b = appendUvarint(b, uint64(len(keys)))
+	for _, k := range keys {
+		b = appendKeyBytes(b, k)
+		b = appendValueBytes(b, s.Entries[k])
+	}
+
+	okeys := make([]Key, 0, len(s.Owners))
+	for k := range s.Owners {
+		okeys = append(okeys, k)
+	}
+	sort.Slice(okeys, func(i, j int) bool { return okeys[i].Less(okeys[j]) })
+	b = appendUvarint(b, uint64(len(okeys)))
+	for _, k := range okeys {
+		b = appendKeyBytes(b, k)
+		b = appendU16(b, s.Owners[k])
+	}
+
+	b = appendInstVector(b, s.TS)
+	b = appendInstVector(b, s.Pos)
+	return b
+}
+
+// appendInstVector encodes a per-instance uint64 vector (TS clocks or WAL
+// positions) sorted by instance ID.
+func appendInstVector(b []byte, v map[uint16]uint64) []byte {
+	insts := make([]uint16, 0, len(v))
+	for i := range v {
+		insts = append(insts, i)
+	}
+	sort.Slice(insts, func(a, c int) bool { return insts[a] < insts[c] })
+	b = appendUvarint(b, uint64(len(insts)))
+	for _, i := range insts {
+		b = appendU16(b, i)
+		b = appendU64(b, v[i])
+	}
+	return b
+}
+
+// snapReader decodes the canonical encoding with bounds checking.
+type snapReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *snapReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *snapReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.fail("store: truncated snapshot at offset %d (want %d bytes)", r.off, n)
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *snapReader) u16() uint16 {
+	x := r.take(2)
+	if x == nil {
+		return 0
+	}
+	return uint16(x[0])<<8 | uint16(x[1])
+}
+
+func (r *snapReader) u64() uint64 {
+	x := r.take(8)
+	if x == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(x)
+}
+
+func (r *snapReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("store: bad varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *snapReader) key() Key {
+	return Key{Vertex: r.u16(), Obj: r.u16(), Sub: r.u64()}
+}
+
+func (r *snapReader) value() Value {
+	if r.err != nil {
+		return Value{}
+	}
+	kb := r.take(1)
+	if kb == nil {
+		return Value{}
+	}
+	v := Value{Kind: Kind(kb[0])}
+	switch v.Kind {
+	case KindNil:
+	case KindInt:
+		v.Int = int64(r.u64())
+	case KindFloat:
+		v.Float = math.Float64frombits(r.u64())
+	case KindBytes:
+		n := r.uvarint()
+		if x := r.take(int(n)); x != nil {
+			v.Bytes = append([]byte(nil), x...)
+		}
+	case KindList:
+		n := int(r.uvarint())
+		if r.err == nil && n*8 > len(r.b)-r.off {
+			r.fail("store: truncated list in snapshot")
+			return Value{}
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			v.List = append(v.List, int64(r.u64()))
+		}
+	case KindMap:
+		n := int(r.uvarint())
+		if r.err == nil && n > len(r.b)-r.off {
+			r.fail("store: truncated map in snapshot")
+			return Value{}
+		}
+		v.Map = make(map[string]int64, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			fl := r.uvarint()
+			f := r.take(int(fl))
+			v.Map[string(f)] = int64(r.u64())
+		}
+	default:
+		r.fail("store: unknown value kind %d in snapshot", kb[0])
+	}
+	return v
+}
+
+// DecodeSnapshot parses a canonical snapshot encoding.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < len(snapshotMagic) || string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, errors.New("store: not a snapshot encoding (bad magic)")
+	}
+	r := &snapReader{b: data, off: len(snapshotMagic)}
+	s := &Snapshot{
+		Entries: make(map[Key]Value),
+		Owners:  make(map[Key]uint16),
+		TS:      make(map[uint16]uint64),
+		Pos:     make(map[uint16]uint64),
+	}
+	ne := int(r.uvarint())
+	for i := 0; i < ne && r.err == nil; i++ {
+		k := r.key()
+		s.Entries[k] = r.value()
+	}
+	no := int(r.uvarint())
+	for i := 0; i < no && r.err == nil; i++ {
+		k := r.key()
+		s.Owners[k] = r.u16()
+	}
+	nt := int(r.uvarint())
+	for i := 0; i < nt && r.err == nil; i++ {
+		inst := r.u16()
+		s.TS[inst] = r.u64()
+	}
+	np := int(r.uvarint())
+	for i := 0; i < np && r.err == nil; i++ {
+		inst := r.u16()
+		s.Pos[inst] = r.u64()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("store: %d trailing bytes after snapshot", len(data)-r.off)
+	}
+	return s, nil
+}
+
+// --- Content-addressed identity ----------------------------------------------
+
+// b58Alphabet is the Bitcoin base58 alphabet the c4 ID scheme uses (no
+// 0/O/I/l, so IDs survive transcription).
+const b58Alphabet = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
+
+// c4IDLen is the fixed length of a c4 ID: "c4" plus 88 base58 digits
+// (enough for any SHA-512 digest), zero-padded with '1'.
+const c4IDLen = 90
+
+// Identify computes the c4-style content ID of an encoded snapshot: the
+// SHA-512 digest rendered as a fixed-width, '1'-padded base58 string with a
+// "c4" prefix. Two byte strings share an ID iff they are equal, so the ID
+// doubles as the load-time integrity check.
+func Identify(data []byte) string {
+	sum := sha512.Sum512(data)
+	x := new(big.Int).SetBytes(sum[:])
+	radix := big.NewInt(58)
+	mod := new(big.Int)
+	digits := make([]byte, 0, c4IDLen-2)
+	for x.Sign() > 0 {
+		x.DivMod(x, radix, mod)
+		digits = append(digits, b58Alphabet[mod.Int64()])
+	}
+	for len(digits) < c4IDLen-2 {
+		digits = append(digits, '1')
+	}
+	// digits are least-significant first; reverse into place.
+	for i, j := 0, len(digits)-1; i < j; i, j = i+1, j-1 {
+		digits[i], digits[j] = digits[j], digits[i]
+	}
+	return "c4" + string(digits)
+}
+
+// --- Stable checkpoint area --------------------------------------------------
+
+// StoredCheckpoint is one durable snapshot: its content ID, the canonical
+// encoding it addresses, when it was taken, and whether the write committed
+// (a begin with no commit is a torn write — the process died mid-flush —
+// and is never loaded).
+type StoredCheckpoint struct {
+	ID        string
+	Data      []byte
+	At        transport.Time
+	Committed bool
+	// TS and Pos are the covering TS/position vectors of the snapshot
+	// (decoded metadata, kept alongside so the truncation horizon can be
+	// computed without re-decoding Data).
+	TS  map[uint16]uint64
+	Pos map[uint16]uint64
+}
+
+// Verify recomputes the content ID over the stored bytes: false means the
+// checkpoint is torn (never committed) or corrupt (bytes no longer hash to
+// the ID it was committed under).
+func (ck *StoredCheckpoint) Verify() bool {
+	return ck.Committed && Identify(ck.Data) == ck.ID
+}
+
+// Stable is the durable part of a store instance that survives a crash of
+// the serving process (the paper checkpoints to stable storage / a replica;
+// a crashed instance's in-memory state is lost but its checkpoints are
+// recoverable). It holds the retained checkpoints oldest-to-newest, guarded
+// for the live substrate where the checkpointer proc and a recovery run
+// concurrently.
+type Stable struct {
+	mu    sync.Mutex
+	ckpts []*StoredCheckpoint
+	// taken counts checkpoints ever committed; rejected counts committed
+	// checkpoints that later failed content-hash verification at load.
+	taken    uint64
+	rejected uint64
+}
+
+// begin appends an in-progress (uncommitted) checkpoint: the durable write
+// has started but not yet completed. A crash before commit leaves the entry
+// torn, and LatestVerified skips it.
+func (st *Stable) begin(ck *StoredCheckpoint) {
+	st.mu.Lock()
+	st.ckpts = append(st.ckpts, ck)
+	st.mu.Unlock()
+}
+
+// commit marks a begun checkpoint durable and prunes the area to the last
+// retain committed checkpoints (torn leftovers from older incarnations are
+// dropped too — a newer committed checkpoint always supersedes them).
+func (st *Stable) commit(ck *StoredCheckpoint, retain int) {
+	if retain <= 0 {
+		retain = defaultCheckpointRetain
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ck.Committed = true
+	st.taken++
+	kept := make([]*StoredCheckpoint, 0, retain)
+	for i := len(st.ckpts) - 1; i >= 0 && len(kept) < retain; i-- {
+		if st.ckpts[i].Committed {
+			kept = append(kept, st.ckpts[i])
+		}
+	}
+	for i, j := 0, len(kept)-1; i < j; i, j = i+1, j-1 {
+		kept[i], kept[j] = kept[j], kept[i]
+	}
+	st.ckpts = kept
+}
+
+// truncationHorizon returns the OLDEST retained committed checkpoint —
+// the safe WAL-truncation horizon. Truncating behind the newest checkpoint
+// would make retention pointless: if the newest snapshot is later found
+// torn or corrupt, recovery falls back to an older one and needs the WAL
+// to still cover the gap between the two.
+func (st *Stable) truncationHorizon() *StoredCheckpoint {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, ck := range st.ckpts {
+		if ck.Committed {
+			return ck
+		}
+	}
+	return nil
+}
+
+// Checkpoints returns the retained checkpoints, oldest to newest (tests and
+// diagnostics; the entries are the live structs, so fault-injection tests
+// can corrupt Data in place).
+func (st *Stable) Checkpoints() []*StoredCheckpoint {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]*StoredCheckpoint(nil), st.ckpts...)
+}
+
+// LatestVerified walks the retained checkpoints newest-first and returns
+// the first that verifies and decodes, with how many entries were skipped
+// on the way (torn writes and corrupt checkpoints). Returns (nil, nil, n)
+// when no checkpoint survives — recovery then replays the full WAL.
+func (st *Stable) LatestVerified() (*Snapshot, *StoredCheckpoint, int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	skipped := 0
+	for i := len(st.ckpts) - 1; i >= 0; i-- {
+		ck := st.ckpts[i]
+		if !ck.Verify() {
+			skipped++
+			if ck.Committed {
+				st.rejected++
+			}
+			continue
+		}
+		snap, err := DecodeSnapshot(ck.Data)
+		if err != nil {
+			skipped++
+			st.rejected++
+			continue
+		}
+		return snap, ck, skipped
+	}
+	return nil, nil, skipped
+}
+
+// CheckpointStats is the externally visible state of a shard's checkpoint
+// area (admin status, chcd -json).
+type CheckpointStats struct {
+	Taken    uint64         `json:"taken"`
+	Retained int            `json:"retained"`
+	Torn     int            `json:"torn,omitempty"`
+	Rejected uint64         `json:"rejected,omitempty"`
+	LastID   string         `json:"last_id,omitempty"`
+	LastAt   transport.Time `json:"last_at_ns,omitempty"`
+}
+
+// Stats snapshots the checkpoint area's counters.
+func (st *Stable) Stats() CheckpointStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cs := CheckpointStats{Taken: st.taken, Rejected: st.rejected}
+	for _, ck := range st.ckpts {
+		if ck.Committed {
+			cs.Retained++
+			cs.LastID = ck.ID
+			cs.LastAt = ck.At
+		} else {
+			cs.Torn++
+		}
+	}
+	return cs
+}

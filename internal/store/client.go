@@ -129,10 +129,15 @@ type Client struct {
 	coTimer     bool
 	coalesceOff bool
 
-	// Recovery metadata.
-	wal       []WalOp
-	readLog   []ReadRecord
-	flushProc transport.Handle
+	// Recovery metadata. walCount counts WAL entries ever logged per
+	// shard (the position piggybacked on outgoing ops); walDropped counts
+	// entries already truncated per shard, so absolute positions in
+	// checkpoints map onto the retained WAL.
+	wal        []WalOp
+	walCount   map[string]uint64
+	walDropped map[string]uint64
+	readLog    []ReadRecord
+	flushProc  transport.Handle
 
 	// Handover waits: per-flow keys whose release we are waiting on.
 	ownerWait map[Key]transport.Signal
@@ -191,6 +196,8 @@ func NewClient(net transport.Transport, cfg ClientConfig) *Client {
 		decls:       make(map[uint16]ObjDecl),
 		cache:       make(map[Key]*cacheEntry),
 		pending:     make(map[uint64]AsyncOp),
+		walCount:    make(map[string]uint64),
+		walDropped:  make(map[string]uint64),
 		co:          make(map[coKey]*Request),
 		coalesceOff: coalesceOff,
 		ownerWait:   make(map[Key]transport.Signal),
@@ -215,6 +222,20 @@ func (c *Client) WAL() []WalOp {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return append([]WalOp(nil), c.wal...)
+}
+
+// WALDropped returns, per shard, how many of this client's WAL entries
+// checkpoints have already truncated: positions stamped in checkpoints are
+// absolute counts, and recovery subtracts this base to index the retained
+// WAL.
+func (c *Client) WALDropped() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]uint64, len(c.walDropped))
+	for s, n := range c.walDropped {
+		out[s] = n
+	}
+	return out
 }
 
 // PendingAcks reports async operations not yet acknowledged.
@@ -390,6 +411,7 @@ func (c *Client) call(p transport.Proc, req *Request) (Reply, bool) {
 // "NFs do not even wait for the ACK ... the framework handles operation
 // retransmission if an ACK is not received before a timeout").
 func (c *Client) async(req *Request) {
+	c.stampWalPos(req)
 	c.AsyncOps++
 	c.seq++
 	op := AsyncOp{Req: req, Seq: c.seq, From: c.cfg.Endpoint}
@@ -440,40 +462,65 @@ func (c *Client) HandleMessage(payload any) bool {
 		}
 		return true
 	case TruncateMsg:
-		c.truncate(m.Shard, m.TS)
+		c.truncate(m.Shard, m.TS, m.Pos)
 		return true
 	}
 	return false
 }
 
-// truncate drops the WAL prefix covered by one shard's checkpoint. The TS
-// clock is a position marker: among this client's ops OWNED BY THAT SHARD
-// (in issue order), everything up to and including the clock's last
-// occurrence has been executed there. Entries for other shards are never
-// touched — their checkpoints cover them separately. An empty shard name
-// (single-server tier, tests) covers every key.
-func (c *Client) truncate(shard string, ts map[uint16]uint64) {
+// truncate drops the WAL prefix covered by one shard's checkpoint.
+// Preferred marker is the positional vector pos: the checkpoint covers the
+// first pos[instance] of this client's ops OWNED BY THAT SHARD (in issue
+// order), counted from the client's birth; c.walDropped maps that absolute
+// count onto the retained slice. When the message carries no positions
+// (older peers, hand-built tests), the TS clock's last occurrence is used
+// instead — correct only when clocks are unique per instance WAL. Entries
+// for other shards are never touched — their checkpoints cover them
+// separately. An empty shard name (single-server tier, tests) covers every
+// key.
+func (c *Client) truncate(shard string, ts, pos map[uint16]uint64) {
+	owns := func(k Key) bool { return shard == "" || c.shardFor(k) == shard }
 	upto := ts[c.cfg.Instance]
+	if len(pos) > 0 {
+		covered := pos[c.cfg.Instance]
+		drop := int64(covered) - int64(c.walDropped[shard])
+		if drop > 0 {
+			kept := make([]WalOp, 0, len(c.wal))
+			var dropped int64
+			for _, w := range c.wal {
+				if dropped < drop && owns(w.Req.Key) {
+					dropped++
+					continue
+				}
+				kept = append(kept, w)
+			}
+			c.wal = kept
+			c.walDropped[shard] += uint64(dropped)
+		}
+	} else if upto != 0 {
+		cut := -1
+		for i := len(c.wal) - 1; i >= 0; i-- {
+			if owns(c.wal[i].Req.Key) && c.wal[i].Clock == upto {
+				cut = i
+				break
+			}
+		}
+		if cut >= 0 {
+			kept := make([]WalOp, 0, len(c.wal))
+			var dropped uint64
+			for i, w := range c.wal {
+				if i <= cut && owns(w.Req.Key) {
+					dropped++
+					continue
+				}
+				kept = append(kept, w)
+			}
+			c.wal = kept
+			c.walDropped[shard] += dropped
+		}
+	}
 	if upto == 0 {
 		return
-	}
-	owns := func(k Key) bool { return shard == "" || c.shardFor(k) == shard }
-	cut := -1
-	for i := len(c.wal) - 1; i >= 0; i-- {
-		if owns(c.wal[i].Req.Key) && c.wal[i].Clock == upto {
-			cut = i
-			break
-		}
-	}
-	if cut >= 0 {
-		kept := make([]WalOp, 0, len(c.wal))
-		for i, w := range c.wal {
-			if i <= cut && owns(w.Req.Key) {
-				continue
-			}
-			kept = append(kept, w)
-		}
-		c.wal = kept
 	}
 	// Reads of this shard's keys issued at or before the covered clock can
 	// no longer win the TS selection against the checkpoint; drop them
@@ -488,12 +535,23 @@ func (c *Client) truncate(shard string, ts map[uint16]uint64) {
 	c.readLog = keptR
 }
 
-// logWal appends a shared-state mutation to the client WAL.
+// logWal appends a shared-state mutation to the client WAL and advances
+// the target shard's WAL position counter.
 func (c *Client) logWal(req Request) {
 	if req.Clock == 0 {
 		return
 	}
 	c.wal = append(c.wal, WalOp{Clock: req.Clock, Req: req})
+	c.walCount[c.shardFor(req.Key)]++
+}
+
+// stampWalPos records the current WAL position of the request's shard on
+// the request, so the store learns exactly how much of this client's WAL
+// stream the op's arrival covers (FIFO links: every earlier entry has
+// been delivered by then). Must run after the op — and, for batches,
+// every absorbed entry — has been WAL-logged.
+func (c *Client) stampWalPos(req *Request) {
+	req.WalPos = c.walCount[c.shardFor(req.Key)]
 }
 
 // --- State operations used by NF code ---------------------------------------
@@ -570,6 +628,7 @@ func (c *Client) Update(p transport.Proc, req Request) {
 	// Non-blocking op, but wait for the ACK (models #1/#2): one RTT, no
 	// lock contention since the store serializes (§4.3).
 	r := req
+	c.stampWalPos(&r)
 	rep, ok := c.call(p, &r)
 	if ok && rep.OK && c.cfg.Mode.Cache && StrategyFor(d) == StratCacheCallback {
 		// The updater receives the updated object in its reply (§4.3).
@@ -600,6 +659,7 @@ func (c *Client) UpdateBlocking(p transport.Proc, req Request) (Reply, bool) {
 	// position markers store recovery relies on assume it does).
 	c.flushCoalesced()
 	c.logWal(req)
+	c.stampWalPos(&req)
 	rep, ok := c.call(p, &req)
 	if ok && rep.OK && c.cfg.Mode.Cache && StrategyFor(d) == StratCacheCallback {
 		e.val = rep.Val

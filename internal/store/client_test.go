@@ -345,7 +345,7 @@ func TestWALTruncationOnCheckpoint(t *testing.T) {
 	if len(c.WAL()) != 0 {
 		t.Fatalf("WAL has %d entries after checkpoint truncation", len(c.WAL()))
 	}
-	if srv.StableState().Checkpoint == nil {
+	if snap, _, _ := srv.StableState().LatestVerified(); snap == nil {
 		t.Fatal("no checkpoint taken")
 	}
 }

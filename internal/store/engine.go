@@ -83,6 +83,15 @@ type Request struct {
 	WantTS   bool       // include the TS vector in the reply (reads, Fig 7)
 	NonBlock bool       // non-blocking semantics (§4.3)
 
+	// WalPos is the issuing client's WAL position for the target shard
+	// after logging this request (count of that shard's WAL entries ever
+	// logged, including this op's). Clocks alone cannot mark a WAL
+	// position: one packet's ops reach the wire at different times (cache
+	// flush vs coalesced flush), so the same clock can occur at several
+	// WAL positions. The store keeps the max per instance and stamps it
+	// into checkpoints as the exact replay-resume/truncation point.
+	WalPos uint64
+
 	// Batch holds increments coalesced onto this request after the head op
 	// (client-side op batching, OpIncr/OpMapIncr only), in issue order.
 	Batch []BatchEntry
@@ -671,6 +680,13 @@ type Snapshot struct {
 	Entries map[Key]Value
 	Owners  map[Key]uint16
 	TS      map[uint16]uint64
+	// Pos records, per instance, how many of that instance's WAL entries
+	// (for this shard) the state covers. The server stamps it at
+	// checkpoint time; the engine itself does not track it. Unlike the TS
+	// clock vector — whose clocks can occur at several WAL positions when
+	// flush paths reorder a packet's ops — Pos identifies the replay
+	// resume point exactly.
+	Pos map[uint16]uint64
 }
 
 // Snapshot deep-copies matching state.

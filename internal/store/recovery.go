@@ -19,6 +19,12 @@ import "sort"
 type TSCandidate struct {
 	TS  map[uint16]uint64
 	Val Value
+	// Pos, when non-nil, gives the candidate's exact per-instance WAL
+	// positions (checkpoint candidates carry it; logged reads only have
+	// clock vectors). Replay resumes from these positions instead of
+	// searching for the TS clock, which is ambiguous when one packet's ops
+	// occupy several WAL positions.
+	Pos map[uint16]uint64
 }
 
 // tsContains reports whether clock c appears among ts's per-instance clocks.
@@ -107,6 +113,11 @@ type ClientState struct {
 	WAL      []WalOp
 	ReadLog  []ReadRecord
 	PerFlow  map[Key]Value
+	// Dropped is how many of this instance's WAL entries for the failed
+	// shard were already truncated by checkpoints: checkpoint position
+	// vectors are absolute counts, and Dropped maps them onto the
+	// retained (filtered) WAL slice.
+	Dropped uint64
 }
 
 // FilterForShard restricts a client's recovery view to the keys the
@@ -114,7 +125,7 @@ type ClientState struct {
 // that shard's slice of each client WAL/read-log/cache, so recovery replays
 // only the failed shard's operations and never perturbs surviving shards.
 func (cs ClientState) FilterForShard(pm *PartitionMap, shard string) ClientState {
-	out := ClientState{Instance: cs.Instance}
+	out := ClientState{Instance: cs.Instance, Dropped: cs.Dropped}
 	for _, w := range cs.WAL {
 		if pm.ShardFor(w.Req.Key) == shard {
 			out.WAL = append(out.WAL, w)
@@ -149,11 +160,18 @@ func RecoverEngine(in RecoverInput) (*Engine, int) {
 		e.Restore(in.Checkpoint)
 	}
 
-	// 1) Per-flow state straight from NF caches (Theorem B.5.1).
+	// 1) Per-flow state straight from NF caches (Theorem B.5.1). Cache-held
+	// keys are authoritative: their WAL entries are flush echoes of cache
+	// state, so step 2 must not roll them back — and when such a key is
+	// covered by a checkpoint's TS, the checkpoint (which deliberately
+	// excludes per-flow state) must not delete it either. WAL replay
+	// remains the fallback for per-flow keys no surviving cache holds.
+	cacheOwned := make(map[Key]bool)
 	for _, cl := range in.Clients {
 		for k, v := range cl.PerFlow {
 			e.Apply(&Request{Op: OpSet, Key: k, Arg: v})
 			e.Apply(&Request{Op: OpAssociate, Key: k, Instance: cl.Instance})
+			cacheOwned[k] = true
 		}
 	}
 
@@ -164,12 +182,19 @@ func RecoverEngine(in RecoverInput) (*Engine, int) {
 	// the WAL position of the selected TS clock.
 	fullWAL := make(map[uint16][]WalOp)
 	clockLogs := make(map[uint16][]uint64)
+	dropped := make(map[uint16]uint64)
 	keySet := make(map[Key]bool)
 	for _, cl := range in.Clients {
+		dropped[cl.Instance] = cl.Dropped
 		for _, w := range cl.WAL {
+			// The full stream still feeds the position logs (TS clocks are
+			// positions in the issue-ordered WAL); only the per-key
+			// re-initialization below skips cache-owned keys.
 			fullWAL[cl.Instance] = append(fullWAL[cl.Instance], w)
 			clockLogs[cl.Instance] = append(clockLogs[cl.Instance], w.Clock)
-			keySet[w.Req.Key] = true
+			if !cacheOwned[w.Req.Key] {
+				keySet[w.Req.Key] = true
+			}
 		}
 	}
 	readsByKey := make(map[Key][]ReadRecord)
@@ -194,8 +219,30 @@ func RecoverEngine(in RecoverInput) (*Engine, int) {
 		}
 		return -1
 	}
+	// posCutoff is the exact variant for candidates carrying a position
+	// vector (checkpoints): the candidate covers the first pos[inst] of the
+	// instance's WAL entries, counted from the client's birth; subtracting
+	// the already-truncated prefix indexes the retained slice.
+	posCutoff := func(inst uint16, pos map[uint16]uint64) int {
+		from := int(int64(pos[inst])-int64(dropped[inst])) - 1
+		if wal := fullWAL[inst]; from >= len(wal) {
+			from = len(wal) - 1
+		}
+		if from < -1 {
+			from = -1
+		}
+		return from
+	}
 
 	reexec := 0
+	// Deterministic instance order for the per-key WAL walk below: ranging
+	// over fullWAL directly would let map iteration order pick the relative
+	// order of equal-clock ops from different instances.
+	insts := make([]uint16, 0, len(fullWAL))
+	for inst := range fullWAL {
+		insts = append(insts, inst)
+	}
+	sort.Slice(insts, func(a, b int) bool { return insts[a] < insts[b] })
 	keys := make([]Key, 0, len(keySet))
 	for k := range keySet {
 		keys = append(keys, k)
@@ -218,7 +265,7 @@ func RecoverEngine(in RecoverInput) (*Engine, int) {
 		var cands []TSCandidate
 		if in.Checkpoint != nil {
 			v := in.Checkpoint.Entries[k]
-			cands = append(cands, TSCandidate{TS: in.Checkpoint.TS, Val: v})
+			cands = append(cands, TSCandidate{TS: in.Checkpoint.TS, Val: v, Pos: in.Checkpoint.Pos})
 		} else {
 			cands = append(cands, TSCandidate{TS: map[uint16]uint64{}, Val: Value{}})
 		}
@@ -237,22 +284,44 @@ func RecoverEngine(in RecoverInput) (*Engine, int) {
 		} else {
 			e.Apply(&Request{Op: OpSet, Key: k, Arg: start.Val})
 		}
-		var pendingOps []WalOp
-		for inst, wal := range fullWAL {
-			from := cutoff(inst, start.TS[inst])
+		type pendingOp struct {
+			op   WalOp
+			inst uint16
+			idx  int
+		}
+		var pendingOps []pendingOp
+		for _, inst := range insts {
+			wal := fullWAL[inst]
+			var from int
+			if len(start.Pos) > 0 {
+				from = posCutoff(inst, start.Pos)
+			} else {
+				from = cutoff(inst, start.TS[inst])
+			}
 			for i := from + 1; i < len(wal); i++ {
 				if wal[i].Req.Key == k {
-					pendingOps = append(pendingOps, wal[i])
+					pendingOps = append(pendingOps, pendingOp{wal[i], inst, i})
 				}
 			}
 		}
 		// "The store applies updates in the background, and this update
 		// order is unknown to NF instances" — any serialization is a
-		// plausible pre-failure order (Theorem B.5.2); replay in clock
-		// order for determinism.
-		sort.Slice(pendingOps, func(a, b int) bool { return pendingOps[a].Clock < pendingOps[b].Clock })
+		// plausible pre-failure order (Theorem B.5.2); replay in a TOTAL
+		// order for determinism: clock, then instance, then WAL position
+		// (clock alone would tie-break equal clocks from different
+		// instances on map iteration order).
+		sort.Slice(pendingOps, func(a, b int) bool {
+			pa, pb := pendingOps[a], pendingOps[b]
+			if pa.op.Clock != pb.op.Clock {
+				return pa.op.Clock < pb.op.Clock
+			}
+			if pa.inst != pb.inst {
+				return pa.inst < pb.inst
+			}
+			return pa.idx < pb.idx
+		})
 		for _, w := range pendingOps {
-			req := w.Req
+			req := w.op.Req
 			e.Apply(&req)
 			reexec++
 		}

@@ -63,9 +63,14 @@ type PruneMsg struct{ Clock uint64 }
 
 // TruncateMsg tells clients a checkpoint at shard Shard covered ops up to
 // TS; WAL entries for that shard's keys at or before their instance's clock
-// can be discarded. Entries for other shards are unaffected.
+// can be discarded. Entries for other shards are unaffected. Pos carries
+// the exact per-instance WAL positions the checkpoint covers (count of
+// each client's entries for this shard); clients prefer it over the TS
+// clocks, which can be ambiguous position markers (one packet's ops can
+// occupy several WAL positions when flush paths reorder them).
 type TruncateMsg struct {
 	TS    map[uint16]uint64
+	Pos   map[uint16]uint64
 	Shard string
 }
 
@@ -77,6 +82,13 @@ type ServerConfig struct {
 	// CheckpointEvery enables periodic shared-state checkpoints (§5.4).
 	// Zero disables checkpointing.
 	CheckpointEvery time.Duration
+	// CheckpointRetain is how many committed checkpoints the Stable area
+	// keeps (newest + fallbacks); <=0 means defaultCheckpointRetain.
+	CheckpointRetain int
+	// CheckpointWriteCost models the durable-write latency of one
+	// checkpoint: the window between begin and commit during which a crash
+	// leaves a torn checkpoint. Zero commits atomically.
+	CheckpointWriteCost time.Duration
 	// RootEndpoint receives CommitMsg signals; empty disables them.
 	RootEndpoint string
 }
@@ -84,15 +96,6 @@ type ServerConfig struct {
 // DefaultServerConfig mirrors the paper's prototype datastore.
 func DefaultServerConfig() ServerConfig {
 	return ServerConfig{OpService: 200 * time.Nanosecond}
-}
-
-// Stable is the durable part of a store instance that survives a crash of
-// the serving process: the latest checkpoint (the paper checkpoints to
-// stable storage / a replica; a crashed instance's in-memory state is lost
-// but its last checkpoint is recoverable).
-type Stable struct {
-	Checkpoint *Snapshot
-	CkptTime   transport.Time
 }
 
 // Server is a datastore instance: an Engine behind a transport endpoint,
@@ -116,6 +119,23 @@ type Server struct {
 	// (at-most-once execution even after the packet's duplicate-
 	// suppression log entry was pruned by a root delete).
 	appliedSeqs map[string]map[uint64]struct{}
+	// clients records every endpoint that has issued an op, so the
+	// checkpointer's TruncateMsg fan-out reaches all WAL holders, not just
+	// callback registrants.
+	clients map[string]bool
+
+	// applyMu makes (engine apply + position note) atomic against the
+	// checkpointer's (snapshot + position capture): a checkpoint's Pos
+	// vector must count exactly the ops its snapshot contains, or replay
+	// after recovery would double- or under-apply the boundary ops. On the
+	// DES the two procs never interleave mid-message anyway; live mode
+	// needs the lock.
+	applyMu sync.Mutex
+	// pos tracks, per instance, the highest WAL position covered by ops
+	// applied so far (clients stamp their per-shard WAL position on each
+	// op; FIFO links make "applied op with WalPos=n" imply "first n WAL
+	// entries delivered").
+	pos map[uint16]uint64
 
 	stable  *Stable
 	proc    transport.Handle
@@ -156,6 +176,8 @@ func NewServer(net transport.Transport, name string, cfg ServerConfig) *Server {
 		callbacks:   make(map[Key]map[uint16]string),
 		ownWatch:    make(map[Key]map[uint16]string),
 		appliedSeqs: make(map[string]map[uint64]struct{}),
+		clients:     make(map[string]bool),
+		pos:         make(map[uint16]uint64),
 		stable:      &Stable{},
 	}
 	s.engine.SetNowFn(func() int64 { return int64(net.Now()) })
@@ -172,6 +194,18 @@ func (s *Server) Engine() *Engine { return s.engine }
 
 // StableState returns the crash-surviving checkpoint area.
 func (s *Server) StableState() *Stable { return s.stable }
+
+// AdoptStable hands an existing checkpoint area to this server (store
+// failover: the replacement instance keeps writing into the crashed
+// instance's durable storage instead of starting an empty one).
+func (s *Server) AdoptStable(st *Stable) {
+	if st != nil {
+		s.stable = st
+	}
+}
+
+// CheckpointStats reports the checkpoint area's counters (admin status).
+func (s *Server) CheckpointStats() CheckpointStats { return s.stable.Stats() }
 
 // Declare registers a vertex's state objects so the server can tell shared
 // from per-flow state (checkpoint filtering) and strategy from pattern.
@@ -247,24 +281,36 @@ func (s *Server) run(p transport.Proc) {
 			}
 			p.Sleep(s.cfg.OpService)
 			s.OpsServed++
+			s.noteClient(pl.From())
 			if req.RegisterCB {
 				s.registerCallback(req.Key, req.Instance, pl.From())
 			}
 			if req.WatchOwner {
 				s.registerOwnerWatch(req.Key, req.Instance, pl.From())
 			}
+			s.applyMu.Lock()
 			rep := s.engine.Apply(req)
+			if !rep.Conflict {
+				s.notePos(req.Instance, req.WalPos)
+			}
+			s.applyMu.Unlock()
 			pl.Reply(rep, 16+rep.Val.wireSize())
 		case AsyncOp:
 			p.Sleep(s.cfg.OpService)
 			s.AsyncServed++
+			s.noteClient(pl.From)
 			seen := s.appliedSeqs[pl.From]
 			if seen == nil {
 				seen = make(map[uint64]struct{})
 				s.appliedSeqs[pl.From] = seen
 			}
 			if _, dup := seen[pl.Seq]; !dup {
+				s.applyMu.Lock()
 				rep := s.engine.Apply(pl.Req)
+				if !rep.Conflict {
+					s.notePos(pl.Req.Instance, pl.Req.WalPos)
+				}
+				s.applyMu.Unlock()
 				if rep.Conflict {
 					// Transient ownership conflict: mid-handover, the new
 					// instance can issue (or flush) ops for a flow whose
@@ -283,7 +329,9 @@ func (s *Server) run(p transport.Proc) {
 			s.net.Send(transport.Message{From: s.Name, To: pl.From, Payload: AckMsg{Seq: pl.Seq}, Size: 12})
 		case OwnerSeedMsg:
 			p.Sleep(s.cfg.OpService)
+			s.applyMu.Lock()
 			s.engine.Apply(&Request{Op: OpAssociate, Key: pl.Key, Instance: pl.Instance})
+			s.applyMu.Unlock()
 		case PruneMsg:
 			s.engine.PruneClock(pl.Clock)
 		}
@@ -293,25 +341,52 @@ func (s *Server) run(p transport.Proc) {
 func (s *Server) runCheckpointer(p transport.Proc) {
 	for {
 		p.Sleep(s.cfg.CheckpointEvery)
-		s.checkpoint()
+		s.checkpoint(p)
 	}
 }
 
-// checkpoint snapshots shared state + TS into stable storage and tells
-// clients to truncate their WALs.
-func (s *Server) checkpoint() {
+// checkpoint snapshots shared state + TS into stable storage as a
+// content-addressed checkpoint, then tells clients to truncate their WALs.
+// The durable write is two-phase: begin records the in-progress checkpoint,
+// the (optional) write-cost sleep models the flush, commit makes it
+// loadable — a crash inside the window leaves a torn entry that
+// LatestVerified skips. The truncation horizon is the OLDEST retained
+// checkpoint's TS, not this one's: retained WAL must keep covering the
+// span back to every snapshot recovery could still fall back to.
+func (s *Server) checkpoint(p transport.Proc) {
+	// Snapshot and position vector must be captured atomically against
+	// applies (applyMu): Pos asserts exactly which WAL prefix the snapshot
+	// contains.
+	s.applyMu.Lock()
 	snap := s.engine.Snapshot(s.isShared)
+	snap.Pos = make(map[uint16]uint64, len(s.pos))
+	for inst, n := range s.pos {
+		snap.Pos[inst] = n
+	}
+	s.applyMu.Unlock()
+	data := EncodeSnapshot(snap)
+	ck := &StoredCheckpoint{ID: Identify(data), Data: data, At: s.net.Now(), TS: snap.TS, Pos: snap.Pos}
+	s.stable.begin(ck)
+	if s.cfg.CheckpointWriteCost > 0 && p != nil {
+		p.Sleep(s.cfg.CheckpointWriteCost)
+	}
+	s.stable.commit(ck, s.cfg.CheckpointRetain)
+
 	s.regMu.Lock()
-	s.stable.Checkpoint = snap
-	s.stable.CkptTime = s.net.Now()
 	eps := make(map[string]bool)
+	for ep := range s.clients {
+		eps[ep] = true
+	}
 	for _, insts := range s.callbacks {
 		for _, ep := range insts {
 			eps[ep] = true
 		}
 	}
 	s.regMu.Unlock()
-	ts := snap.TS
+	horizon := s.stable.truncationHorizon()
+	if horizon == nil || len(horizon.TS) == 0 {
+		return
+	}
 	// Sorted-keys idiom: the truncate fan-out order is scheduling input on
 	// the DES, so it must not depend on map iteration order.
 	sorted := make([]string, 0, len(eps))
@@ -319,9 +394,43 @@ func (s *Server) checkpoint() {
 		sorted = append(sorted, ep)
 	}
 	sort.Strings(sorted)
+	msg := TruncateMsg{TS: horizon.TS, Pos: horizon.Pos, Shard: s.Name}
 	for _, ep := range sorted {
-		s.net.Send(transport.Message{From: s.Name, To: ep, Payload: TruncateMsg{TS: ts, Shard: s.Name}, Size: 8 * (len(ts) + 1)})
+		s.net.Send(transport.Message{From: s.Name, To: ep, Payload: msg, Size: 8 * (len(msg.TS) + len(msg.Pos) + 1)})
 	}
+}
+
+// notePos records an applied op's WAL-position stamp. Positions only move
+// forward: a retransmission carries its original (older) stamp and must
+// not rewind the vector. Callers hold applyMu.
+func (s *Server) notePos(inst uint16, wp uint64) {
+	if inst == 0 || wp == 0 {
+		return
+	}
+	if wp > s.pos[inst] {
+		s.pos[inst] = wp
+	}
+}
+
+// SeedPositions initializes the position vector of a replacement server:
+// the recovered engine already covers each client's entire retained WAL
+// (plus everything truncated before it), so the next checkpoint must claim
+// at least that much. Without the seed, an op retransmitted across the
+// failover would re-stamp an old position onto a fresh vector and a later
+// checkpoint would under-claim, making recovery double-replay ops the
+// checkpoint already contains.
+func (s *Server) SeedPositions(pos map[uint16]uint64) {
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	for inst, n := range pos {
+		s.notePos(inst, n)
+	}
+}
+
+func (s *Server) noteClient(ep string) {
+	s.regMu.Lock()
+	s.clients[ep] = true
+	s.regMu.Unlock()
 }
 
 func (s *Server) registerCallback(k Key, inst uint16, ep string) {
