@@ -256,3 +256,20 @@ func BenchmarkLive(b *testing.B) {
 		b.ReportMetric(metric(tb, []string{"pkts/s (ingest)"}, 1, ""), "live-pps")
 	}
 }
+
+// BenchmarkLiveHotPath measures the zero-alloc burst hot path: arena
+// buffers cycling through SendBurst on the live substrate. Allocator
+// events are counted (not timed), so unlike BenchmarkLive the headline
+// number is machine-independent; the ≤2 allocs/op budget is the PR's
+// acceptance bar and is additionally perf-guarded via benchcheck.
+func BenchmarkLiveHotPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := experiments.LiveHotPath(benchOpts())
+		a := metric(tb, []string{"burst=32"}, 1, "allocs/op")
+		b.ReportMetric(a, "allocs/pkt")
+		b.ReportMetric(metric(tb, []string{"burst=32"}, 2, ""), "hot-pps")
+		if a < 0 || a > 2 {
+			b.Fatalf("live hot path costs %.2f allocs/pkt; budget is 2", a)
+		}
+	}
+}

@@ -4,14 +4,16 @@
 // and a headline experiment losing more than the allowed fraction of
 // goodput fails the build.
 //
-// Cells expressed in Gbps (goodput, higher is better) and ms (recovery
-// time, lower is better) are compared; the regression direction flips
-// accordingly. The
-// headline DES experiments are deterministic — same seed, same virtual
-// time, same numbers on any machine — so the threshold only has to
-// absorb intentional calibration changes, not host noise. Wall-clock
+// Cells expressed in Gbps (goodput, higher is better), ms (recovery
+// time, lower is better) and allocs/op (hot-path allocation cost, lower
+// is better) are compared; the regression direction flips accordingly.
+// The headline DES experiments are deterministic — same seed, same
+// virtual time, same numbers on any machine — so the threshold only has
+// to absorb intentional calibration changes, not host noise. Wall-clock
 // experiments (dstore, live) are excluded by default for exactly that
-// reason.
+// reason; livehot IS guarded because its allocs/op cells count allocator
+// events, which are steady-state stable on any machine, while its pkts/s
+// cells stay unsuffixed (informational, never compared).
 //
 // Usage:
 //
@@ -79,10 +81,25 @@ func msCell(s string) (float64, bool) {
 	return v, true
 }
 
+// allocsCell parses "1.03allocs/op" allocation-cost cells (the livehot
+// experiment). Lower is better, and unlike the other cell types a
+// baseline of zero is meaningful (a fully pooled path), so comparison
+// may not gate on bv > 0.
+func allocsCell(s string) (float64, bool) {
+	if !strings.HasSuffix(s, "allocs/op") {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "allocs/op"), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
 func main() {
 	basePath := flag.String("baseline", "BENCH_baseline.json", "checked-in baseline results")
 	freshPath := flag.String("fresh", "BENCH_fresh.json", "freshly generated results")
-	idsFlag := flag.String("ids", "fig8,fig10,scale,dag,autoscale,rto", "comma-separated headline experiment ids to guard")
+	idsFlag := flag.String("ids", "fig8,fig10,scale,dag,autoscale,rto,livehot", "comma-separated headline experiment ids to guard")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated fractional regression")
 	flag.Parse()
 
@@ -157,6 +174,30 @@ func main() {
 					if fv > bv*(1.0+*maxRegress) {
 						fmt.Printf("FAIL %s [%s]: recovery time %.3fms regressed >%.0f%% from baseline %.3fms\n",
 							id, strings.Join(brow[:1], ""), fv, *maxRegress*100, bv)
+						failures++
+					}
+					continue
+				}
+				if bv, ok := allocsCell(bcell); ok {
+					if ci >= len(frow) {
+						fmt.Printf("FAIL %s row %d: fresh row too short\n", id, ri)
+						failures++
+						continue
+					}
+					fv, ok := allocsCell(frow[ci])
+					if !ok {
+						fmt.Printf("FAIL %s row %d col %d: %q is no longer an allocs/op cell\n", id, ri, ci, frow[ci])
+						failures++
+						continue
+					}
+					compared++
+					// Allocations: higher is worse. The extra half-alloc of
+					// absolute slack keeps a near-zero baseline comparable
+					// (0.00 * (1+r) tolerates nothing) while still catching
+					// a path that grows a whole allocation per packet.
+					if fv > bv*(1.0+*maxRegress)+0.5 {
+						fmt.Printf("FAIL %s [%s]: %.2fallocs/op regressed from baseline %.2fallocs/op\n",
+							id, strings.Join(brow[:1], ""), fv, bv)
 						failures++
 					}
 				}

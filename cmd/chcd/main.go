@@ -368,23 +368,30 @@ func main() {
 	goodputBps := float64(ch.Sink.Bytes) * 8 / secs
 	fmt.Printf("rate:  %.0f pkts/s ingest, %.2f Gbps goodput over %.2fs (%s clock)\n",
 		pps, goodputBps/1e9, secs, mode)
+	if *live {
+		fmt.Printf("burst: root bursts=%d arena reuse=%d store burst rpcs=%d\n",
+			ch.Root.Bursts, ch.Metrics.Counter("arena.reuse"), ch.Metrics.Counter("client.burst_rpcs"))
+	}
 
 	if *jsonPath != "" {
 		report := runReport{
-			Mode:         mode,
-			Controller:   status,
-			ElapsedSec:   secs,
-			Offered:      tr.Len(),
-			Injected:     ch.Root.Injected,
-			Deleted:      ch.Root.Deleted,
-			LogResidue:   ch.Root.LogSize(),
-			SinkReceived: ch.Sink.Received,
-			SinkDups:     ch.Sink.Duplicates,
-			PktsPerSec:   pps,
-			GoodputGbps:  goodputBps / 1e9,
-			P50us:        float64(e2e.Percentile(50).Nanoseconds()) / 1e3,
-			P95us:        float64(e2e.Percentile(95).Nanoseconds()) / 1e3,
-			P99us:        float64(e2e.Percentile(99).Nanoseconds()) / 1e3,
+			Mode:            mode,
+			Controller:      status,
+			ElapsedSec:      secs,
+			Offered:         tr.Len(),
+			Injected:        ch.Root.Injected,
+			Deleted:         ch.Root.Deleted,
+			LogResidue:      ch.Root.LogSize(),
+			SinkReceived:    ch.Sink.Received,
+			SinkDups:        ch.Sink.Duplicates,
+			PktsPerSec:      pps,
+			GoodputGbps:     goodputBps / 1e9,
+			P50us:           float64(e2e.Percentile(50).Nanoseconds()) / 1e3,
+			P95us:           float64(e2e.Percentile(95).Nanoseconds()) / 1e3,
+			P99us:           float64(e2e.Percentile(99).Nanoseconds()) / 1e3,
+			RootBursts:      ch.Root.Bursts,
+			ArenaReuse:      ch.Metrics.Counter("arena.reuse"),
+			ClientBurstRPCs: ch.Metrics.Counter("client.burst_rpcs"),
 		}
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -422,6 +429,12 @@ type runReport struct {
 	P50us        float64                  `json:"latency_p50_us"`
 	P95us        float64                  `json:"latency_p95_us"`
 	P99us        float64                  `json:"latency_p99_us"`
+	// Burst hot-path counters (live mode; zero on the DES by
+	// construction): the CI gate asserts all three are nonzero so a
+	// config drift that silently disables batching fails the build.
+	RootBursts      uint64 `json:"root_bursts"`
+	ArenaReuse      uint64 `json:"arena_reuse"`
+	ClientBurstRPCs uint64 `json:"client_burst_rpcs"`
 }
 
 // startAdmin serves the controller admin API: the declarative mutation

@@ -5,6 +5,7 @@
 package analysis
 
 import (
+	"chc/internal/analysis/arenadiscipline"
 	"chc/internal/analysis/chcanalysis"
 	"chc/internal/analysis/detwalltime"
 	"chc/internal/analysis/maporder"
@@ -21,6 +22,7 @@ func Suite() []*chcanalysis.Analyzer {
 		specmutation.Analyzer,
 		maporder.Analyzer,
 		unwindlock.Analyzer,
+		arenadiscipline.Analyzer,
 	}
 }
 

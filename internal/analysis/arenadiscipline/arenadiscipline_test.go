@@ -1,0 +1,17 @@
+package arenadiscipline_test
+
+import (
+	"testing"
+
+	"chc/internal/analysis/analysistest"
+	"chc/internal/analysis/arenadiscipline"
+)
+
+// The failing fixtures mirror the real bug class from the zero-alloc
+// hot-path work: reading a packet's metadata after process() may have
+// released it, and double-releasing on a path that no longer owns the
+// buffer. The passing fixtures are the capture-before-release and
+// clone-before-log idioms the runtime actually uses.
+func TestArenaDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", arenadiscipline.Analyzer)
+}

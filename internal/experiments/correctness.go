@@ -452,6 +452,7 @@ func All() map[string]func(Opts) *Table {
 		"dag":        DAG,
 		"autoscale":  Autoscale,
 		"live":       Live,
+		"livehot":    LiveHotPath,
 	}
 }
 
@@ -460,5 +461,5 @@ var Order = []string{
 	"fig8", "chain-lat", "offload", "fig9", "fig10", "dstore",
 	"meta-clock", "meta-log", "meta-xor",
 	"fig11", "fig12", "move", "table-r4", "table5", "fig13", "root-rec", "fig14",
-	"rto", "scale", "dag", "autoscale", "live",
+	"rto", "scale", "dag", "autoscale", "live", "livehot",
 }

@@ -561,6 +561,97 @@ func (n *Net) Send(msg transport.Message) {
 	}
 }
 
+// SendBurst transmits msgs with one network-lock acquisition for the
+// whole burst and one mailbox lock/notify per same-destination run,
+// instead of one of each per message. The link model (loss, duplication,
+// jitter, bandwidth serialization) is still applied per message under the
+// seeded source, so a burst is observationally a sequence of Sends: FIFO
+// holds within the burst and across consecutive bursts on a link.
+// Delayed and duplicated deliveries leave the inline path and go through
+// the ordered dispatcher, exactly as in Send.
+func (n *Net) SendBurst(msgs []transport.Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	// Zero-delay survivors append to the destination mailbox directly; the
+	// box lock is held across a same-destination run and the wake is
+	// coalesced to one notify per run.
+	var curBox *mailbox
+	flush := func() {
+		if curBox != nil {
+			curBox.mu.Unlock()
+			curBox.wake()
+			curBox = nil
+		}
+	}
+	for _, msg := range msgs {
+		src := n.endpointLocked(msg.From)
+		dst := n.endpointLocked(msg.To)
+		l := n.linkLocked(msg.From, msg.To)
+		l.sent++
+		if src.down || dst.down || !l.up {
+			l.dropped++
+			continue
+		}
+		cfg := l.cfg
+		var txWait time.Duration
+		if cfg.BandwidthBps > 0 && msg.Size > 0 {
+			tx := time.Duration(int64(msg.Size) * 8 * int64(time.Second) / cfg.BandwidthBps)
+			now := n.Now()
+			start := now
+			if l.txFree > start {
+				start = l.txFree
+			}
+			l.txFree = start.Add(tx)
+			txWait = l.txFree.Sub(now)
+		}
+		// rngMu nests inside n.mu here; no caller takes n.mu while holding
+		// rngMu, so the ordering is acyclic.
+		if cfg.LossProb > 0 && n.float64() < cfg.LossProb {
+			l.dropped++
+			continue
+		}
+		delay := cfg.Latency + txWait
+		if cfg.Jitter > 0 {
+			delay += time.Duration(n.Intn(int64(cfg.Jitter)))
+		}
+		if cfg.ReorderProb > 0 && n.float64() < cfg.ReorderProb {
+			delay += cfg.ReorderDelay
+		}
+		dup := false
+		if cfg.DupProb > 0 && n.float64() < cfg.DupProb {
+			dup = true
+			l.duplicated++
+		}
+		if delay > 0 {
+			m := msg
+			n.scheduleDelivery(delay, func() { n.deliverNow(m) })
+			if dup {
+				n.scheduleDelivery(delay, func() { n.deliverNow(m) })
+			}
+			continue
+		}
+		if curBox != dst.box {
+			flush()
+			curBox = dst.box
+			curBox.mu.Lock()
+		}
+		l.delivered++
+		curBox.q = append(curBox.q, msg)
+		if dup {
+			l.delivered++
+			curBox.q = append(curBox.q, msg)
+		}
+	}
+	flush()
+	n.mu.Unlock()
+}
+
 // Call performs an RPC: the callee receives a transport.Call payload and
 // replies; the caller blocks up to timeout.
 func (n *Net) Call(p transport.Proc, from, to string, payload any, size int, timeout time.Duration) (any, bool) {

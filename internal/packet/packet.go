@@ -152,7 +152,19 @@ type Packet struct {
 	// IngressNs is the virtual time (ns) the packet entered the chain at
 	// the root. Simulation-local accounting only: never serialized.
 	IngressNs int64
+
+	// arenaState is Arena bookkeeping: arenaLive while the packet is
+	// owned by the chain, arenaPooled after release. Arena.Put flips it
+	// with a CAS so a duplicated delivery cannot double-free. Never
+	// serialized; Clone resets it on the copy.
+	arenaState uint32
 }
+
+// Arena ownership states for Packet.arenaState.
+const (
+	arenaLive   uint32 = 0
+	arenaPooled uint32 = 1
+)
 
 // Key returns the packet's directed 5-tuple.
 func (p *Packet) Key() FlowKey {
@@ -191,6 +203,7 @@ func (p *Packet) IsFIN() bool { return p.Proto == ProtoTCP && p.TCPFlags&FlagFIN
 // traffic to a straggler and its clone).
 func (p *Packet) Clone() *Packet {
 	q := *p
+	q.arenaState = arenaLive
 	return &q
 }
 

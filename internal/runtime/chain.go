@@ -126,6 +126,21 @@ type ChainConfig struct {
 	// mark. Zero means 250ms.
 	HandoverTimeout time.Duration
 
+	// BurstSize is the packet-burst width of the live hot path: the
+	// driver's pacer accumulates up to this many trace packets before
+	// injecting them as one transport burst, and the root, splitters and
+	// instances propagate bursts downstream (one mailbox lock/notify per
+	// burst instead of per packet). Values <= 1 disable batching. On the
+	// DES substrate the effective burst size is ALWAYS 1 regardless of
+	// this field: transport.SendBurst degrades to a per-message Send loop
+	// there, so golden parity holds by construction (pinned by
+	// TestBurstConfigDESParity).
+	BurstSize int
+	// BurstFlushDeadline bounds how long the pacer may hold an
+	// accumulating burst before flushing a partial one, so batching never
+	// adds unbounded latency at low offered load. Zero means 100µs.
+	BurstFlushDeadline time.Duration
+
 	// Topology, when non-nil, generalizes the linear chain into a policy
 	// DAG: one ordered vertex path per traffic class, with the root's
 	// classifier picking each packet's branch (see TopologySpec). Nil keeps
@@ -188,6 +203,10 @@ func LiveChainConfig() ChainConfig {
 	cfg.AckTimeout = 100 * time.Millisecond
 	cfg.CoalesceWindow = time.Millisecond
 	cfg.HandoverTimeout = 2 * time.Second
+	// Burst the hot path: 32 packets per transport round amortizes the
+	// mailbox locking, and the arena recycles packet buffers at the root's
+	// delete verdict, so the steady state allocates nothing per packet.
+	cfg.BurstSize = 32
 	return cfg
 }
 
@@ -198,6 +217,10 @@ type Chain struct {
 	tr   transport.Transport
 	spec []VertexSpec
 	pmap *store.PartitionMap
+	// arena recycles packet buffers on the live hot path (disabled — plain
+	// allocation — on the DES, where recycling has nothing to amortize and
+	// the golden outputs must not depend on pool behavior).
+	arena *packet.Arena
 
 	Root *Root
 	// Stores are the datastore tier's shard servers; keys partition across
@@ -262,7 +285,8 @@ func New(cfg ChainConfig, spec ...VertexSpec) *Chain {
 		tr = simnet.New(sim, transport.LinkConfig{Latency: cfg.LinkLatency})
 	}
 	c := &Chain{cfg: cfg, sim: sim, tr: tr, spec: spec, Metrics: NewMetrics(),
-		xorAlias: make(map[uint16]uint16)}
+		xorAlias: make(map[uint16]uint16),
+		arena:    packet.NewArena(cfg.Live)}
 
 	nshards := cfg.StoreShards
 	if nshards <= 0 {
@@ -339,6 +363,29 @@ func (c *Chain) Now() transport.Time { return c.tr.Now() }
 
 // Live reports whether the chain runs on real goroutines.
 func (c *Chain) Live() bool { return c.cfg.Live }
+
+// Arena exposes the chain's packet arena (recycling is live-mode only; on
+// the DES the arena degrades to plain allocation).
+func (c *Chain) Arena() *packet.Arena { return c.arena }
+
+// burstSize returns the effective hot-path burst width: cfg.BurstSize in
+// live mode, always 1 on the DES — simnet never implements the burst
+// fast path, so DES golden parity with batching configured holds by
+// construction.
+func (c *Chain) burstSize() int {
+	if !c.cfg.Live || c.cfg.BurstSize <= 1 {
+		return 1
+	}
+	return c.cfg.BurstSize
+}
+
+// burstDeadline returns the pacer's partial-burst flush deadline.
+func (c *Chain) burstDeadline() time.Duration {
+	if c.cfg.BurstFlushDeadline > 0 {
+		return c.cfg.BurstFlushDeadline
+	}
+	return 100 * time.Microsecond
+}
 
 // Stop fail-stops every chain process and timer and waits for them to
 // exit (live mode: after Stop, component state — root/sink counters,

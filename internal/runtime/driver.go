@@ -40,15 +40,55 @@ const pacerSlack = 200 * time.Microsecond
 func (c *Chain) runTraceLive(tr *trace.Trace, settle time.Duration) time.Duration {
 	done := c.tr.NewSignal()
 	base := c.tr.Now()
+	bs := c.burstSize()
+	bd := c.burstDeadline()
 	c.tr.Spawn("driver.pacer", func(p transport.Proc) {
+		// Burst accumulation: due events batch into one SendBurst toward
+		// the root (one mailbox lock + wake per burst). Packets are copied
+		// into arena buffers so recycling never touches the trace's own
+		// packets (traces are reused across runs). The flush deadline
+		// bounds how long an accumulated packet can wait when the offered
+		// rate is low.
+		var msgs []transport.Message
+		var burstStart transport.Time
+		flush := func() {
+			if len(msgs) == 0 {
+				return
+			}
+			transport.SendBurst(c.tr, msgs)
+			for i := range msgs {
+				msgs[i] = transport.Message{}
+			}
+			msgs = msgs[:0]
+		}
 		for idx := range tr.Events {
 			ev := tr.Events[idx]
 			target := base + ev.At
 			if d := target.Sub(p.Now()); d > pacerSlack {
+				flush()
 				p.Sleep(d)
 			}
-			c.Inject(ev.Pkt, p.Now())
+			if bs <= 1 {
+				c.Inject(ev.Pkt, p.Now())
+				continue
+			}
+			pkt := c.arena.Get()
+			*pkt = *ev.Pkt
+			now := p.Now()
+			if len(msgs) == 0 {
+				burstStart = now
+			}
+			msgs = append(msgs, transport.Message{
+				From:    "driver",
+				To:      c.Root.Endpoint,
+				Payload: PacketMsg{Pkt: pkt, SentAt: now, InjectedAt: now},
+				Size:    pkt.WireLen(),
+			})
+			if len(msgs) >= bs || now.Sub(burstStart) > bd {
+				flush()
+			}
 		}
+		flush()
 		p.Sleep(settle)
 		done.Resolve(nil)
 	})
@@ -64,7 +104,7 @@ func (c *Chain) runTraceLive(tr *trace.Trace, settle time.Duration) time.Duratio
 // after every run segment, and safe while live workers run — each
 // client's snapshot is taken under its lock).
 func (c *Chain) HarvestClientStats() {
-	var blocking, async, hits, misses, retrans, flushed, coalesced, batched uint64
+	var blocking, async, hits, misses, retrans, flushed, coalesced, batched, burstRPCs uint64
 	for _, v := range c.Vertices {
 		for _, in := range c.instancesOf(v) {
 			cl := in.Client()
@@ -80,6 +120,7 @@ func (c *Chain) HarvestClientStats() {
 			flushed += st.FlushedOps
 			coalesced += st.CoalescedOps
 			batched += st.BatchedSends
+			burstRPCs += st.BurstRPCs
 		}
 	}
 	m := c.Metrics
@@ -91,6 +132,8 @@ func (c *Chain) HarvestClientStats() {
 	m.SetCounter("client.flushed_ops", flushed)
 	m.SetCounter("client.coalesced_ops", coalesced)
 	m.SetCounter("client.batched_sends", batched)
+	m.SetCounter("client.burst_rpcs", burstRPCs)
+	m.SetCounter("arena.reuse", c.arena.Reuses())
 }
 
 // RunFor drives the chain for a duration (post-trace settling, failure

@@ -92,6 +92,18 @@ type Instance struct {
 	// the sim's deterministic Int63n.
 	ExtraDelay func(intn func(int64) int64) time.Duration
 
+	// Burst output buffers (live batching). Touched only by the worker
+	// process between burst begin and flush — live mode runs exactly one
+	// worker per instance, and the DES (burst size 1) never sets bactive —
+	// so they need no locking. delBuf holds delete requests, fwdBuf the
+	// per-successor-vertex packet runs, sinkBuf the tail outputs; the flush
+	// order (deletes, forwards, sink) preserves the §5.4 delete-before-
+	// output ordering per packet.
+	bactive bool
+	delBuf  []transport.Message
+	fwdBuf  []fwdRun
+	sinkBuf []transport.Message
+
 	dead bool
 	// draining marks an instance being scaled in: the splitter stops
 	// placing NEW partition keys on it while its existing flows hand over
@@ -158,6 +170,9 @@ func (c *Chain) newClient(v *Vertex, id uint16, ep string, mode store.Mode) *sto
 		CoalesceWindow: c.cfg.CoalesceWindow,
 		AckTimeout:     c.cfg.AckTimeout,
 		RPCTimeout:     c.cfg.RPCTimeout,
+		// Burst-scoped store RPC batching rides the live packet batching:
+		// the instance flushes the client's buffers at every burst end.
+		BurstRPC: c.cfg.Live && c.burstSize() > 1,
 	})
 }
 
@@ -267,24 +282,112 @@ func (i *Instance) applyExclusivityDefaults() {
 	}
 }
 
+// fwdRun is one successor vertex's buffered packet run. Entries persist
+// across flushes (v stays bound, pkts truncates) so steady-state bursts
+// reuse the slices instead of reallocating them.
+type fwdRun struct {
+	v    *Vertex
+	pkts []*packet.Packet
+}
+
 // run is one worker loop.
 func (i *Instance) run(p transport.Proc) {
 	ep := i.chain.tr.Endpoint(i.Endpoint)
 	ctx := nf.NewCtx(p, i.state, i.chain.Metrics.alertFn(i.vertex.Spec.Name))
+	bs := i.chain.burstSize()
 	for {
 		msg := ep.Recv(p)
-		switch m := msg.Payload.(type) {
-		case PacketMsg:
-			i.handlePacket(p, ctx, m)
-		case transport.Call:
-			if _, ok := m.Body().(FlowTableQuery); ok {
-				m.Reply(i.vertex.Splitter.TableSnapshot(), 64)
-			}
-		default:
-			if i.client != nil {
-				i.client.HandleMessage(msg.Payload)
-			}
+		pm, isPkt := msg.Payload.(PacketMsg)
+		if !isPkt {
+			i.dispatch(msg)
+			continue
 		}
+		if bs <= 1 {
+			i.handlePacket(p, ctx, pm)
+			continue
+		}
+		// Burst mode (live only): drain queued packets up to the burst
+		// size, buffering their outputs, then flush everything — one
+		// SendBurst of deletes, one RouteBurst per successor, one
+		// SendBurst to the sink, one store-RPC batch per shard.
+		i.bactive = true
+		i.handlePacket(p, ctx, pm)
+		n := 1
+		for n < bs && ep.Len() > 0 {
+			nxt := ep.Recv(p)
+			if npm, ok := nxt.Payload.(PacketMsg); ok {
+				i.handlePacket(p, ctx, npm)
+				n++
+				continue
+			}
+			// Control message mid-drain: flush first so side effects stay
+			// in arrival order, then handle it and keep draining.
+			i.flushBurst(p)
+			i.dispatch(nxt)
+		}
+		i.flushBurst(p)
+		i.bactive = false
+	}
+}
+
+// dispatch handles one non-packet instance message.
+func (i *Instance) dispatch(msg transport.Message) {
+	switch m := msg.Payload.(type) {
+	case transport.Call:
+		if _, ok := m.Body().(FlowTableQuery); ok {
+			m.Reply(i.vertex.Splitter.TableSnapshot(), 64)
+		}
+	default:
+		if i.client != nil {
+			i.client.HandleMessage(msg.Payload)
+		}
+	}
+}
+
+// bufForward queues an output for v on its per-vertex run.
+func (i *Instance) bufForward(v *Vertex, pkt *packet.Packet) {
+	for idx := range i.fwdBuf {
+		if i.fwdBuf[idx].v == v {
+			i.fwdBuf[idx].pkts = append(i.fwdBuf[idx].pkts, pkt)
+			return
+		}
+	}
+	i.fwdBuf = append(i.fwdBuf, fwdRun{v: v, pkts: []*packet.Packet{pkt}})
+}
+
+// flushBurst ships the buffered burst outputs: deletes first (§5.4
+// delete-before-output holds per packet), then the per-vertex forward
+// runs, then the sink outputs, then the store clients' batched RPCs.
+// Packet references are zeroed as the buffers truncate so the arena can
+// recycle the buffers once their new owners release them.
+func (i *Instance) flushBurst(p transport.Proc) {
+	if len(i.delBuf) > 0 {
+		transport.SendBurst(i.chain.tr, i.delBuf)
+		for idx := range i.delBuf {
+			i.delBuf[idx] = transport.Message{}
+		}
+		i.delBuf = i.delBuf[:0]
+	}
+	for idx := range i.fwdBuf {
+		run := &i.fwdBuf[idx]
+		if len(run.pkts) == 0 {
+			continue
+		}
+		run.v.Splitter.RouteBurst(i.Endpoint, run.pkts, p.Now())
+		for j := range run.pkts {
+			run.pkts[j] = nil
+		}
+		run.pkts = run.pkts[:0]
+	}
+	if len(i.sinkBuf) > 0 {
+		transport.SendBurst(i.chain.tr, i.sinkBuf)
+		for idx := range i.sinkBuf {
+			i.sinkBuf[idx] = transport.Message{}
+		}
+		i.sinkBuf = i.sinkBuf[:0]
+	}
+	if i.client != nil {
+		i.client.FlushBurst()
 	}
 }
 
@@ -307,10 +410,16 @@ func (i *Instance) handlePacket(p transport.Proc, ctx *nf.Ctx, m PacketMsg) {
 			i.markersLeft--
 			last := i.markersLeft <= 0
 			i.mu.Unlock()
+			i.chain.arena.Put(pkt) // marker consumed here
 			if last {
 				i.endReplay(p, ctx)
 			}
 		} else if nxt := i.vertex.nextFor(pkt); nxt != nil {
+			// The marker must stay BEHIND the replayed traffic: flush any
+			// buffered forwards before routing it.
+			if i.bactive {
+				i.flushBurst(p)
+			}
 			nxt.Splitter.Route(i.Endpoint, pkt, p.Now())
 		}
 		return
@@ -370,11 +479,19 @@ func (i *Instance) handlePacket(p transport.Proc, ctx *nf.Ctx, m PacketMsg) {
 		i.mu.Unlock()
 	}()
 
+	// Capture the handover marks and flow hash BEFORE processing: process
+	// may release the packet to the arena (consume/NoOut paths), and a
+	// recycled buffer must not be read afterwards.
+	flags := pkt.Meta.Flags
+	var sub uint64
+	if flags&(packet.MetaFirst|packet.MetaLast) != 0 {
+		sub = pkt.Key().Canonical().Hash()
+	}
+
 	// Fig 4 handover, new-instance side: the first packet of a moved flow
 	// acquires per-flow state ownership (waiting for the old instance's
 	// release if needed).
-	if pkt.Meta.Flags&packet.MetaFirst != 0 && i.client != nil {
-		sub := pkt.Key().Canonical().Hash()
+	if flags&packet.MetaFirst != 0 && i.client != nil {
 		acqStart := p.Now()
 		timeout := i.chain.cfg.HandoverTimeout
 		if timeout <= 0 {
@@ -398,8 +515,7 @@ func (i *Instance) handlePacket(p transport.Proc, ctx *nf.Ctx, m PacketMsg) {
 
 	// Fig 4 handover, old-instance side: after processing the packet marked
 	// "last", flush cached state and release ownership.
-	if pkt.Meta.Flags&packet.MetaLast != 0 && i.client != nil {
-		sub := pkt.Key().Canonical().Hash()
+	if flags&packet.MetaLast != 0 && i.client != nil {
 		i.client.ReleaseFlow(p, sub)
 	}
 }
@@ -445,7 +561,12 @@ func (i *Instance) process(p transport.Proc, ctx *nf.Ctx, pkt *packet.Packet) {
 	}
 	i.mu.Unlock()
 
+	// The input's ownership ends here unless the NF forwarded it onward.
+	consumed := true
 	for _, out := range outs {
+		if out == pkt {
+			consumed = false
+		}
 		out.Meta.BitVec ^= xor
 		i.forward(p, out)
 	}
@@ -454,6 +575,9 @@ func (i *Instance) process(p transport.Proc, ctx *nf.Ctx, pkt *packet.Packet) {
 		// complete, so run the delete protocol here instead of at the tail.
 		i.sendDelete(p, pkt.Meta.Clock, pkt.Meta.BitVec^xor)
 	}
+	if consumed {
+		i.chain.arena.Put(pkt)
+	}
 }
 
 // forward routes one output packet: off-path taps get copies; the next
@@ -461,6 +585,28 @@ func (i *Instance) process(p transport.Proc, ctx *nf.Ctx, pkt *packet.Packet) {
 // performs the delete protocol and emits to the sink.
 func (i *Instance) forward(p transport.Proc, out *packet.Packet) {
 	v := i.vertex
+	if i.bactive {
+		for _, tap := range v.offPathTaps {
+			i.bufForward(tap, out.Clone())
+		}
+		if nxt := v.nextFor(out); nxt != nil {
+			i.bufForward(nxt, out)
+			return
+		}
+		if out.Meta.Flags&packet.MetaNoOut != 0 {
+			i.chain.arena.Put(out)
+			return
+		}
+		// Buffered delete precedes the buffered sink output; flushBurst
+		// sends delBuf first, so §5.4 ordering holds per packet.
+		i.sendDelete(p, out.Meta.Clock, out.Meta.BitVec)
+		i.sinkBuf = append(i.sinkBuf, transport.Message{
+			From: i.Endpoint, To: SinkEndpoint,
+			Payload: PacketMsg{Pkt: out, SentAt: p.Now()},
+			Size:    out.WireLen(),
+		})
+		return
+	}
 	for _, tap := range v.offPathTaps {
 		tap.Splitter.Route(i.Endpoint, out.Clone(), p.Now())
 	}
@@ -471,6 +617,7 @@ func (i *Instance) forward(p transport.Proc, out *packet.Packet) {
 	// Tail of this packet's path: the receiver already has this packet if
 	// the root marked it no-output during replay.
 	if out.Meta.Flags&packet.MetaNoOut != 0 {
+		i.chain.arena.Put(out)
 		return
 	}
 	// Delete request before output (§5.4 ordering).
@@ -492,7 +639,12 @@ func (i *Instance) sendDelete(p transport.Proc, clock uint64, vec uint32) {
 		fut.WaitTimeout(p, 5*time.Millisecond)
 		return
 	}
-	i.chain.tr.Send(transport.Message{From: i.Endpoint, To: i.chain.Root.Endpoint, Payload: del, Size: 16})
+	msg := transport.Message{From: i.Endpoint, To: i.chain.Root.Endpoint, Payload: del, Size: 16}
+	if i.bactive {
+		i.delBuf = append(i.delBuf, msg)
+		return
+	}
+	i.chain.tr.Send(msg)
 }
 
 // StartReplayTarget puts the instance into replay mode: replayed packets

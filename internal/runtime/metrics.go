@@ -51,6 +51,9 @@ func (s *Sink) Start() {
 			if m.Pkt.IngressNs > 0 {
 				s.chain.Metrics.TotalTime("chain", p.Now().Sub(transport.Time(m.Pkt.IngressNs)))
 			}
+			// Egress is the packet's final release point: all accounting
+			// above read the buffer, nothing retains it past here.
+			s.chain.arena.Put(m.Pkt)
 		}
 	})
 }

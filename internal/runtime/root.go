@@ -31,8 +31,10 @@ type RootStatsQuery struct{}
 // RootStats is the reply to a RootStatsQuery.
 type RootStats struct {
 	Injected, Deleted, Dropped, Replayed uint64
-	LogSize                              int
-	InjectedByClass, DeletedByClass      []uint64
+	// Bursts counts multi-packet ingest flushes (live batching).
+	Bursts                          uint64
+	LogSize                         int
+	InjectedByClass, DeletedByClass []uint64
 }
 
 // rootLogEntry is one in-flight packet (§5: "at any time, the root logs all
@@ -63,12 +65,16 @@ type Root struct {
 	next         []*Vertex // successor per traffic class (see topology.go)
 	offPathTaps  []*Vertex
 	proc         transport.Handle
+	// fwdBuf is the burst-ingest scratch buffer (root process only).
+	fwdBuf []*packet.Packet
 
 	// Stats.
 	Injected uint64
 	Deleted  uint64
 	Dropped  uint64
 	Replayed uint64
+	// Bursts counts multi-packet ingest flushes (live batching).
+	Bursts uint64
 	// Per-class chain clocks (indexed by traffic-class index): how many
 	// packets of each class were stamped and how many finished the Fig 6
 	// delete protocol. InjectedByClass[i] == DeletedByClass[i] once a
@@ -109,37 +115,126 @@ func (r *Root) Clock() uint64 { return r.ctr }
 
 func (r *Root) run(p transport.Proc) {
 	ep := r.chain.tr.Endpoint(r.Endpoint)
+	bs := r.chain.burstSize()
+	var batch []PacketMsg
 	for {
 		msg := ep.Recv(p)
-		switch m := msg.Payload.(type) {
-		case PacketMsg:
-			r.ingest(p, m)
-		case DeleteMsg:
-			r.handleDelete(m)
-		case store.CommitMsg:
-			r.handleCommit(m)
-		case ReplayCmd:
-			r.replay(p, m.CloneID)
-		case transport.Call:
-			switch m.Body().(type) {
-			case store.PartitionQuery:
-				// The root is the authority for the shard partition map: new
-				// or recovering components fetch it here (§5.4 metadata).
-				m.Reply(r.chain.pmap.Copy(), 16+16*len(r.chain.pmap.Shards))
-			case RootStatsQuery:
-				m.Reply(r.statsSnapshot(), 64)
+		pm, isPkt := msg.Payload.(PacketMsg)
+		if !isPkt {
+			r.dispatch(p, msg)
+			continue
+		}
+		if bs <= 1 {
+			r.ingest(p, pm)
+			continue
+		}
+		// Burst accumulation (live only; DES burst size is pinned to 1):
+		// drain whatever packets are already queued, up to the burst size,
+		// stamping and logging each, then flush their forwards as one
+		// RouteBurst. A non-packet message encountered mid-drain flushes
+		// first so side effects stay in arrival order.
+		batch = append(batch[:0], pm)
+		for len(batch) < bs && ep.Len() > 0 {
+			nxt := ep.Recv(p)
+			if npm, ok := nxt.Payload.(PacketMsg); ok {
+				batch = append(batch, npm)
+				continue
 			}
+			r.ingestBurst(p, batch)
+			batch = batch[:0]
+			r.dispatch(p, nxt)
+		}
+		if len(batch) > 0 {
+			r.ingestBurst(p, batch)
+			batch = batch[:0]
+		}
+	}
+}
+
+// dispatch handles one non-packet root message.
+func (r *Root) dispatch(p transport.Proc, msg transport.Message) {
+	switch m := msg.Payload.(type) {
+	case DeleteMsg:
+		r.handleDelete(m)
+	case store.CommitMsg:
+		r.handleCommit(m)
+	case ReplayCmd:
+		r.replay(p, m.CloneID)
+	case transport.Call:
+		switch m.Body().(type) {
+		case store.PartitionQuery:
+			// The root is the authority for the shard partition map: new
+			// or recovering components fetch it here (§5.4 metadata).
+			m.Reply(r.chain.pmap.Copy(), 16+16*len(r.chain.pmap.Shards))
+		case RootStatsQuery:
+			m.Reply(r.statsSnapshot(), 64)
 		}
 	}
 }
 
 // ingest stamps, persists, logs and forwards one input packet.
 func (r *Root) ingest(p transport.Proc, m PacketMsg) {
+	if pkt := r.ingestCore(p, m); pkt != nil {
+		r.forward(p, pkt, p.Now())
+	}
+}
+
+// ingestBurst ingests a drained batch and flushes all its forwards as one
+// burst per successor vertex (the live hot path).
+func (r *Root) ingestBurst(p transport.Proc, batch []PacketMsg) {
+	fwd := r.fwdBuf[:0]
+	for _, m := range batch {
+		if pkt := r.ingestCore(p, m); pkt != nil {
+			fwd = append(fwd, pkt)
+		}
+	}
+	r.fwdBuf = fwd[:0]
+	if len(fwd) == 0 {
+		return
+	}
+	r.Bursts++
+	now := p.Now()
+	for _, tap := range r.offPathTaps {
+		// Taps process copies; the originals continue down the chain.
+		cl := make([]*packet.Packet, len(fwd))
+		for i, pkt := range fwd {
+			cl[i] = pkt.Clone()
+		}
+		tap.Splitter.RouteBurst(r.Endpoint, cl, now)
+	}
+	// Group per traffic class, preserving arrival order within each class.
+	for ci := range r.next {
+		if r.next[ci] == nil {
+			continue
+		}
+		var run []*packet.Packet
+		for _, pkt := range fwd {
+			if int(pkt.Meta.Class) == ci {
+				run = append(run, pkt)
+			}
+		}
+		if len(run) > 0 {
+			r.next[ci].Splitter.RouteBurst(r.Endpoint, run, now)
+		}
+	}
+	// Packets whose class has no successor end here (mirrors forward()).
+	for _, pkt := range fwd {
+		if int(pkt.Meta.Class) >= len(r.next) || r.next[pkt.Meta.Class] == nil {
+			r.chain.arena.Put(pkt)
+		}
+	}
+}
+
+// ingestCore stamps, persists and logs one input packet, returning the
+// packet to forward (nil when the buffer-bloat guard dropped it).
+func (r *Root) ingestCore(p transport.Proc, m PacketMsg) *packet.Packet {
 	cfg := r.chain.cfg
 	if cfg.RootLogLimit > 0 && len(r.log) >= cfg.RootLogLimit {
-		// Buffer-bloat guard (§5): drop at the root.
+		// Buffer-bloat guard (§5): drop at the root. The dropped packet's
+		// ownership ends here — recycle it.
 		r.Dropped++
-		return
+		r.chain.arena.Put(m.Pkt)
+		return nil
 	}
 	r.ctr++
 	clock := packet.MakeClock(r.ID, r.ctr)
@@ -180,8 +275,12 @@ func (r *Root) ingest(p transport.Proc, m PacketMsg) {
 	// unmodified return the same object, and the per-hop BitVec XOR would
 	// otherwise mutate the logged copy through the shared pointer — replay
 	// would then resend packets with stale first-pass vector bits, leaving
-	// their Fig 6 checks permanently unbalanced.
-	r.log[clock] = &rootLogEntry{pkt: m.Pkt.Clone(), class: class}
+	// their Fig 6 checks permanently unbalanced. The clone comes from the
+	// arena (a recycled buffer when one is free) and is released back at
+	// the delete verdict in tryDelete.
+	cp := r.chain.arena.Get()
+	*cp = *m.Pkt
+	r.log[clock] = &rootLogEntry{pkt: cp, class: class}
 	r.order = append(r.order, clock)
 
 	r.Injected++
@@ -189,7 +288,7 @@ func (r *Root) ingest(p transport.Proc, m PacketMsg) {
 		r.InjectedByClass[class]++
 	}
 	r.chain.Metrics.ProcTime("root", p.Now().Sub(start))
-	r.forward(p, m.Pkt, p.Now())
+	return m.Pkt
 }
 
 func (r *Root) forward(p transport.Proc, pkt *packet.Packet, now transport.Time) {
@@ -199,8 +298,11 @@ func (r *Root) forward(p transport.Proc, pkt *packet.Packet, now transport.Time)
 	if int(pkt.Meta.Class) < len(r.next) {
 		if nxt := r.next[pkt.Meta.Class]; nxt != nil {
 			nxt.Splitter.Route(r.Endpoint, pkt, now)
+			return
 		}
 	}
+	// No successor for this class: the packet's path ends at the root.
+	r.chain.arena.Put(pkt)
 }
 
 // handleDelete runs Fig 6 step 4: match the final vector against the
@@ -258,6 +360,8 @@ func (r *Root) tryDelete(clock uint64, ent *rootLogEntry) {
 	}
 	delete(r.log, clock)
 	delete(r.commitXor, clock)
+	// The logged copy's ownership ends with the delete verdict; recycle it.
+	r.chain.arena.Put(ent.pkt)
 	r.Deleted++
 	if int(ent.class) < len(r.DeletedByClass) {
 		r.DeletedByClass[ent.class]++
@@ -342,6 +446,7 @@ func (r *Root) statsSnapshot() RootStats {
 	return RootStats{
 		Injected: r.Injected, Deleted: r.Deleted,
 		Dropped: r.Dropped, Replayed: r.Replayed,
+		Bursts:          r.Bursts,
 		LogSize:         len(r.log),
 		InjectedByClass: append([]uint64(nil), r.InjectedByClass...),
 		DeletedByClass:  append([]uint64(nil), r.DeletedByClass...),

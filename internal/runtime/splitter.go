@@ -59,6 +59,13 @@ type Splitter struct {
 	// replicate mirrors a primary instance's traffic to a clone (§5.3).
 	replicate map[uint16]uint16
 
+	// pending buffers this route call's outgoing packet messages so one
+	// Route (or RouteBurst) turns into one transport.SendBurst. The buffer
+	// is only ever filled and drained under mu within a single call, so its
+	// reuse across calls is race-free; entries are zeroed on flush to drop
+	// packet references.
+	pending []transport.Message
+
 	Routed uint64
 }
 
@@ -265,6 +272,28 @@ func (s *Splitter) resolve(id uint16) uint16 {
 func (s *Splitter) Route(from string, pkt *packet.Packet, now transport.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.routeOne(from, pkt, now)
+	s.flushLocked()
+}
+
+// RouteBurst routes a batch of packets and flushes them to the transport
+// as one burst: on the live substrate the destination mailbox is locked
+// and notified once per run of same-target packets instead of once per
+// packet. Routing decisions are made per packet, identically to Route —
+// the DES (burst size 1) and the live substrate therefore produce the
+// same per-packet placements.
+func (s *Splitter) RouteBurst(from string, pkts []*packet.Packet, now transport.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, pkt := range pkts {
+		s.routeOne(from, pkt, now)
+	}
+	s.flushLocked()
+}
+
+// routeOne applies the routing decision for one packet, queueing its
+// deliveries on s.pending. Expects s.mu held; the caller flushes.
+func (s *Splitter) routeOne(from string, pkt *packet.Packet, now transport.Time) {
 	s.Routed++
 
 	// End-of-replay marker: deliver straight to the clone when it lives in
@@ -335,13 +364,30 @@ func (s *Splitter) Route(from string, pkt *packet.Packet, now transport.Time) {
 	}
 }
 
+// deliver queues one packet message on the pending buffer; flushLocked
+// ships the buffer. Queue-then-flush keeps send order identical to the
+// historical immediate Send (routing makes no RNG draws or sends between
+// deliver calls), so the DES schedule is unchanged.
 func (s *Splitter) deliver(from string, target *Instance, pkt *packet.Packet, now transport.Time) {
-	s.chain.tr.Send(transport.Message{
+	s.pending = append(s.pending, transport.Message{
 		From:    from,
 		To:      target.Endpoint,
 		Payload: PacketMsg{Pkt: pkt, SentAt: now},
 		Size:    pkt.WireLen(),
 	})
+}
+
+// flushLocked sends the pending deliveries as one burst and clears the
+// buffer, dropping packet references so the arena can recycle them.
+func (s *Splitter) flushLocked() {
+	if len(s.pending) == 0 {
+		return
+	}
+	transport.SendBurst(s.chain.tr, s.pending)
+	for i := range s.pending {
+		s.pending[i] = transport.Message{}
+	}
+	s.pending = s.pending[:0]
 }
 
 // StartMove initiates Fig 4 handovers for the given canonical flow hashes

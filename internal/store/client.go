@@ -55,6 +55,15 @@ type ClientConfig struct {
 	// CoalesceMax caps how many increments merge into one batched request.
 	// Zero selects the default.
 	CoalesceMax int
+	// BurstRPC enables burst-scoped RPC batching: async ops buffer per
+	// shard and flush as one AsyncBatchMsg per shard when the instance
+	// finishes its packet burst (Client.FlushBurst), when a blocking call
+	// needs the wire ordering, or when the safety window elapses. Per-op
+	// acks, retransmission, WalPos stamping and checkpoint positions are
+	// unchanged — only the message count drops. The runtime enables this
+	// on the live substrate only; the DES never sets it, so the golden
+	// message schedules are untouched.
+	BurstRPC bool
 }
 
 // Coalescing defaults: a window two-ish store RTTs wide keeps batching
@@ -129,6 +138,12 @@ type Client struct {
 	coTimer     bool
 	coalesceOff bool
 
+	// Burst-scoped RPC batching (BurstRPC mode): async ops buffered per
+	// shard in issue order, flushed as one AsyncBatchMsg per shard.
+	burst      map[string][]AsyncOp
+	burstOrder []string
+	burstTimer bool
+
 	// Recovery metadata. walCount counts WAL entries ever logged per
 	// shard (the position piggybacked on outgoing ops); walDropped counts
 	// entries already truncated per shard, so absolute positions in
@@ -161,6 +176,9 @@ type Client struct {
 	// message); BatchedSends counts batched requests actually sent.
 	CoalescedOps uint64
 	BatchedSends uint64
+	// BurstRPCs counts AsyncBatchMsg wire messages sent (BurstRPC mode):
+	// each one replaced len(Ops) individual sends.
+	BurstRPCs uint64
 }
 
 // coKey identifies one coalescible op stream: a key plus the map field
@@ -200,6 +218,7 @@ func NewClient(net transport.Transport, cfg ClientConfig) *Client {
 		walDropped:  make(map[string]uint64),
 		co:          make(map[coKey]*Request),
 		coalesceOff: coalesceOff,
+		burst:       make(map[string][]AsyncOp),
 		ownerWait:   make(map[Key]transport.Signal),
 		objExcl:     make(map[uint16]bool),
 	}
@@ -255,6 +274,8 @@ func (c *Client) Shutdown() {
 	c.pending = make(map[uint64]AsyncOp)
 	c.co = make(map[coKey]*Request)
 	c.coOrder = c.coOrder[:0]
+	c.burst = make(map[string][]AsyncOp)
+	c.burstOrder = nil
 }
 
 // ReadLog returns a copy of the logged shared reads with their TS vectors.
@@ -392,6 +413,10 @@ func (c *Client) Partition() *PartitionMap { return c.pmap }
 // it around the network wait.
 func (c *Client) call(p transport.Proc, req *Request) (Reply, bool) {
 	c.flushCoalesced()
+	// Burst buffers flush next (flushCoalesced feeds them in burst mode):
+	// FIFO links then guarantee the blocking op arrives after every async
+	// op issued before it.
+	c.flushBurst()
 	c.BlockingOps++
 	to := c.shardFor(req.Key)
 	// The deferred re-lock (instead of a plain Lock after the call) keeps
@@ -416,7 +441,116 @@ func (c *Client) async(req *Request) {
 	c.seq++
 	op := AsyncOp{Req: req, Seq: c.seq, From: c.cfg.Endpoint}
 	c.pending[op.Seq] = op
+	if c.cfg.BurstRPC && !c.shutdown {
+		// Burst mode: buffer per shard instead of sending now. Everything
+		// else — WAL position, pending entry, seq — is already recorded, so
+		// the op's recovery semantics are fixed before it reaches the wire.
+		shard := c.shardFor(req.Key)
+		if _, ok := c.burst[shard]; !ok {
+			c.burstOrder = append(c.burstOrder, shard)
+		}
+		c.burst[shard] = append(c.burst[shard], op)
+		c.armBurstTimer()
+		return
+	}
 	c.sendAsync(op)
+}
+
+// flushBurst sends every buffered burst batch, one AsyncBatchMsg per
+// shard in first-buffered order. Within a shard, ops keep issue order, so
+// the server applying the slice in order preserves wire-order == WAL-order.
+// Expects c.mu held.
+func (c *Client) flushBurst() {
+	if len(c.burstOrder) == 0 {
+		return
+	}
+	order := c.burstOrder
+	c.burstOrder = nil
+	for _, shard := range order {
+		ops := c.burst[shard]
+		delete(c.burst, shard)
+		if len(ops) == 0 {
+			continue
+		}
+		if len(ops) == 1 {
+			c.sendAsync(ops[0])
+			continue
+		}
+		c.sendBatch(shard, ops)
+	}
+}
+
+// FlushBurst drains the burst buffers; the runtime calls it when an
+// instance finishes its packet burst.
+func (c *Client) FlushBurst() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flushBurst()
+}
+
+// sendBatch ships one shard's buffered ops as a single wire message. Acks
+// stay per-op: the retransmit timer re-offers whichever ops are still
+// pending individually, so a lost batch degrades to the ordinary
+// retransmission path rather than inventing batch-level ack state.
+func (c *Client) sendBatch(shard string, ops []AsyncOp) {
+	size := 0
+	for _, op := range ops {
+		size += op.Req.wireSize()
+	}
+	c.net.Send(transport.Message{
+		From: c.cfg.Endpoint, To: shard,
+		Payload: AsyncBatchMsg{Ops: ops},
+		Size:    size,
+	})
+	c.BurstRPCs++
+	seqs := make([]uint64, len(ops))
+	for i, op := range ops {
+		seqs[i] = op.Seq
+	}
+	c.net.Schedule(c.cfg.AckTimeout, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.shutdown {
+			return
+		}
+		for _, seq := range seqs {
+			if p, ok := c.pending[seq]; ok {
+				c.Retransmits++
+				c.sendAsync(p)
+			}
+		}
+	})
+}
+
+// armBurstTimer schedules the safety flush: a burst buffer must never
+// outlive the coalescing window, or an idle instance would sit on
+// unacked-but-unsent ops until the next packet arrives.
+func (c *Client) armBurstTimer() {
+	if c.burstTimer {
+		return
+	}
+	c.burstTimer = true
+	c.net.Schedule(c.cfg.CoalesceWindow, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.burstTimer = false
+		if c.shutdown {
+			return
+		}
+		c.flushBurst()
+	})
+}
+
+// BurstPending reports buffered (unsent) burst ops; scale-in quiescence
+// checks this alongside PendingAcks.
+func (c *Client) BurstPending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, ops := range c.burst {
+		n += len(ops)
+	}
+	return n
 }
 
 func (c *Client) sendAsync(op AsyncOp) {
@@ -906,6 +1040,7 @@ func (c *Client) FlushAll() int {
 	for _, k := range c.sortedCacheKeys(func(_ Key, e *cacheEntry) bool { return len(e.pending) > 0 }) {
 		n += c.flushEntry(k, c.cache[k])
 	}
+	c.flushBurst()
 	return n
 }
 
@@ -1037,7 +1172,7 @@ func (c *Client) InvalidateAll() {
 type Stats struct {
 	BlockingOps, AsyncOps, CacheHits, CacheMisses uint64
 	Retransmits, FlushedOps                       uint64
-	CoalescedOps, BatchedSends                    uint64
+	CoalescedOps, BatchedSends, BurstRPCs         uint64
 }
 
 // StatsSnapshot returns the current counters under the client lock.
@@ -1049,5 +1184,6 @@ func (c *Client) StatsSnapshot() Stats {
 		CacheHits: c.CacheHits, CacheMisses: c.CacheMisses,
 		Retransmits: c.Retransmits, FlushedOps: c.FlushedOps,
 		CoalescedOps: c.CoalescedOps, BatchedSends: c.BatchedSends,
+		BurstRPCs: c.BurstRPCs,
 	}
 }

@@ -23,6 +23,18 @@ type AsyncOp struct {
 // AckMsg acknowledges an AsyncOp.
 type AckMsg struct{ Seq uint64 }
 
+// AsyncBatchMsg carries every async op one client burst generated for one
+// shard in a single wire message (the live hot path's burst-scoped RPC
+// batching; see ClientConfig.BurstRPC). The server applies the ops in
+// slice order — the client buffered them in issue order per shard, so
+// per-shard wire order (and therefore WalPos accounting and checkpoint
+// positions) is exactly what a sequence of individual AsyncOp sends would
+// produce — and acknowledges each op individually, so the client's
+// per-op retransmission machinery is unchanged.
+type AsyncBatchMsg struct {
+	Ops []AsyncOp
+}
+
 // CallbackMsg pushes a new value of a cached read-heavy object to a
 // registered instance (Table 1 "caching w/ callbacks").
 type CallbackMsg struct {
@@ -296,37 +308,14 @@ func (s *Server) run(p transport.Proc) {
 			s.applyMu.Unlock()
 			pl.Reply(rep, 16+rep.Val.wireSize())
 		case AsyncOp:
-			p.Sleep(s.cfg.OpService)
-			s.AsyncServed++
-			s.noteClient(pl.From)
-			seen := s.appliedSeqs[pl.From]
-			if seen == nil {
-				seen = make(map[uint64]struct{})
-				s.appliedSeqs[pl.From] = seen
+			s.serveAsync(p, pl)
+		case AsyncBatchMsg:
+			// Slice order is the client's per-shard issue order; applying
+			// in order keeps the WAL-order == wire-order invariant that
+			// WalPos accounting and checkpoint positions rely on.
+			for _, op := range pl.Ops {
+				s.serveAsync(p, op)
 			}
-			if _, dup := seen[pl.Seq]; !dup {
-				s.applyMu.Lock()
-				rep := s.engine.Apply(pl.Req)
-				if !rep.Conflict {
-					s.notePos(pl.Req.Instance, pl.Req.WalPos)
-				}
-				s.applyMu.Unlock()
-				if rep.Conflict {
-					// Transient ownership conflict: mid-handover, the new
-					// instance can issue (or flush) ops for a flow whose
-					// per-flow key the old instance still owns — with
-					// multiple workers, packets behind the "first"-marked
-					// one process while the acquire is still waiting for
-					// the release. Absorbing-and-acking here would lose the
-					// update forever (its clock's Fig 6 vector could never
-					// balance); staying silent instead makes the client's
-					// retransmission re-offer the op once the release has
-					// landed, and appliedSeqs dedups the retries.
-					continue
-				}
-				seen[pl.Seq] = struct{}{}
-			}
-			s.net.Send(transport.Message{From: s.Name, To: pl.From, Payload: AckMsg{Seq: pl.Seq}, Size: 12})
 		case OwnerSeedMsg:
 			p.Sleep(s.cfg.OpService)
 			s.applyMu.Lock()
@@ -336,6 +325,44 @@ func (s *Server) run(p transport.Proc) {
 			s.engine.PruneClock(pl.Clock)
 		}
 	}
+}
+
+// serveAsync applies one non-blocking op: per-client sequence dedup, the
+// conflict-stays-silent rule, and an individual ACK. Both the single
+// AsyncOp path and AsyncBatchMsg entries land here, so batching changes
+// message count only, never semantics.
+func (s *Server) serveAsync(p transport.Proc, pl AsyncOp) {
+	p.Sleep(s.cfg.OpService)
+	s.AsyncServed++
+	s.noteClient(pl.From)
+	seen := s.appliedSeqs[pl.From]
+	if seen == nil {
+		seen = make(map[uint64]struct{})
+		s.appliedSeqs[pl.From] = seen
+	}
+	if _, dup := seen[pl.Seq]; !dup {
+		s.applyMu.Lock()
+		rep := s.engine.Apply(pl.Req)
+		if !rep.Conflict {
+			s.notePos(pl.Req.Instance, pl.Req.WalPos)
+		}
+		s.applyMu.Unlock()
+		if rep.Conflict {
+			// Transient ownership conflict: mid-handover, the new
+			// instance can issue (or flush) ops for a flow whose
+			// per-flow key the old instance still owns — with
+			// multiple workers, packets behind the "first"-marked
+			// one process while the acquire is still waiting for
+			// the release. Absorbing-and-acking here would lose the
+			// update forever (its clock's Fig 6 vector could never
+			// balance); staying silent instead makes the client's
+			// retransmission re-offer the op once the release has
+			// landed, and appliedSeqs dedups the retries.
+			return
+		}
+		seen[pl.Seq] = struct{}{}
+	}
+	s.net.Send(transport.Message{From: s.Name, To: pl.From, Payload: AckMsg{Seq: pl.Seq}, Size: 12})
 }
 
 func (s *Server) runCheckpointer(p transport.Proc) {

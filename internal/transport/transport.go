@@ -86,6 +86,34 @@ type Signal interface {
 // Handle identifies a spawned process for Kill. Opaque to callers.
 type Handle any
 
+// BurstSender is an optional transport capability: delivering a burst of
+// messages with one synchronization round per destination instead of one
+// per message. The link model (loss, duplication, latency, bandwidth) is
+// still applied per message, so a burst is observationally a sequence of
+// Sends — only the locking is amortized. FIFO holds within a burst and
+// across consecutive bursts on the same link, exactly as for Send.
+type BurstSender interface {
+	SendBurst(msgs []Message)
+}
+
+// SendBurst delivers msgs through t, using the native burst path when the
+// transport provides one and falling back to per-message Send otherwise.
+// The fallback is the semantic definition of a burst: the DES substrate
+// never implements BurstSender, so burst-enabled callers remain
+// byte-identical with their unbatched selves under simulation.
+func SendBurst(t Transport, msgs []Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	if bs, ok := t.(BurstSender); ok {
+		bs.SendBurst(msgs)
+		return
+	}
+	for _, m := range msgs {
+		t.Send(m)
+	}
+}
+
 // Transport is the substrate interface. All methods are safe to call from
 // any process of the transport; in simnet they must be called from
 // simulation context or between drive steps (the DES is single-threaded).

@@ -31,6 +31,12 @@ func Run(t *testing.T, mk func() transport.Transport) {
 	t.Run("CallTimeout", func(t *testing.T) { testCallTimeout(t, mk()) })
 	t.Run("KillUnblocksRecv", func(t *testing.T) { testKill(t, mk()) })
 	t.Run("ScheduleFires", func(t *testing.T) { testSchedule(t, mk()) })
+	t.Run("BurstFIFO", func(t *testing.T) { testBurstFIFO(t, mk()) })
+	t.Run("BurstFanOut", func(t *testing.T) { testBurstFanOut(t, mk()) })
+	t.Run("BurstLoss", func(t *testing.T) { testBurstLoss(t, mk()) })
+	t.Run("BurstDup", func(t *testing.T) { testBurstDup(t, mk()) })
+	t.Run("BurstLatencyFIFO", func(t *testing.T) { testBurstLatency(t, mk()) })
+	t.Run("BurstKillMidBurst", func(t *testing.T) { testBurstKill(t, mk()) })
 }
 
 // testFIFO: messages on one link arrive in send order.
@@ -234,6 +240,165 @@ func testKill(t *testing.T, tr transport.Transport) {
 	}
 	if n := tr.Endpoint("b").Len(); n != 1 {
 		t.Fatalf("inbox has %d messages, want 1 (unconsumed)", n)
+	}
+}
+
+// burstOf builds k messages a->b with payloads base..base+k-1.
+func burstOf(from, to string, base, k int) []transport.Message {
+	msgs := make([]transport.Message, k)
+	for i := range msgs {
+		msgs[i] = transport.Message{From: from, To: to, Payload: base + i, Size: 8}
+	}
+	return msgs
+}
+
+// testBurstFIFO: SendBurst preserves send order within a burst, across
+// consecutive bursts, and when interleaved with single Sends — the burst
+// path is an optimization of N Sends, never a reordering.
+func testBurstFIFO(t *testing.T, tr transport.Transport) {
+	const bursts, per = 10, 16
+	total := bursts*per + bursts // one plain Send between bursts
+	done := tr.NewSignal()
+	var got []int
+	tr.Spawn("rx", func(p transport.Proc) {
+		ep := tr.Endpoint("b")
+		for len(got) < total {
+			m := ep.Recv(p)
+			got = append(got, m.Payload.(int))
+		}
+		done.Resolve(nil)
+	})
+	next := 0
+	for i := 0; i < bursts; i++ {
+		transport.SendBurst(tr, burstOf("a", "b", next, per))
+		next += per
+		tr.Send(transport.Message{From: "a", To: "b", Payload: next, Size: 8})
+		next++
+	}
+	if !tr.Drive(done, step) {
+		t.Fatalf("receiver did not drain %d burst messages (got %d)", total, len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out-of-order burst delivery at %d: got %d", i, v)
+		}
+	}
+}
+
+// testBurstFanOut: one burst spanning several destinations delivers each
+// destination's run in order (the live implementation batches per-mailbox
+// runs; the split must not lose or reorder anything).
+func testBurstFanOut(t *testing.T, tr transport.Transport) {
+	const per = 20
+	dsts := []string{"b", "c", "d"}
+	var msgs []transport.Message
+	for i := 0; i < per; i++ {
+		for _, d := range dsts {
+			msgs = append(msgs, transport.Message{From: "a", To: d, Payload: i, Size: 8})
+		}
+	}
+	done := make([]transport.Signal, len(dsts))
+	got := make([][]int, len(dsts))
+	for di, d := range dsts {
+		di, d := di, d
+		done[di] = tr.NewSignal()
+		tr.Spawn("rx."+d, func(p transport.Proc) {
+			ep := tr.Endpoint(d)
+			for len(got[di]) < per {
+				m := ep.Recv(p)
+				got[di] = append(got[di], m.Payload.(int))
+			}
+			done[di].Resolve(nil)
+		})
+	}
+	transport.SendBurst(tr, msgs)
+	for di, d := range dsts {
+		if !tr.Drive(done[di], step) {
+			t.Fatalf("destination %s did not drain its burst share (got %d)", d, len(got[di]))
+		}
+		for i, v := range got[di] {
+			if v != i {
+				t.Fatalf("destination %s out of order at %d: got %d", d, i, v)
+			}
+		}
+	}
+}
+
+// testBurstLoss: loss applies per message inside a burst, and the link
+// stats account each one.
+func testBurstLoss(t *testing.T, tr transport.Transport) {
+	tr.SetLink("a", "b", transport.LinkConfig{LossProb: 1.0})
+	transport.SendBurst(tr, burstOf("a", "b", 0, 10))
+	tr.RunFor(10 * time.Millisecond)
+	if n := tr.Endpoint("b").Len(); n != 0 {
+		t.Fatalf("lossy link delivered %d burst messages", n)
+	}
+	sent, delivered, dropped := tr.LinkStats("a", "b")
+	if sent != 10 || delivered != 0 || dropped != 10 {
+		t.Fatalf("burst stats sent=%d delivered=%d dropped=%d, want 10/0/10", sent, delivered, dropped)
+	}
+}
+
+// testBurstDup: duplication applies per message inside a burst.
+func testBurstDup(t *testing.T, tr transport.Transport) {
+	tr.SetLink("a", "b", transport.LinkConfig{DupProb: 1.0})
+	transport.SendBurst(tr, burstOf("a", "b", 0, 5))
+	tr.RunFor(10 * time.Millisecond)
+	if n := tr.Endpoint("b").Len(); n != 10 {
+		t.Fatalf("dup link delivered %d burst copies, want 10", n)
+	}
+}
+
+// testBurstLatency: a burst over a delayed link keeps its order (delayed
+// burst members go through the same ordered-dispatch path as singles).
+func testBurstLatency(t *testing.T, tr transport.Transport) {
+	tr.SetLink("a", "b", transport.LinkConfig{Latency: 2 * time.Millisecond})
+	const n = 50
+	done := tr.NewSignal()
+	var got []int
+	tr.Spawn("rx", func(p transport.Proc) {
+		ep := tr.Endpoint("b")
+		for len(got) < n {
+			m := ep.Recv(p)
+			got = append(got, m.Payload.(int))
+		}
+		done.Resolve(nil)
+	})
+	transport.SendBurst(tr, burstOf("a", "b", 0, n))
+	if !tr.Drive(done, step) {
+		t.Fatalf("receiver did not drain %d delayed burst messages (got %d)", n, len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out-of-order delayed burst delivery at %d: got %d", i, v)
+		}
+	}
+}
+
+// testBurstKill: killing a receiver that consumed part of a burst leaves
+// the unconsumed remainder queued (kill-unwind does not tear the burst).
+func testBurstKill(t *testing.T, tr transport.Transport) {
+	const n = 8
+	firstTwo := tr.NewSignal()
+	h := tr.Spawn("rx", func(p transport.Proc) {
+		ep := tr.Endpoint("b")
+		ep.Recv(p)
+		ep.Recv(p)
+		firstTwo.Resolve(nil)
+		for {
+			ep.Recv(p)
+		}
+	})
+	transport.SendBurst(tr, burstOf("a", "b", 0, 2))
+	if !tr.Drive(firstTwo, step) {
+		t.Fatal("receiver did not consume the first burst")
+	}
+	tr.Kill(h)
+	tr.RunFor(5 * time.Millisecond)
+	transport.SendBurst(tr, burstOf("a", "b", 2, n))
+	tr.RunFor(10 * time.Millisecond)
+	if q := tr.Endpoint("b").Len(); q != n {
+		t.Fatalf("inbox has %d messages after mid-burst kill, want %d unconsumed", q, n)
 	}
 }
 
