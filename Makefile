@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet lint lint-fix fmt-check fmt bench bench-smoke live-soak perf-guard examples ci
+.PHONY: build test test-race vet lint lint-fix fmt-check fmt bench bench-smoke live-soak net-gate perf-guard examples ci
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,14 @@ bench-smoke:
 live-soak:
 	CHC_SOAK_SECONDS=$${CHC_SOAK_SECONDS:-30} $(GO) test -race -count=1 \
 		-run 'TestLiveSoak' -v -timeout 15m ./internal/experiments
+
+# net-gate is the multi-process loopback gate (DESIGN.md §12): a real
+# coordinator + two chcd worker processes on 127.0.0.1, jq-asserted clean
+# invariants plus nonzero cross-process traffic counters, then the
+# SIGKILL round (worker killed mid-stream, invariants re-checked after
+# the cross-process failover + replay).
+net-gate:
+	sh ci/net_gate.sh
 
 # perf-guard regenerates the full benchmark JSON and fails on >25% goodput
 # regression of the headline experiments against the checked-in baseline.

@@ -273,3 +273,23 @@ func BenchmarkLiveHotPath(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkNetProc runs the multi-process substrate experiment (fork
+// chain across two loopback netnet nodes, remote-node crash mid-stream).
+// Wall-clock goodput is machine-dependent; the benchmark's real job in
+// bench-smoke is proving the cross-socket wiring works — it fails unless
+// the run crossed sockets and drained clean.
+func BenchmarkNetProc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := experiments.NetProc(benchOpts())
+		b.ReportMetric(metric(tb, []string{"goodput"}, 1, "Gbit/s"), "net-gbps")
+		msgs := metric(tb, []string{"remote msgs"}, 1, "")
+		b.ReportMetric(msgs, "remote-msgs")
+		if msgs <= 0 {
+			b.Fatal("netproc run never crossed a socket")
+		}
+		if metric(tb, []string{"xor residue (log)"}, 1, "") != 0 {
+			b.Fatal("netproc run left XOR residue")
+		}
+	}
+}

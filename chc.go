@@ -42,6 +42,7 @@ import (
 	"chc/internal/runtime"
 	"chc/internal/store"
 	"chc/internal/trace"
+	"chc/internal/transport"
 )
 
 // Core NF programming model.
@@ -122,6 +123,46 @@ type (
 	TraceConfig = trace.Config
 )
 
+// Execution substrates and multi-process deployment. ChainConfig.Substrate
+// selects where the chain runs; on SubstrateNet, ChainConfig.Nodes places
+// endpoints on named nodes and ChainConfig.Node makes one OS process host
+// one node's share of the chain (DESIGN.md §12). The deprecated
+// ChainConfig.Live bool remains as an alias for SubstrateLive.
+type (
+	// Substrate selects the execution substrate (sim / live / net).
+	Substrate = runtime.Substrate
+	// NodeSpec declares one node: name, dial address, hosted endpoints.
+	NodeSpec = transport.NodeSpec
+	// NodeMap resolves endpoints to nodes and nodes to addresses.
+	NodeMap = transport.NodeMap
+	// WireEnc is the canonical wire encoder handed to payload codecs.
+	WireEnc = transport.WireEnc
+	// WireDec is the canonical wire decoder handed to payload codecs.
+	WireDec = transport.WireDec
+)
+
+// Substrates.
+const (
+	// SubstrateSim is the deterministic DES (the default, the oracle).
+	SubstrateSim = runtime.SubstrateSim
+	// SubstrateLive is real goroutines + wall-clock in one process.
+	SubstrateLive = runtime.SubstrateLive
+	// SubstrateNet is real TCP sockets between OS processes.
+	SubstrateNet = runtime.SubstrateNet
+)
+
+// RegisterWireCodec registers the canonical wire codec for a payload type
+// shipped between nodes on SubstrateNet. Every type sent as a message
+// payload or call body across nodes must be registered (the wirecodec
+// linter enforces this for the framework's own protocol types); tags are
+// permanent protocol surface and must never be reused.
+func RegisterWireCodec[T any](tag uint16, name string, enc func(*WireEnc, T), dec func(*WireDec) T) {
+	transport.RegisterWire[T](tag, name, enc, dec)
+}
+
+// NewNodeMap indexes a node declaration list for endpoint resolution.
+func NewNodeMap(nodes []NodeSpec) *NodeMap { return transport.NewNodeMap(nodes) }
+
 // Control plane. Reconfiguration is declarative: build a DeploymentSpec
 // (per-vertex replica counts), submit it to the chain's Controller, and
 // the controller diffs it against the running deployment and emits the
@@ -184,6 +225,14 @@ func DefaultChainConfig() ChainConfig { return runtime.DefaultChainConfig() }
 // same chain code on real goroutines and wall-clock time instead of the
 // deterministic simulation (DESIGN.md §7).
 func LiveChainConfig() ChainConfig { return runtime.LiveChainConfig() }
+
+// NetChainConfig returns the live calibration retargeted at real TCP
+// sockets (DESIGN.md §12): nodes declares endpoint placement, node names
+// the node THIS process hosts ("" runs every node in-process as a
+// loopback cluster).
+func NetChainConfig(nodes []NodeSpec, node string) ChainConfig {
+	return runtime.NetChainConfig(nodes, node)
+}
 
 // GenerateTrace builds a synthetic, deterministic packet trace with the
 // aggregate properties of the paper's campus-to-EC2 captures.

@@ -46,6 +46,55 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	}
 }
 
+// TestPublicAPINetQuickstart runs the same quickstart chain on a loopback
+// multi-node deployment through the public surface: NetChainConfig,
+// NodeSpec placement, the RegisterWireCodec hook and the cross-socket
+// traffic counters.
+func TestPublicAPINetQuickstart(t *testing.T) {
+	type probe struct{ N uint64 }
+	chc.RegisterWireCodec[probe](4096, "chc_test.probe",
+		func(e *chc.WireEnc, p probe) { e.U64(p.N) },
+		func(d *chc.WireDec) probe { return probe{N: d.U64()} })
+
+	cfg := chc.NetChainConfig([]chc.NodeSpec{
+		{Name: "a", Endpoints: []string{"root0", "sink", "store0", "driver", "framework", "v1.i1"}},
+		{Name: "b", Endpoints: []string{"v1"}},
+	}, "")
+	cfg.Seed = 3
+	chain := chc.NewChain(cfg, chc.VertexSpec{
+		Name:      "nat",
+		Make:      func() chc.NF { return nfnat.New() },
+		Instances: 2,
+		Backend:   chc.BackendCHC,
+		Mode:      chc.ModeEOCNA,
+	})
+	chain.Start()
+	chain.Vertices[0].Seed(func(apply func(store.Request)) {
+		nfnat.New().SeedPorts(apply)
+	})
+
+	tr := chc.GenerateTrace(chc.TraceConfig{
+		Seed: 1, Flows: 60, PktsPerFlowMean: 8, PayloadMedian: 800,
+		Hosts: 8, Servers: 4,
+	})
+	tr.Pace(2_000_000_000)
+	chain.RunTrace(tr, 100*time.Millisecond)
+	if !chain.AwaitDrained(10 * time.Second) {
+		t.Fatal("chain did not drain")
+	}
+	chain.Stop()
+
+	if int(chain.Sink.Received) != tr.Len() {
+		t.Fatalf("delivered %d of %d", chain.Sink.Received, tr.Len())
+	}
+	if chain.Sink.Duplicates != 0 {
+		t.Fatalf("%d duplicates", chain.Sink.Duplicates)
+	}
+	if ns := chain.NetStats(); ns.RemoteMsgs == 0 && ns.RemoteCalls == 0 {
+		t.Fatalf("no traffic crossed a socket: %+v", ns)
+	}
+}
+
 // TestExperimentRegistry checks the public experiment surface.
 func TestExperimentRegistry(t *testing.T) {
 	exps := chc.Experiments()

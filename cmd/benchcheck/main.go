@@ -13,7 +13,13 @@
 // experiments (dstore, live) are excluded by default for exactly that
 // reason; livehot IS guarded because its allocs/op cells count allocator
 // events, which are steady-state stable on any machine, while its pkts/s
-// cells stay unsuffixed (informational, never compared).
+// cells stay unsuffixed (informational, never compared). netproc is
+// guarded the same way: its presence and row structure are enforced (the
+// multi-process experiment cannot silently vanish from the baseline),
+// but its goodput cell is wall-clock over loopback TCP and deliberately
+// formatted as "Gbit/s" — not a compared "Gbps" cell — so machine noise
+// cannot fail the gate; its correctness surface is the invariant rows
+// and the CI net-gate job.
 //
 // Usage:
 //
@@ -99,7 +105,7 @@ func allocsCell(s string) (float64, bool) {
 func main() {
 	basePath := flag.String("baseline", "BENCH_baseline.json", "checked-in baseline results")
 	freshPath := flag.String("fresh", "BENCH_fresh.json", "freshly generated results")
-	idsFlag := flag.String("ids", "fig8,fig10,scale,dag,autoscale,rto,livehot", "comma-separated headline experiment ids to guard")
+	idsFlag := flag.String("ids", "fig8,fig10,scale,dag,autoscale,rto,livehot,netproc", "comma-separated headline experiment ids to guard")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated fractional regression")
 	flag.Parse()
 

@@ -55,6 +55,43 @@
 // vertex (band tuned by -as-low/-as-high pps, bounds by -as-min/-as-max),
 // and the -json report's "controller" block records whether it ran —
 // the live-soak CI gate asserts autoscaler_evals > 0.
+//
+// Multi-process deployments split one chain across OS processes (real TCP
+// via internal/netnet; DESIGN.md §12). The config file gains a "nodes"
+// section placing endpoints on named nodes:
+//
+//	{
+//	  "vertices": [{"name": "nat", "nf": "nat", "instances": 2}],
+//	  "nodes": [
+//	    {"name": "w1", "addr": "127.0.0.1:7101", "admin": "127.0.0.1:8101",
+//	     "endpoints": ["root0", "sink", "store0", "driver", "framework", "v1"]},
+//	    {"name": "w2", "addr": "127.0.0.1:7102", "admin": "127.0.0.1:8102",
+//	     "endpoints": ["v1.i2"]}
+//	  ]
+//	}
+//
+// Then each process runs one node, and a coordinator drives the run:
+//
+//	chcd worker -config chain.json -node w1
+//	chcd worker -config chain.json -node w2
+//	chcd coordinator -config chain.json -flows 300 -json report.json
+//
+// Every worker builds the identical chain (same IDs, partition map and
+// topology) but spawns only the components homed on its node; cross-node
+// packets and store RPCs ride TCP through the wire codec. Workers serve
+// the admin API on their node's "admin" address, extended with GET
+// /health, POST /run (root-owner node only: pace a trace through the
+// chain and return the run report) and POST /failover (replace a crashed
+// instance, optionally re-homing the replacement). The coordinator
+// health-checks every worker, broadcasts spec changes, starts the run,
+// and — when a worker dies mid-run (e.g. SIGKILL) — broadcasts failover
+// verbs for the dead node's instances to the survivors, exercising the
+// §5.4 story across real process boundaries.
+//
+// The first positional argument selects the mode: "run" (the single
+// process behavior above), "worker", or "coordinator". A first argument
+// beginning with '-' dispatches to "run" for compatibility with existing
+// flat-flag invocations.
 package main
 
 import (
@@ -77,6 +114,7 @@ import (
 	"chc/internal/runtime"
 	"chc/internal/store"
 	"chc/internal/trace"
+	"chc/internal/transport"
 )
 
 // vertexJSON is one chain vertex in the config file.
@@ -96,6 +134,17 @@ type pathJSON struct {
 	Vertices []string `json:"vertices"`
 }
 
+// nodeJSON is one node of a multi-process deployment: a netnet dial
+// address, the admin API address its worker serves, and the endpoints it
+// hosts (prefix matching applies, so "v1" homes every v1 instance not
+// claimed elsewhere — including failover replacements minted later).
+type nodeJSON struct {
+	Name      string   `json:"name"`
+	Addr      string   `json:"addr"`
+	Admin     string   `json:"admin"`
+	Endpoints []string `json:"endpoints"`
+}
+
 type configJSON struct {
 	Vertices []vertexJSON `json:"vertices"`
 	Seed     int64        `json:"seed"`
@@ -106,6 +155,47 @@ type configJSON struct {
 	// ordered vertex path per traffic class, with the root classifying
 	// packets by IP protocol. Empty keeps the linear declaration order.
 	Paths []pathJSON `json:"paths"`
+	// Nodes, when present, declare the multi-process deployment's nodes
+	// (chcd worker / coordinator modes). Ignored by plain "chcd run".
+	Nodes []nodeJSON `json:"nodes"`
+}
+
+// nodeSpecs converts the config's node section to transport placement.
+func (c configJSON) nodeSpecs() []transport.NodeSpec {
+	var out []transport.NodeSpec
+	for _, n := range c.Nodes {
+		out = append(out, transport.NodeSpec{Name: n.Name, Addr: n.Addr, Endpoints: n.Endpoints})
+	}
+	return out
+}
+
+// adminOf returns the admin address of the named node.
+func (c configJSON) adminOf(node string) string {
+	for _, n := range c.Nodes {
+		if n.Name == node {
+			return n.Admin
+		}
+	}
+	return ""
+}
+
+func loadConfig(path string) configJSON {
+	if path == "" {
+		fmt.Fprintln(os.Stderr, "chcd: -config is required")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg configJSON
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fatal(fmt.Errorf("parse config: %w", err))
+	}
+	if len(cfg.Vertices) == 0 {
+		fatal(fmt.Errorf("config has no vertices"))
+	}
+	return cfg
 }
 
 // passNF forwards packets unchanged.
@@ -170,57 +260,98 @@ func parseMode(s string) (store.Mode, error) {
 }
 
 func main() {
-	cfgPath := flag.String("config", "", "chain config JSON (required)")
-	tracePath := flag.String("trace", "", "trace file (from tracegen); empty generates one")
-	flows := flag.Int("flows", 500, "generated trace connections")
-	gbpsF := flag.Int64("gbps", 2, "offered load in Gbps")
-	udpFrac := flag.Float64("udp-frac", 0, "fraction of generated flows as UDP (drives DAG fork classes)")
-	shards := flag.Int("shards", 0, "datastore shard servers (overrides config; 0 keeps config/default)")
-	ckptInterval := flag.Duration("ckpt-interval", 0, "periodic durable store checkpoints + WAL truncation (0 disables)")
-	ckptRetain := flag.Int("ckpt-retain", 0, "committed checkpoints each shard retains (0 keeps the default of 2)")
-	settle := flag.Duration("settle", 500*time.Millisecond, "post-trace settle time (virtual)")
-	live := flag.Bool("live", false, "run on real goroutines and wall-clock time (livenet)")
-	jsonPath := flag.String("json", "", "write a machine-readable run report to this path (- for stdout)")
-	minPPS := flag.Float64("min-pps", 0, "exit nonzero if sustained ingest pkts/s falls below this (live perf gate)")
-	admin := flag.String("admin", "", "serve the controller admin API (HTTP JSON) on this address while the run is active (live mode only)")
-	autoscale := flag.String("autoscale", "", "start the metrics-driven autoscaler on this vertex")
-	asLow := flag.Float64("as-low", 3_000, "autoscaler low band edge (pkts/s per instance)")
-	asHigh := flag.Float64("as-high", 20_000, "autoscaler high band edge (pkts/s per instance)")
-	asMin := flag.Int("as-min", 1, "autoscaler minimum replicas")
-	asMax := flag.Int("as-max", 4, "autoscaler maximum replicas")
-	flag.Parse()
+	args := os.Args[1:]
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, rest := args[0], args[1:]
+		switch cmd {
+		case "run":
+			runMain(rest)
+		case "worker":
+			workerMain(rest)
+		case "coordinator":
+			coordinatorMain(rest)
+		default:
+			fmt.Fprintf(os.Stderr, "chcd: unknown command %q (want run, worker or coordinator)\n", cmd)
+			os.Exit(2)
+		}
+		return
+	}
+	// Flat-flag compatibility: a first argument starting with '-' (or no
+	// arguments at all) is the historical single-process CLI, dispatched
+	// to "chcd run" unchanged.
+	runMain(args)
+}
 
-	if *cfgPath == "" {
-		fmt.Fprintln(os.Stderr, "chcd: -config is required")
-		os.Exit(2)
-	}
-	raw, err := os.ReadFile(*cfgPath)
-	if err != nil {
-		fatal(err)
-	}
-	var cfg configJSON
-	if err := json.Unmarshal(raw, &cfg); err != nil {
-		fatal(fmt.Errorf("parse config: %w", err))
-	}
-	if len(cfg.Vertices) == 0 {
-		fatal(fmt.Errorf("config has no vertices"))
-	}
+// chainTuning is the flag group shared by every mode that builds a chain.
+type chainTuning struct {
+	shards       *int
+	ckptInterval *time.Duration
+	ckptRetain   *int
+}
 
-	ccfg := runtime.DefaultChainConfig()
-	ccfg.DefaultServiceTime = 2 * time.Microsecond
-	ccfg.DefaultThreads = 2
-	if *live {
-		ccfg = runtime.LiveChainConfig()
+func addChainTuning(fs *flag.FlagSet) chainTuning {
+	return chainTuning{
+		shards:       fs.Int("shards", 0, "datastore shard servers (overrides config; 0 keeps config/default)"),
+		ckptInterval: fs.Duration("ckpt-interval", 0, "periodic durable store checkpoints + WAL truncation (0 disables)"),
+		ckptRetain:   fs.Int("ckpt-retain", 0, "committed checkpoints each shard retains (0 keeps the default of 2)"),
 	}
+}
+
+func (ct chainTuning) apply(cfg configJSON, ccfg *runtime.ChainConfig) {
 	if cfg.Seed != 0 {
 		ccfg.Seed = cfg.Seed
 	}
 	ccfg.StoreShards = cfg.Shards
-	if *shards > 0 {
-		ccfg.StoreShards = *shards
+	if *ct.shards > 0 {
+		ccfg.StoreShards = *ct.shards
 	}
-	ccfg.CheckpointInterval = *ckptInterval
-	ccfg.CheckpointRetain = *ckptRetain
+	ccfg.CheckpointInterval = *ct.ckptInterval
+	ccfg.CheckpointRetain = *ct.ckptRetain
+}
+
+// traceTuning is the flag group shared by every mode that offers traffic.
+type traceTuning struct {
+	tracePath *string
+	flows     *int
+	gbps      *int64
+	udpFrac   *float64
+	settle    *time.Duration
+}
+
+func addTraceTuning(fs *flag.FlagSet) traceTuning {
+	return traceTuning{
+		tracePath: fs.String("trace", "", "trace file (from tracegen); empty generates one"),
+		flows:     fs.Int("flows", 500, "generated trace connections"),
+		gbps:      fs.Int64("gbps", 2, "offered load in Gbps"),
+		udpFrac:   fs.Float64("udp-frac", 0, "fraction of generated flows as UDP (drives DAG fork classes)"),
+		settle:    fs.Duration("settle", 500*time.Millisecond, "post-trace settle time (virtual)"),
+	}
+}
+
+func (tt traceTuning) load(seed int64) *trace.Trace {
+	if *tt.tracePath != "" {
+		f, err := os.Open(*tt.tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		return tr
+	}
+	tr := trace.Generate(trace.Config{Seed: seed, Flows: *tt.flows,
+		PktsPerFlowMean: 16, PayloadMedian: 1394, Hosts: 32, Servers: 16,
+		UDPFrac: *tt.udpFrac})
+	tr.Pace(*tt.gbps * 1_000_000_000)
+	return tr
+}
+
+// buildChain compiles the config into a deployed chain on ccfg's
+// substrate: topology, vertex specs, Start, then the NF seeders (which
+// self-gate to the seeding instance's home node on SubstrateNet).
+func buildChain(cfg configJSON, ccfg runtime.ChainConfig) *runtime.Chain {
 	if len(cfg.Paths) > 0 {
 		topo := &runtime.TopologySpec{}
 		for _, p := range cfg.Paths {
@@ -254,6 +385,35 @@ func main() {
 	for i, seeder := range seeders {
 		seeder(ch.Vertices[i])
 	}
+	return ch
+}
+
+// runMain is the single-process mode: deploy, run one trace, report.
+func runMain(args []string) {
+	fs := flag.NewFlagSet("chcd run", flag.ExitOnError)
+	cfgPath := fs.String("config", "", "chain config JSON (required)")
+	tt := addTraceTuning(fs)
+	ct := addChainTuning(fs)
+	live := fs.Bool("live", false, "run on real goroutines and wall-clock time (livenet)")
+	jsonPath := fs.String("json", "", "write a machine-readable run report to this path (- for stdout)")
+	minPPS := fs.Float64("min-pps", 0, "exit nonzero if sustained ingest pkts/s falls below this (live perf gate)")
+	admin := fs.String("admin", "", "serve the controller admin API (HTTP JSON) on this address while the run is active (live mode only)")
+	autoscale := fs.String("autoscale", "", "start the metrics-driven autoscaler on this vertex")
+	asLow := fs.Float64("as-low", 3_000, "autoscaler low band edge (pkts/s per instance)")
+	asHigh := fs.Float64("as-high", 20_000, "autoscaler high band edge (pkts/s per instance)")
+	asMin := fs.Int("as-min", 1, "autoscaler minimum replicas")
+	asMax := fs.Int("as-max", 4, "autoscaler maximum replicas")
+	fs.Parse(args)
+
+	cfg := loadConfig(*cfgPath)
+	ccfg := runtime.DefaultChainConfig()
+	ccfg.DefaultServiceTime = 2 * time.Microsecond
+	ccfg.DefaultThreads = 2
+	if *live {
+		ccfg = runtime.LiveChainConfig()
+	}
+	ct.apply(cfg, &ccfg)
+	ch := buildChain(cfg, ccfg)
 	ctl := ch.Controller()
 	if *autoscale != "" {
 		interval := 50 * time.Millisecond
@@ -275,23 +435,7 @@ func main() {
 		adminSrv = startAdmin(*admin, ctl)
 	}
 
-	var tr *trace.Trace
-	if *tracePath != "" {
-		f, err := os.Open(*tracePath)
-		if err != nil {
-			fatal(err)
-		}
-		tr, err = trace.Read(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-	} else {
-		tr = trace.Generate(trace.Config{Seed: ccfg.Seed, Flows: *flows,
-			PktsPerFlowMean: 16, PayloadMedian: 1394, Hosts: 32, Servers: 16,
-			UDPFrac: *udpFrac})
-		tr.Pace(*gbpsF * 1_000_000_000)
-	}
+	tr := tt.load(ccfg.Seed)
 
 	mode := "sim"
 	if *live {
@@ -308,7 +452,7 @@ func main() {
 			fmt.Printf("path %-6s root -> %s -> sink\n", name, strings.Join(hops, " -> "))
 		}
 	}
-	elapsed := ch.RunTrace(tr, *settle)
+	elapsed := ch.RunTrace(tr, *tt.settle)
 	if *live {
 		if !ch.AwaitDrained(30 * time.Second) {
 			fmt.Fprintln(os.Stderr, "chcd: warning: chain did not fully drain")
@@ -374,25 +518,7 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		report := runReport{
-			Mode:            mode,
-			Controller:      status,
-			ElapsedSec:      secs,
-			Offered:         tr.Len(),
-			Injected:        ch.Root.Injected,
-			Deleted:         ch.Root.Deleted,
-			LogResidue:      ch.Root.LogSize(),
-			SinkReceived:    ch.Sink.Received,
-			SinkDups:        ch.Sink.Duplicates,
-			PktsPerSec:      pps,
-			GoodputGbps:     goodputBps / 1e9,
-			P50us:           float64(e2e.Percentile(50).Nanoseconds()) / 1e3,
-			P95us:           float64(e2e.Percentile(95).Nanoseconds()) / 1e3,
-			P99us:           float64(e2e.Percentile(99).Nanoseconds()) / 1e3,
-			RootBursts:      ch.Root.Bursts,
-			ArenaReuse:      ch.Metrics.Counter("arena.reuse"),
-			ClientBurstRPCs: ch.Metrics.Counter("client.burst_rpcs"),
-		}
+		report := makeReport(ch, status, mode, secs, tr.Len())
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fatal(err)
@@ -435,6 +561,40 @@ type runReport struct {
 	RootBursts      uint64 `json:"root_bursts"`
 	ArenaReuse      uint64 `json:"arena_reuse"`
 	ClientBurstRPCs uint64 `json:"client_burst_rpcs"`
+	// Cross-node transport counters (net mode; zero elsewhere): the
+	// multi-process CI gate asserts the run really crossed sockets.
+	RemoteMsgs  uint64 `json:"remote_msgs"`
+	RemoteCalls uint64 `json:"remote_calls"`
+	RemoteBytes uint64 `json:"remote_bytes"`
+}
+
+// makeReport assembles the machine-readable run report from a finished
+// (or drained) chain.
+func makeReport(ch *runtime.Chain, status runtime.ControllerStatus, mode string, secs float64, offered int) runReport {
+	e2e := ch.Metrics.Get("total.chain")
+	ns := ch.NetStats()
+	return runReport{
+		Mode:            mode,
+		Controller:      status,
+		ElapsedSec:      secs,
+		Offered:         offered,
+		Injected:        ch.Root.Injected,
+		Deleted:         ch.Root.Deleted,
+		LogResidue:      ch.Root.LogSize(),
+		SinkReceived:    ch.Sink.Received,
+		SinkDups:        ch.Sink.Duplicates,
+		PktsPerSec:      float64(ch.Root.Injected) / secs,
+		GoodputGbps:     float64(ch.Sink.Bytes) * 8 / secs / 1e9,
+		P50us:           float64(e2e.Percentile(50).Nanoseconds()) / 1e3,
+		P95us:           float64(e2e.Percentile(95).Nanoseconds()) / 1e3,
+		P99us:           float64(e2e.Percentile(99).Nanoseconds()) / 1e3,
+		RootBursts:      ch.Root.Bursts,
+		ArenaReuse:      ch.Metrics.Counter("arena.reuse"),
+		ClientBurstRPCs: ch.Metrics.Counter("client.burst_rpcs"),
+		RemoteMsgs:      ns.RemoteMsgs,
+		RemoteCalls:     ns.RemoteCalls,
+		RemoteBytes:     ns.RemoteBytes,
+	}
 }
 
 // startAdmin serves the controller admin API: the declarative mutation

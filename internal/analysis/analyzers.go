@@ -12,6 +12,7 @@ import (
 	"chc/internal/analysis/specmutation"
 	"chc/internal/analysis/transportdiscipline"
 	"chc/internal/analysis/unwindlock"
+	"chc/internal/analysis/wirecodec"
 )
 
 // Suite is the full chclint analyzer set, in report order.
@@ -23,6 +24,7 @@ func Suite() []*chcanalysis.Analyzer {
 		maporder.Analyzer,
 		unwindlock.Analyzer,
 		arenadiscipline.Analyzer,
+		wirecodec.Analyzer,
 	}
 }
 

@@ -119,6 +119,10 @@ func (l *Loader) Load(path string) (*Package, error) {
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Implicits:  make(map[ast.Node]types.Object),
+		// Instances resolves generic instantiations (explicit or
+		// inferred) to their type arguments — the wirecodec analyzer
+		// reads RegisterWire[T]'s T from here.
+		Instances: make(map[*ast.Ident]types.Instance),
 	}
 	conf := types.Config{
 		Importer: importerFunc(func(ipath string) (*types.Package, error) {

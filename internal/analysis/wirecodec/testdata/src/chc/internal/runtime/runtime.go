@@ -1,0 +1,59 @@
+// Package runtime exercises every checked payload site, including
+// cross-package facts: store's registrations (loaded as a dependency)
+// make *store.Request/store.Reply legal here, while unregistered types
+// are flagged wherever they enter the transport.
+package runtime
+
+import (
+	"time"
+
+	"chc/internal/store"
+	"chc/internal/transport"
+)
+
+// LocalCmd is a runtime control verb nobody registered.
+type LocalCmd struct{ ID uint16 }
+
+// PacketMsg is registered below (value type), mirroring the real wire.go.
+type PacketMsg struct{ Clock uint64 }
+
+func init() {
+	transport.RegisterWire[PacketMsg](48, "runtime.PacketMsg",
+		func(e *transport.WireEnc, m PacketMsg) { e.I64(int64(m.Clock)) },
+		func(d *transport.WireDec) PacketMsg { return PacketMsg{Clock: uint64(d.I64())} })
+}
+
+func sends(tr transport.Transport, p transport.Proc) {
+	tr.Send(transport.Message{From: "a", To: "b", Payload: PacketMsg{}, Size: 1})
+	tr.Send(transport.Message{From: "a", To: "b", Payload: &store.Request{}, Size: 1})
+	tr.Send(transport.Message{From: "a", To: "b", Payload: 7, Size: 1})
+	tr.Send(transport.Message{From: "a", To: "b", Payload: LocalCmd{}, Size: 1})           // want "LocalCmd has no registered wire codec"
+	tr.Send(transport.Message{From: "a", To: "b", Payload: store.Request{}, Size: 1})      // want "payload type chc/internal/store.Request has no registered wire codec"
+	tr.Send(transport.Message{From: "a", To: "b", Payload: store.Unregistered{}, Size: 1}) // want "Unregistered has no registered wire codec"
+}
+
+func assigns(msg *transport.Message) {
+	msg.Payload = PacketMsg{}
+	msg.Payload = LocalCmd{} // want "LocalCmd has no registered wire codec"
+}
+
+func calls(tr transport.Transport, p transport.Proc) {
+	tr.Call(p, "a", "b", &store.Request{}, 8, time.Millisecond)
+	tr.Call(p, "a", "b", LocalCmd{}, 8, time.Millisecond) // want "LocalCmd has no registered wire codec"
+}
+
+func replies(c transport.Call) {
+	c.Reply(store.Reply{}, 8)
+	c.Reply(LocalCmd{}, 8) // want "LocalCmd has no registered wire codec"
+}
+
+// forwarding an any-typed value is not checked here: the concrete type
+// was checked where the value was built.
+func forwards(tr transport.Transport, payload any) {
+	tr.Send(transport.Message{From: "a", To: "b", Payload: payload, Size: 1})
+}
+
+func allowed(tr transport.Transport) {
+	//chc:allow wirecodec -- node-local control verb, never crosses a process boundary
+	tr.Send(transport.Message{From: "a", To: "b", Payload: LocalCmd{}, Size: 1})
+}

@@ -1,0 +1,22 @@
+// Package store stubs a ported package that registers codecs for its
+// protocol types in init (the wire.go convention) — by pointer for
+// Request, by value for Reply — and leaves one type unregistered.
+package store
+
+import "chc/internal/transport"
+
+type Request struct{ Op int }
+
+type Reply struct{ OK bool }
+
+// Unregistered is a protocol type someone forgot to register.
+type Unregistered struct{ X int }
+
+func init() {
+	transport.RegisterWire[*Request](16, "store.Request",
+		func(e *transport.WireEnc, r *Request) { e.I64(int64(r.Op)) },
+		func(d *transport.WireDec) *Request { return &Request{Op: int(d.I64())} })
+	transport.RegisterWire[Reply](17, "store.Reply",
+		func(e *transport.WireEnc, r Reply) {},
+		func(d *transport.WireDec) Reply { return Reply{} })
+}

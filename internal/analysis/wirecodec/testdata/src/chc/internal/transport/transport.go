@@ -1,0 +1,40 @@
+// Package transport stubs the wire-codec surface: Message, RegisterWire,
+// the Transport.Call RPC and the Call.Reply response path. The init
+// below registers the builtin int codec exactly as the real package does,
+// so fixture payloads of type int pass the check.
+package transport
+
+import "time"
+
+type Message struct {
+	From, To string
+	Payload  any
+	Size     int
+}
+
+type WireEnc struct{}
+
+func (e *WireEnc) I64(v int64) {}
+
+type WireDec struct{}
+
+func (d *WireDec) I64() int64 { return 0 }
+
+func RegisterWire[T any](tag uint16, name string, enc func(*WireEnc, T), dec func(*WireDec) T) {}
+
+type Proc interface{ Now() int64 }
+
+type Transport interface {
+	Send(msg Message)
+	Call(p Proc, from, to string, payload any, size int, timeout time.Duration) (any, bool)
+}
+
+type Call interface {
+	Body() any
+	Reply(v any, size int)
+}
+
+func init() {
+	RegisterWire[int](1, "int", func(e *WireEnc, v int) { e.I64(int64(v)) },
+		func(d *WireDec) int { return int(d.I64()) })
+}

@@ -1,0 +1,169 @@
+// Package wirecodec enforces the cross-process serialization invariant:
+// any payload a ported package hands to the transport — a
+// transport.Message Payload, a Transport.Call body, or a Call.Reply
+// value — may cross an OS-process boundary on the netnet substrate, and
+// netnet PANICS on a payload type with no registered wire codec (a
+// protocol-definition bug, never a runtime condition; see
+// internal/netnet). The DES and livenet pass payloads by pointer, so a
+// missing codec is invisible until someone deploys multi-process — this
+// analyzer makes it a lint failure instead.
+//
+// Registration sites (transport.RegisterWire[T] / chc.RegisterWireCodec[T]
+// call sites, conventionally in each package's wire.go init) export the
+// set of encodable types as package facts; payload construction sites in
+// ported packages are then checked against the set. Payloads whose
+// static type is an interface are skipped — the concrete type is checked
+// where it enters the payload expression.
+package wirecodec
+
+import (
+	"go/ast"
+	"go/types"
+
+	"chc/internal/analysis/chcanalysis"
+	"chc/internal/analysis/detwalltime"
+)
+
+// registeredNS is the fact namespace holding the canonical type strings
+// of every RegisterWire type argument.
+const registeredNS = "wirecodec.registered"
+
+// Analyzer is the wirecodec pass.
+var Analyzer = &chcanalysis.Analyzer{
+	Name: "wirecodec",
+	Doc:  "every payload type a ported package passes to the transport (Message.Payload, Transport.Call body, Call.Reply value) must have a transport.RegisterWire codec, or the netnet substrate panics when the payload crosses an OS-process boundary",
+	// Reported where payloads are built: the substrate-ported packages.
+	// simnet/livenet/netnet are substrate internals (their frames never
+	// re-enter EncodePayload) and are deliberately out of scope.
+	Packages: detwalltime.PortedPackages,
+	// transport itself registers the builtin codecs (int, string) and
+	// defines RegisterWire; load it for facts without reporting there.
+	FactsOnly: []string{"chc/internal/transport", "chc"},
+	Run:       run,
+}
+
+func run(pass *chcanalysis.Pass) error {
+	exportRegistrations(pass)
+	if !pass.InScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if named := chcanalysis.NamedOf(pass.TypesInfo.TypeOf(n)); isTransportNamed(named, "Message") {
+					for _, el := range n.Elts {
+						kv, ok := el.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Payload" {
+							checkPayload(pass, kv.Value)
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "Payload" || i >= len(n.Rhs) {
+						continue
+					}
+					if isTransportNamed(chcanalysis.NamedOf(pass.TypesInfo.TypeOf(sel.X)), "Message") {
+						checkPayload(pass, n.Rhs[i])
+					}
+				}
+			case *ast.CallExpr:
+				fn := chcanalysis.Callee(pass.TypesInfo, n)
+				if fn == nil || !chcanalysis.PathHasSuffix(chcanalysis.PkgPath(fn), "internal/transport") {
+					return true
+				}
+				// Transport.Call(p, from, to, payload, size, timeout).
+				if fn.Name() == "Call" && chcanalysis.RecvNamed(fn) == "Transport" && len(n.Args) >= 4 {
+					checkPayload(pass, n.Args[3])
+				}
+				// Call.Reply(value, size): the RPC response body.
+				if fn.Name() == "Reply" && chcanalysis.RecvNamed(fn) == "Call" && len(n.Args) >= 1 {
+					checkPayload(pass, n.Args[0])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// exportRegistrations records the type argument of every RegisterWire /
+// RegisterWireCodec instantiation in this package as a fact. Runs on
+// every package (ported or not) so registrations in transport and the
+// public facade propagate.
+func exportRegistrations(pass *chcanalysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id := calleeIdent(call.Fun)
+			if id == nil || (id.Name != "RegisterWire" && id.Name != "RegisterWireCodec") {
+				return true
+			}
+			inst, ok := pass.TypesInfo.Instances[id]
+			if !ok || inst.TypeArgs == nil || inst.TypeArgs.Len() != 1 {
+				return true
+			}
+			pass.Facts.Add(registeredNS, typeKey(inst.TypeArgs.At(0)))
+			return true
+		})
+	}
+}
+
+// calleeIdent digs the invoked identifier out of a (possibly explicitly
+// instantiated) call: f(...), pkg.f(...), f[T](...), pkg.f[T](...).
+func calleeIdent(fun ast.Expr) *ast.Ident {
+	switch fun := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	case *ast.IndexExpr:
+		return calleeIdent(fun.X)
+	case *ast.IndexListExpr:
+		return calleeIdent(fun.X)
+	}
+	return nil
+}
+
+// checkPayload requires expr's static type to be wire-encodable.
+// EncodePayload matches the payload's dynamic type EXACTLY (registering
+// *Request does not cover Request), so the check is exact too. A static
+// interface type is skipped — the concrete type is checked at the site
+// that built the value.
+func checkPayload(pass *chcanalysis.Pass, expr ast.Expr) {
+	t := pass.TypesInfo.TypeOf(expr)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Interface:
+		return // concrete type unknown here; checked where it was built
+	case *types.TypeParam:
+		return
+	}
+	key := typeKey(t)
+	if pass.Facts.Has(registeredNS, key) {
+		return
+	}
+	pass.Reportf(expr.Pos(), "payload type %s has no registered wire codec — it panics when it crosses an OS-process boundary on the netnet substrate; register exactly this type with transport.RegisterWire in its package's wire.go init", key)
+}
+
+// typeKey canonicalizes a type for the fact set: the fully qualified
+// type string, pointers included ("*chc/internal/store.Request", "int").
+func typeKey(t types.Type) string {
+	return types.TypeString(t, nil)
+}
+
+// isTransportNamed reports whether named is transport.<name>.
+func isTransportNamed(named *types.Named, name string) bool {
+	return named != nil && named.Obj().Name() == name &&
+		chcanalysis.PathHasSuffix(chcanalysis.PkgPath(named.Obj()), "internal/transport")
+}

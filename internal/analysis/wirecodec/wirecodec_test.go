@@ -1,0 +1,18 @@
+package wirecodec_test
+
+import (
+	"testing"
+
+	"chc/internal/analysis/analysistest"
+	"chc/internal/analysis/wirecodec"
+)
+
+// The fixtures exercise every checked payload site (Message composite
+// literals, .Payload assignment, Transport.Call bodies, Call.Reply
+// values), exact-type matching (registering *Request does not cover
+// Request), cross-package fact propagation (store's wire.go init makes
+// its types legal in runtime), the builtin int codec, interface-typed
+// forwarding (skipped), and //chc:allow suppression.
+func TestWireCodec(t *testing.T) {
+	analysistest.Run(t, "testdata", wirecodec.Analyzer)
+}

@@ -113,7 +113,7 @@ func Live(o Opts) *Table {
 	}
 	t.AddRow("xor residue (log)", fmt.Sprintf("%d", ch.Root.LogSize()))
 	t.AddRow("sink duplicates", fmt.Sprintf("%d", ch.Sink.Duplicates))
-	t.Note("same chain code as every DES experiment, selected by ChainConfig.Live; " +
+	t.Note("same chain code as every DES experiment, selected by ChainConfig.Substrate; " +
 		"wall-clock numbers are machine-dependent (the DES remains the correctness oracle)")
 	return t
 }

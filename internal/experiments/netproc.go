@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"chc/internal/runtime"
+	"chc/internal/store"
+	"chc/internal/transport"
+
+	"chc/internal/nf"
+	nflb "chc/internal/nf/lb"
+	nfnat "chc/internal/nf/nat"
+	nfps "chc/internal/nf/portscan"
+)
+
+// netForkNodes splits the live fork DAG across two nodes so the hot path
+// crosses real TCP sockets: node a hosts the framework, the store shard
+// and every vertex, node b hosts ONLY the NAT's second instance (v1.i2).
+// The bare "v1" prefix on node a homes every other v1 instance there —
+// including the replacement minted by failover — so crashing v1.i2 also
+// re-homes the vertex across nodes.
+func netForkNodes() []transport.NodeSpec {
+	return []transport.NodeSpec{
+		{Name: "a", Endpoints: []string{"root0", "sink", "store0", "driver", "framework", "v1", "v2", "v3"}},
+		{Name: "b", Endpoints: []string{"v1.i2"}},
+	}
+}
+
+// netForkChain deploys the same fork DAG as the `live` experiment on the
+// netnet substrate in loopback-cluster mode: both nodes run in this
+// process, but every packet, store RPC and control verb between them
+// round-trips through the wire codec and a real TCP socket.
+func netForkChain(seed int64) *runtime.Chain {
+	cfg := runtime.NetChainConfig(netForkNodes(), "")
+	cfg.Seed = seed
+	cfg.Topology = &runtime.TopologySpec{
+		Paths: []runtime.PathSpec{
+			{Class: "tcp", Vertices: []string{"nat", "lb"}},
+			{Class: "udp", Vertices: []string{"ids", "lb"}},
+		},
+	}
+	ch := runtime.New(cfg,
+		runtime.VertexSpec{Name: "nat", Make: func() nf.NF { return nfnat.New() },
+			Instances: 2, Backend: runtime.BackendCHC, Mode: store.ModeEOCNA},
+		runtime.VertexSpec{Name: "ids", Make: func() nf.NF { return nfps.New() },
+			Instances: 1, Backend: runtime.BackendCHC, Mode: store.ModeEOCNA},
+		runtime.VertexSpec{Name: "lb", Make: func() nf.NF { return nflb.New(8) },
+			Instances: 2, Backend: runtime.BackendCHC, Mode: store.ModeEOCNA},
+	)
+	ch.Start()
+	ch.Vertices[0].Seed(func(apply func(store.Request)) { nfnat.New().SeedPorts(apply) })
+	ch.Vertices[2].Seed(func(apply func(store.Request)) { nflb.New(8).SeedServers(apply) })
+	return ch
+}
+
+// NetProc runs the fork chain split across two netnet nodes joined by
+// loopback TCP and crashes the remote-node NAT instance mid-stream: the
+// §5.4 failover where the replay traffic, the state re-binding RPCs and
+// the replacement's catch-up all cross the wire codec and real sockets.
+// The remote msgs/calls/bytes rows prove the run actually used the
+// network; the invariant rows re-check the DES-pinned correctness story
+// across an OS-process-shaped boundary.
+func NetProc(o Opts) *Table {
+	t := &Table{
+		ID:     "netproc",
+		Title:  "Multi-process substrate: fork chain across two netnet nodes, remote-node crash mid-stream",
+		Header: []string{"metric", "value"},
+	}
+	ch := netForkChain(o.Seed)
+	tr := liveForkTrace(o.Seed, o.Flows*4)
+
+	crashed := make(chan struct{}) //chc:allow transportdiscipline -- test-driver scaffolding AROUND the live chain, not chain code: the crash injector races real wall-clock traffic
+	//chc:allow transportdiscipline -- crash injector must run outside the chain's transport procs (it kills one mid-wait)
+	go func() {
+		defer close(crashed)
+		time.Sleep(time.Duration(tr.Duration()) / 2) //chc:allow detwalltime -- the netnet substrate paces in real time; the injector sleeps half the trace's wall duration
+		// Wait until the victim has processed cross-socket traffic so the
+		// crash is genuinely mid-stream even on a loaded machine.
+		i2 := ch.Vertices[0].Instances[1] // v1.i2, homed on node b
+		for i := 0; i < 5000 && i2.ProcessedCount() == 0; i++ {
+			time.Sleep(time.Millisecond) //chc:allow detwalltime -- same wall-clock injector
+		}
+		ch.Controller().Failover(i2)
+	}()
+
+	elapsed := ch.RunTrace(tr, 100*time.Millisecond)
+	<-crashed
+	drained := ch.AwaitDrained(30 * time.Second)
+	ch.Stop()
+
+	secs := elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	t.AddRow("offered packets", fmt.Sprintf("%d", tr.Len()))
+	t.AddRow("pkts/s (ingest)", fmt.Sprintf("%.0f", float64(ch.Root.Injected)/secs))
+	// Unsuffixed Gbit/s on purpose: wall-clock loopback goodput is
+	// machine-dependent, so benchcheck must treat this cell as
+	// informational (only Gbps-suffixed cells are regression-compared).
+	t.AddRow("goodput", fmt.Sprintf("%.2fGbit/s", float64(ch.Sink.Bytes)*8/secs/1e9))
+	e2e := ch.Metrics.Get("total.chain")
+	t.AddRow("e2e p50", us(e2e.Percentile(50)))
+	t.AddRow("e2e p99", us(e2e.Percentile(99)))
+	ns := ch.NetStats()
+	t.AddRow("remote msgs", fmt.Sprintf("%d", ns.RemoteMsgs))
+	t.AddRow("remote calls", fmt.Sprintf("%d", ns.RemoteCalls))
+	t.AddRow("remote bytes", fmt.Sprintf("%d", ns.RemoteBytes))
+	t.AddRow("replayed", fmt.Sprintf("%d", ch.Root.Replayed))
+	t.AddRow("drained", fmt.Sprintf("%v", drained))
+	t.AddRow("conservation", fmt.Sprintf("injected=%d deleted=%d", ch.Root.Injected, ch.Root.Deleted))
+	t.AddRow("xor residue (log)", fmt.Sprintf("%d", ch.Root.LogSize()))
+	t.AddRow("sink duplicates", fmt.Sprintf("%d", ch.Sink.Duplicates))
+	t.AddRow("replay filtered", fmt.Sprintf("%d", ch.Sink.ReplayFiltered))
+	t.Note("same chain code as every DES experiment, selected by ChainConfig.Substrate; " +
+		"node b runs in-process here (loopback cluster) — cmd/chcd worker/coordinator runs the identical split as real OS processes")
+	return t
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNetProcExperiment runs the registered `netproc` experiment once —
+// the fork chain split across two loopback netnet nodes with a
+// remote-node crash — and checks its invariant rows plus proof that the
+// run actually crossed sockets (nonzero remote message/call counters).
+func TestNetProcExperiment(t *testing.T) {
+	tb := NetProc(Opts{Seed: 42, Flows: 40})
+	rows := map[string]string{}
+	for _, r := range tb.Rows {
+		rows[r[0]] = r[1]
+	}
+	if rows["drained"] != "true" {
+		t.Fatalf("netproc chain did not drain: %v", tb.Rows)
+	}
+	if rows["xor residue (log)"] != "0" {
+		t.Fatalf("XOR residue nonzero: %v", tb.Rows)
+	}
+	if rows["sink duplicates"] != "0" {
+		t.Fatalf("sink duplicates nonzero: %v", tb.Rows)
+	}
+	cons := strings.Fields(rows["conservation"]) // "injected=N deleted=M"
+	if len(cons) != 2 ||
+		strings.TrimPrefix(cons[0], "injected=") != strings.TrimPrefix(cons[1], "deleted=") {
+		t.Fatalf("conservation violated: %q", rows["conservation"])
+	}
+	if rows["remote msgs"] == "0" || rows["remote calls"] == "0" || rows["remote bytes"] == "0" {
+		t.Fatalf("chain never crossed a socket: msgs=%s calls=%s bytes=%s",
+			rows["remote msgs"], rows["remote calls"], rows["remote bytes"])
+	}
+}

@@ -1,0 +1,53 @@
+package netnet_test
+
+import (
+	"testing"
+
+	"chc/internal/netnet"
+	"chc/internal/transport"
+	"chc/internal/transport/transporttest"
+)
+
+// TestTransportConformance runs the shared substrate contract suite over
+// a three-node loopback cluster. The suite's endpoints carry no placement
+// configuration, so the NodeMap's hash fallback spreads them across the
+// nodes: a large share of the suite's traffic — including the burst
+// subtests — crosses real TCP sockets and the wire codec, yet the
+// observable semantics must be indistinguishable from livenet's.
+func TestTransportConformance(t *testing.T) {
+	transporttest.Run(t, func() transport.Transport {
+		c, err := netnet.NewCluster(netnet.ClusterConfig{
+			Seed: 1,
+			Nodes: []transport.NodeSpec{
+				{Name: "n0"}, {Name: "n1"}, {Name: "n2"},
+			},
+		})
+		if err != nil {
+			t.Fatalf("cluster: %v", err)
+		}
+		t.Cleanup(c.Shutdown)
+		return c
+	})
+}
+
+// TestTransportConformancePinned re-runs the suite with every suite
+// endpoint pinned to a DIFFERENT node than its peers, guaranteeing the
+// cross-socket path is exercised for each subtest regardless of how the
+// hash fallback happens to spread names.
+func TestTransportConformancePinned(t *testing.T) {
+	transporttest.Run(t, func() transport.Transport {
+		c, err := netnet.NewCluster(netnet.ClusterConfig{
+			Seed: 7,
+			Nodes: []transport.NodeSpec{
+				{Name: "n0", Endpoints: []string{"a", "cli"}},
+				{Name: "n1", Endpoints: []string{"b", "srv", "d"}},
+				{Name: "n2", Endpoints: []string{"c"}},
+			},
+		})
+		if err != nil {
+			t.Fatalf("cluster: %v", err)
+		}
+		t.Cleanup(c.Shutdown)
+		return c
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"chc/internal/livenet"
+	"chc/internal/netnet"
 	"chc/internal/nf"
 	"chc/internal/packet"
 	"chc/internal/simnet"
@@ -13,6 +14,39 @@ import (
 	"chc/internal/transport"
 	"chc/internal/vtime"
 )
+
+// Substrate selects the execution substrate a chain deploys on.
+type Substrate uint8
+
+// Substrates. The zero value is the deterministic simulation, so a zero
+// ChainConfig keeps the historical DES behavior.
+const (
+	// SubstrateSim runs the whole deployment on the deterministic
+	// discrete-event simulation — the correctness oracle, byte-identical
+	// to the historical behavior.
+	SubstrateSim Substrate = iota
+	// SubstrateLive runs the SAME chain code on internal/livenet: real
+	// goroutines, channels and wall-clock time in one process.
+	SubstrateLive
+	// SubstrateNet runs on internal/netnet: real TCP sockets between
+	// nodes. With ChainConfig.Node set, this process hosts only that
+	// node's share of the chain (a chcd worker in a multi-process
+	// deployment); with Node empty, every declared node runs in-process
+	// as a loopback cluster whose cross-node traffic still crosses real
+	// sockets and the wire codec.
+	SubstrateNet
+)
+
+func (s Substrate) String() string {
+	switch s {
+	case SubstrateLive:
+		return "live"
+	case SubstrateNet:
+		return "net"
+	default:
+		return "sim"
+	}
+}
 
 // BackendKind selects how a vertex's instances manage state.
 type BackendKind uint8
@@ -148,17 +182,48 @@ type ChainConfig struct {
 	// byte-identically.
 	Topology *TopologySpec
 
-	// Live selects the execution substrate. False (the default) runs the
-	// whole deployment on the deterministic discrete-event simulation —
-	// the correctness oracle, byte-identical to the historical behavior.
-	// True runs the SAME chain code on internal/livenet: real goroutines,
-	// channels and wall-clock time. In live mode each instance runs one
-	// run-to-completion worker (VertexSpec.Threads is ignored: the NF
-	// values keep instance-local state, so parallelism comes from more
-	// instances and from chain pipelining, like one lcore per NF), and
-	// modeled costs (service-time sleeps, root log delay, store op
-	// service) should be left at zero — the real execution is the cost.
+	// Substrate selects the execution substrate: SubstrateSim (default,
+	// the deterministic DES oracle), SubstrateLive (real goroutines in one
+	// process), or SubstrateNet (real TCP between nodes; see Nodes/Node).
+	// On the real-time substrates each instance runs one run-to-completion
+	// worker (VertexSpec.Threads is ignored: the NF values keep
+	// instance-local state, so parallelism comes from more instances and
+	// from chain pipelining, like one lcore per NF), and modeled costs
+	// (service-time sleeps, root log delay, store op service) should be
+	// left at zero — the real execution is the cost.
+	Substrate Substrate
+	// Nodes declares endpoint placement for SubstrateNet: which node hosts
+	// each component endpoint (root0, sink, storeN, vertex instances).
+	// Endpoints not matched by any node's list hash-spread across the
+	// declared nodes. Ignored on sim/live.
+	Nodes []transport.NodeSpec
+	// Node, when non-empty on SubstrateNet, makes this process host ONLY
+	// the named node's share of the chain (a chcd worker in a
+	// multi-process deployment): every process builds the same chain from
+	// the same config, but components whose endpoint lives on another node
+	// are not started here — their traffic arrives over TCP. Empty runs
+	// all declared nodes in-process as a loopback cluster.
+	Node string
+
+	// Live selects livenet when true.
+	//
+	// Deprecated: Live is the pre-Substrate spelling of
+	// Substrate == SubstrateLive and is kept as an alias so existing
+	// configs and JSON files keep working. It is only consulted when
+	// Substrate is zero (SubstrateSim).
 	Live bool
+}
+
+// substrate resolves the configured substrate, honoring the deprecated
+// Live alias (consulted only when Substrate is left at its zero value).
+func (cfg ChainConfig) substrate() Substrate {
+	if cfg.Substrate != SubstrateSim {
+		return cfg.Substrate
+	}
+	if cfg.Live {
+		return SubstrateLive
+	}
+	return SubstrateSim
 }
 
 // DefaultChainConfig matches the calibration in DESIGN.md: 15µs one-way
@@ -186,7 +251,8 @@ func DefaultChainConfig() ChainConfig {
 // timers kept, single run-to-completion worker per instance.
 func LiveChainConfig() ChainConfig {
 	cfg := DefaultChainConfig()
-	cfg.Live = true
+	cfg.Substrate = SubstrateLive
+	cfg.Live = true // deprecated alias, kept in sync for old readers
 	cfg.LinkLatency = 0
 	cfg.LineRateBps = 0
 	cfg.DefaultServiceTime = 0
@@ -210,13 +276,32 @@ func LiveChainConfig() ChainConfig {
 	return cfg
 }
 
+// NetChainConfig returns the live calibration retargeted at real TCP
+// sockets: nodes declares endpoint placement, node names the node THIS
+// process hosts ("" runs every node in-process as a loopback cluster).
+func NetChainConfig(nodes []transport.NodeSpec, node string) ChainConfig {
+	cfg := LiveChainConfig()
+	cfg.Substrate = SubstrateNet
+	cfg.Live = false
+	cfg.Nodes = nodes
+	cfg.Node = node
+	return cfg
+}
+
 // Chain is a deployed physical chain.
 type Chain struct {
 	cfg  ChainConfig
+	sub  Substrate
 	sim  *vtime.Sim // nil in live mode
 	tr   transport.Transport
 	spec []VertexSpec
 	pmap *store.PartitionMap
+	// Multi-process placement (SubstrateNet only): nodes maps endpoints to
+	// nodes, node names the node THIS process hosts ("" = all of them).
+	// Components whose endpoint is homed elsewhere are built but not
+	// started — see onNode.
+	nodes *transport.NodeMap
+	node  string
 	// arena recycles packet buffers on the live hot path (disabled — plain
 	// allocation — on the DES, where recycling has nothing to amortize and
 	// the golden outputs must not depend on pool behavior).
@@ -273,20 +358,45 @@ type Vertex struct {
 }
 
 // New builds (but does not start) a chain on the substrate selected by
-// cfg.Live: the deterministic DES (default) or livenet's real goroutines.
+// cfg.Substrate: the deterministic DES (default), livenet's real
+// goroutines, or netnet's real TCP sockets. On SubstrateNet every process
+// builds the full chain; cfg.Node decides which components Start actually
+// spawns here (see onNode).
 func New(cfg ChainConfig, spec ...VertexSpec) *Chain {
 	var tr transport.Transport
 	var sim *vtime.Sim
-	if cfg.Live {
+	var nodes *transport.NodeMap
+	sub := cfg.substrate()
+	switch sub {
+	case SubstrateLive:
 		tr = livenet.New(livenet.Config{Seed: cfg.Seed,
 			DefaultLink: transport.LinkConfig{Latency: cfg.LinkLatency}})
-	} else {
+	case SubstrateNet:
+		link := transport.LinkConfig{Latency: cfg.LinkLatency}
+		if cfg.Node == "" {
+			cl, err := netnet.NewCluster(netnet.ClusterConfig{
+				Seed: cfg.Seed, DefaultLink: link, Nodes: cfg.Nodes})
+			if err != nil {
+				panic(fmt.Sprintf("runtime: netnet cluster: %v", err))
+			}
+			tr, nodes = cl, cl.Nodes()
+		} else {
+			nodes = transport.NewNodeMap(cfg.Nodes)
+			n, err := netnet.New(netnet.Config{Seed: cfg.Seed,
+				DefaultLink: link, Node: cfg.Node, Nodes: nodes})
+			if err != nil {
+				panic(fmt.Sprintf("runtime: netnet node %q: %v", cfg.Node, err))
+			}
+			tr = n
+		}
+	default:
 		sim = vtime.NewSim(cfg.Seed)
 		tr = simnet.New(sim, transport.LinkConfig{Latency: cfg.LinkLatency})
 	}
-	c := &Chain{cfg: cfg, sim: sim, tr: tr, spec: spec, Metrics: NewMetrics(),
+	c := &Chain{cfg: cfg, sub: sub, sim: sim, tr: tr, spec: spec,
+		nodes: nodes, node: cfg.Node, Metrics: NewMetrics(),
 		xorAlias: make(map[uint16]uint16),
-		arena:    packet.NewArena(cfg.Live)}
+		arena:    packet.NewArena(sub != SubstrateSim)}
 
 	nshards := cfg.StoreShards
 	if nshards <= 0 {
@@ -361,8 +471,45 @@ func (c *Chain) Net() transport.Transport { return c.tr }
 // Now returns the substrate's current time (virtual or since-start).
 func (c *Chain) Now() transport.Time { return c.tr.Now() }
 
-// Live reports whether the chain runs on real goroutines.
-func (c *Chain) Live() bool { return c.cfg.Live }
+// Live reports whether the chain runs in real time (livenet or netnet).
+func (c *Chain) Live() bool { return c.live() }
+
+// live is the internal spelling of "real-time substrate": every code path
+// that used to branch on cfg.Live branches on this, so livenet behavior
+// extends unchanged to netnet.
+func (c *Chain) live() bool { return c.sub != SubstrateSim }
+
+// Substrate reports which substrate the chain was built on.
+func (c *Chain) Substrate() Substrate { return c.sub }
+
+// NodeMap returns the chain's endpoint-placement map (nil unless the
+// chain runs on SubstrateNet).
+func (c *Chain) NodeMap() *transport.NodeMap { return c.nodes }
+
+// OwnsEndpoint reports whether the component owning endpoint ep runs in
+// THIS process (chcd workers use it to route verbs that must execute on a
+// component's home, like injecting at the root).
+func (c *Chain) OwnsEndpoint(ep string) bool { return c.onNode(ep) }
+
+// onNode reports whether the component owning endpoint ep runs in THIS
+// process. True everywhere except a SubstrateNet worker (cfg.Node set),
+// where exactly one process answers true per endpoint.
+func (c *Chain) onNode(ep string) bool {
+	if c.nodes == nil || c.node == "" {
+		return true
+	}
+	return c.nodes.NodeOf(ep) == c.node
+}
+
+// NetStats reports cross-node transport traffic (zero unless the chain
+// runs on SubstrateNet, where >0 remote counts prove traffic crossed real
+// sockets and the wire codec).
+func (c *Chain) NetStats() netnet.NetStats {
+	if s, ok := c.tr.(interface{ Stats() netnet.NetStats }); ok {
+		return s.Stats()
+	}
+	return netnet.NetStats{}
+}
 
 // Arena exposes the chain's packet arena (recycling is live-mode only; on
 // the DES the arena degrades to plain allocation).
@@ -373,7 +520,7 @@ func (c *Chain) Arena() *packet.Arena { return c.arena }
 // fast path, so DES golden parity with batching configured holds by
 // construction.
 func (c *Chain) burstSize() int {
-	if !c.cfg.Live || c.cfg.BurstSize <= 1 {
+	if !c.live() || c.cfg.BurstSize <= 1 {
 		return 1
 	}
 	return c.cfg.BurstSize
@@ -414,18 +561,43 @@ func (c *Chain) sendControl(to string, payload any) {
 	c.tr.Send(transport.Message{From: "framework", To: to, Payload: payload, Size: 16})
 }
 
-// Start spawns all component processes.
+// Start spawns all component processes. On a SubstrateNet worker only the
+// components homed on this process's node spawn (everything is still
+// BUILT everywhere, so IDs, partition maps and topology agree across
+// processes); each vertex's manager runs with the root, on the root's
+// node, so failover decisions have a single authority.
 func (c *Chain) Start() {
-	for _, s := range c.Stores {
-		s.Start()
+	for i, s := range c.Stores {
+		if c.onNode(ShardEndpoint(i)) {
+			s.Start()
+		}
 	}
-	c.Root.Start()
-	c.Sink.Start()
+	if c.onNode(c.Root.Endpoint) {
+		c.Root.Start()
+		if c.live() {
+			// Arm the §5.4 retransmission sweep: live substrates lose
+			// packets for real (worker death, socket teardown), and the
+			// root is the conservation authority that must re-drive them.
+			// Never armed on the DES — its schedules are loss-accounted,
+			// and an extra timer would perturb every golden digest.
+			var tick func()
+			tick = func() {
+				c.sendControl(c.Root.Endpoint, SweepCmd{})
+				c.tr.Schedule(rootSweepEvery, tick)
+			}
+			c.tr.Schedule(rootSweepEvery, tick)
+		}
+	}
+	if c.onNode(SinkEndpoint) {
+		c.Sink.Start()
+	}
 	for _, v := range c.Vertices {
 		for _, inst := range v.Instances {
 			inst.Start()
 		}
-		v.Manager.Start()
+		if c.onNode(c.Root.Endpoint) {
+			v.Manager.Start()
+		}
 	}
 	c.registerCustomOps()
 }
@@ -443,9 +615,14 @@ func (c *Chain) registerCustomOps() {
 }
 
 // Seed runs fn against the vertex's shared state through instance 0's
-// backend (port pools, server tables) before traffic starts.
+// backend (port pools, server tables) before traffic starts. On a
+// SubstrateNet worker, only instance 0's home node performs the seeding
+// (the state lands in the shared store, visible to every process).
 func (v *Vertex) Seed(fn func(apply func(store.Request))) {
 	inst := v.Instances[0]
+	if !v.chain.onNode(inst.Endpoint) {
+		return
+	}
 	done := v.chain.tr.NewSignal()
 	v.chain.tr.Spawn(fmt.Sprintf("seed-v%d", v.ID), func(p transport.Proc) {
 		ctx := nf.NewCtx(p, inst.state, nil)

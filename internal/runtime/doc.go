@@ -31,11 +31,14 @@
 // path (DESIGN.md §8).
 //
 // The runtime is written against transport.Transport, so the same chain
-// code runs on two substrates: the deterministic DES of internal/vtime +
-// internal/simnet (the correctness oracle, and the default), or — with
-// ChainConfig.Live — internal/livenet's real goroutines and wall-clock
-// time (the performance artifact, exercised under the race detector).
-// See DESIGN.md §1 for the simulation rationale, §5 for the
-// sharding/elasticity design, §6 for the policy-DAG model and §7 for the
-// live execution mode.
+// code runs on three substrates selected by ChainConfig.Substrate: the
+// deterministic DES of internal/vtime + internal/simnet (the correctness
+// oracle, and the default), internal/livenet's real goroutines and
+// wall-clock time (the performance artifact, exercised under the race
+// detector), or internal/netnet's real TCP sockets, where
+// ChainConfig.Nodes places endpoints on nodes and ChainConfig.Node makes
+// one OS process host one node's share of the chain (multi-process
+// deployments; see DESIGN.md §12). See DESIGN.md §1 for the simulation
+// rationale, §5 for the sharding/elasticity design, §6 for the policy-DAG
+// model and §7 for the live execution mode.
 package runtime

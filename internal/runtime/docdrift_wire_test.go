@@ -1,0 +1,103 @@
+package runtime
+
+import (
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"chc/internal/transport"
+)
+
+// designWireTable expands DESIGN.md §12's tag table into tag -> name.
+// The doc compresses ranges ("16–30" with a brace list, in order), so
+// the parser expands "pkg.{A*, B, C}" to pkg.A, pkg.B, pkg.C (the `*`
+// pointer marker is doc-only) and backticked names for builtin rows.
+func designWireTable(t *testing.T) map[uint16]string {
+	t.Helper()
+	raw, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatalf("read DESIGN.md: %v", err)
+	}
+	text := string(raw)
+	start := strings.Index(text, "## §12")
+	if start < 0 {
+		t.Fatal("DESIGN.md has no §12 section")
+	}
+	rest := text[start:]
+	if end := strings.Index(rest[1:], "\n## "); end >= 0 {
+		rest = rest[:end+1]
+	}
+	rowRe := regexp.MustCompile(`(?m)^\| ([0-9][0-9–, ]*) \| (.+) \|$`)
+	braceRe := regexp.MustCompile("`([a-z]+)\\.\\{([^}]+)\\}`")
+	tickRe := regexp.MustCompile("`([A-Za-z]+)`")
+
+	table := make(map[uint16]string)
+	for _, m := range rowRe.FindAllStringSubmatch(rest, -1) {
+		var tags []uint16
+		for _, part := range strings.Split(m[1], ",") {
+			part = strings.TrimSpace(part)
+			if lo, hi, ok := strings.Cut(part, "–"); ok {
+				l, err1 := strconv.Atoi(lo)
+				h, err2 := strconv.Atoi(hi)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("bad tag range %q in §12 table", part)
+				}
+				for v := l; v <= h; v++ {
+					tags = append(tags, uint16(v))
+				}
+			} else {
+				v, err := strconv.Atoi(part)
+				if err != nil {
+					t.Fatalf("bad tag %q in §12 table", part)
+				}
+				tags = append(tags, uint16(v))
+			}
+		}
+		var names []string
+		if bm := braceRe.FindStringSubmatch(m[2]); bm != nil {
+			for _, n := range strings.Split(bm[2], ",") {
+				n = strings.TrimSuffix(strings.TrimSpace(n), "*")
+				names = append(names, bm[1]+"."+n)
+			}
+		} else {
+			for _, tm := range tickRe.FindAllStringSubmatch(m[2], -1) {
+				names = append(names, tm[1])
+			}
+		}
+		if len(tags) != len(names) {
+			t.Fatalf("§12 row %q: %d tags but %d names", m[0], len(tags), len(names))
+		}
+		for i, tag := range tags {
+			table[tag] = names[i]
+		}
+	}
+	if len(table) == 0 {
+		t.Fatal("no wire tags parsed from DESIGN.md §12 — table format changed?")
+	}
+	return table
+}
+
+// TestWireTableMatchesDesignDoc is the §12 doc-drift guard: the tag
+// allocation DESIGN.md documents must be exactly the registry the
+// binary links (this package pulls in both store's and runtime's
+// wire.go inits). Either direction rotting — a registration the doc
+// missed, or a documented tag nobody registers — fails CI.
+func TestWireTableMatchesDesignDoc(t *testing.T) {
+	doc := designWireTable(t)
+	reg := transport.WireEntries()
+	seen := make(map[uint16]bool)
+	for _, e := range reg {
+		seen[e.Tag] = true
+		if doc[e.Tag] != e.Name {
+			t.Errorf("tag %d is registered as %q but DESIGN.md §12 documents %q",
+				e.Tag, e.Name, doc[e.Tag])
+		}
+	}
+	for tag, name := range doc {
+		if !seen[tag] {
+			t.Errorf("DESIGN.md §12 documents tag %d (%s) but nothing registers it", tag, name)
+		}
+	}
+}

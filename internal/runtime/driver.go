@@ -16,7 +16,7 @@ import (
 // and the call blocks until the pacer finishes. Returns the covered
 // duration on the chain's clock.
 func (c *Chain) RunTrace(tr *trace.Trace, settle time.Duration) time.Duration {
-	if c.cfg.Live {
+	if c.live() {
 		return c.runTraceLive(tr, settle)
 	}
 	base := c.sim.Now()

@@ -172,7 +172,7 @@ func (c *Chain) newClient(v *Vertex, id uint16, ep string, mode store.Mode) *sto
 		RPCTimeout:     c.cfg.RPCTimeout,
 		// Burst-scoped store RPC batching rides the live packet batching:
 		// the instance flushes the client's buffers at every burst end.
-		BurstRPC: c.cfg.Live && c.burstSize() > 1,
+		BurstRPC: c.live() && c.burstSize() > 1,
 	})
 }
 
@@ -236,13 +236,19 @@ func (i *Instance) setDraining(v bool) {
 // NFImpl exposes the NF value (experiments inspect detector verdicts).
 func (i *Instance) NFImpl() nf.NF { return i.nfImpl }
 
-// Start spawns the worker processes. Live mode runs exactly one
-// run-to-completion worker per instance (the NF values keep
-// instance-local state; see ChainConfig.Live).
+// Start spawns the worker processes. The real-time substrates run exactly
+// one run-to-completion worker per instance (the NF values keep
+// instance-local state; see ChainConfig.Substrate). On a SubstrateNet
+// worker process, instances homed on other nodes do not spawn — the check
+// lives here (not in Chain.Start) so failover and scale-out replacements
+// created at runtime obey placement too.
 func (i *Instance) Start() {
+	if !i.chain.onNode(i.Endpoint) {
+		return
+	}
 	i.setDead(false)
 	n := i.vertex.Spec.Threads
-	if n <= 0 || i.chain.cfg.Live {
+	if n <= 0 || i.chain.live() {
 		n = 1
 	}
 	for w := 0; w < n; w++ {

@@ -217,8 +217,13 @@ func (c *Chain) failoverNF(old *Instance) *Instance {
 	c.aliasInstance(nu, old)
 	nu.StartReplayTarget()
 	nu.Start()
-	// Replay brings state up to speed with in-transit packets.
-	c.sendControl(c.Root.Endpoint, ReplayCmd{CloneID: nu.ID})
+	// Replay brings state up to speed with in-transit packets. In a
+	// multi-process deployment every worker executes this verb (SPMD), but
+	// only the replacement's home node asks the root to replay — N workers
+	// requesting N replays would multiply the replay traffic.
+	if c.onNode(nu.Endpoint) {
+		c.sendControl(c.Root.Endpoint, ReplayCmd{CloneID: nu.ID})
+	}
 	return nu
 }
 
@@ -236,7 +241,9 @@ func (c *Chain) cloneStraggler(straggler *Instance) *Instance {
 	c.mu.Unlock()
 	clone.Start()
 	v.Splitter.Replicate(straggler.ID, clone.ID)
-	c.sendControl(c.Root.Endpoint, ReplayCmd{CloneID: clone.ID})
+	if c.onNode(clone.Endpoint) {
+		c.sendControl(c.Root.Endpoint, ReplayCmd{CloneID: clone.ID})
+	}
 	return clone
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"chc/internal/nf"
+	"chc/internal/packet"
 	"chc/internal/transport"
 )
 
@@ -20,6 +21,14 @@ type Sink struct {
 	Received   uint64
 	Bytes      uint64
 	Duplicates uint64
+	// ReplayFiltered counts replay-flagged re-deliveries the egress
+	// suppressed: recovery traffic (failover replay, retransmission sweep)
+	// may legitimately re-traverse the chain for a packet whose first copy
+	// already egressed, and R5 duplicate suppression applies at the egress
+	// element like everywhere else — the end host never sees the copy.
+	// Duplicates stays what an end host observed: a nonzero value means a
+	// NON-replay packet was delivered twice, which is a protocol bug.
+	ReplayFiltered uint64
 	// ReceivedByClass counts deliveries per traffic class (policy-DAG
 	// deployments; linear chains put everything under class 0).
 	ReceivedByClass map[uint8]uint64
@@ -41,12 +50,17 @@ func (s *Sink) Start() {
 			if !ok {
 				continue
 			}
+			if _, dup := s.seen[m.Pkt.Meta.Clock]; dup {
+				if m.Pkt.Meta.Flags&packet.MetaReplay != 0 {
+					s.ReplayFiltered++
+					s.chain.arena.Put(m.Pkt)
+					continue
+				}
+				s.Duplicates++
+			}
 			s.Received++
 			s.Bytes += uint64(m.Pkt.WireLen())
 			s.ReceivedByClass[m.Pkt.Meta.Class]++
-			if _, dup := s.seen[m.Pkt.Meta.Clock]; dup {
-				s.Duplicates++
-			}
 			s.seen[m.Pkt.Meta.Clock] = struct{}{}
 			if m.Pkt.IngressNs > 0 {
 				s.chain.Metrics.TotalTime("chain", p.Now().Sub(transport.Time(m.Pkt.IngressNs)))

@@ -23,6 +23,25 @@ type ReplayCmd struct {
 	CloneID uint16
 }
 
+// SweepCmd asks the root to retransmit logged packets that have made no
+// delete progress for rootRetransmitAge — the §5.4 retransmission backstop.
+// Live substrates lose packets for real (a worker process dying takes the
+// bytes in its sockets with it), and a packet can slip into the root log
+// concurrently with a failover's replay scan and miss both the scan and
+// the dead instance. The sweep re-forwards such orphans through the
+// splitters' CURRENT routing; duplicate suppression makes a retransmitted
+// copy of a packet that survived after all harmless. The DES never sends
+// this verb: deterministic schedules have no unaccounted loss.
+type SweepCmd struct{}
+
+// Live-mode retransmission sweep cadence and the idle age at which a
+// logged packet is declared lost. The age is far above a healthy delete
+// round-trip (p99 latency is tens of ms) and well under drain budgets.
+const (
+	rootSweepEvery    = 250 * time.Millisecond
+	rootRetransmitAge = 750 * time.Millisecond
+)
+
 // RootStatsQuery asks the root for a statistics snapshot through its own
 // event loop — the only way to read a consistent view while traffic is
 // flowing in live mode (the root's counters belong to its process).
@@ -48,6 +67,9 @@ type rootLogEntry struct {
 	// recovering vertex, and the Fig 6 commit accounting uses it to reject
 	// commits from vertices off the packet's path.
 	class uint8
+	// sentAt is when the packet was last forwarded (ingest, replay or
+	// retransmission sweep); the sweep retransmits entries idle too long.
+	sentAt transport.Time
 }
 
 // Root is the chain entry: it stamps logical clocks, logs in-flight
@@ -160,6 +182,8 @@ func (r *Root) dispatch(p transport.Proc, msg transport.Message) {
 		r.handleCommit(m)
 	case ReplayCmd:
 		r.replay(p, m.CloneID)
+	case SweepCmd:
+		r.sweepRetransmit(p)
 	case transport.Call:
 		switch m.Body().(type) {
 		case store.PartitionQuery:
@@ -280,7 +304,7 @@ func (r *Root) ingestCore(p transport.Proc, m PacketMsg) *packet.Packet {
 	// the delete verdict in tryDelete.
 	cp := r.chain.arena.Get()
 	*cp = *m.Pkt
-	r.log[clock] = &rootLogEntry{pkt: cp, class: class}
+	r.log[clock] = &rootLogEntry{pkt: cp, class: class, sentAt: p.Now()}
 	r.order = append(r.order, clock)
 
 	r.Injected++
@@ -405,6 +429,7 @@ func (r *Root) replay(p transport.Proc, cloneID uint16) {
 			// state (suppressing tail output).
 			cp.Meta.Flags |= packet.MetaNoOut
 		}
+		ent.sentAt = now
 		r.Replayed++
 		r.forward(p, cp, now)
 	}
@@ -438,6 +463,30 @@ func (r *Root) replay(p transport.Proc, cloneID uint16) {
 			cls = r.chain.classThrough(clone.vertex)
 		}
 		sendMarker(cls)
+	}
+}
+
+// sweepRetransmit re-forwards logged packets with no delete progress for
+// rootRetransmitAge (see SweepCmd). Retransmissions are replay-flagged so
+// instances that did process the first copy re-execute it in emulation
+// (duplicate-log results, no fresh side effects) instead of dropping the
+// recovery stream, and entries whose delete already arrived re-run with
+// output suppressed — they only need their Fig 6 commit balance rebuilt.
+func (r *Root) sweepRetransmit(p transport.Proc) {
+	now := p.Now()
+	for _, c := range r.order {
+		ent, ok := r.log[c]
+		if !ok || now.Sub(ent.sentAt) < rootRetransmitAge {
+			continue
+		}
+		cp := ent.pkt.Clone()
+		cp.Meta.Flags |= packet.MetaReplay
+		if ent.gotDelete {
+			cp.Meta.Flags |= packet.MetaNoOut
+		}
+		ent.sentAt = now
+		r.Replayed++
+		r.forward(p, cp, now)
 	}
 }
 

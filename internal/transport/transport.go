@@ -1,14 +1,17 @@
 // Package transport abstracts the execution-and-messaging substrate the
-// CHC chain runs on. Two implementations exist:
+// CHC chain runs on. Three implementations exist:
 //
 //   - internal/simnet: the deterministic discrete-event simulation
 //     (virtual time, single scheduler) — the correctness oracle;
 //   - internal/livenet: real goroutines, channels and wall-clock time —
-//     the performance artifact.
+//     the performance artifact;
+//   - internal/netnet: real TCP sockets between OS processes, layered on
+//     the livenet core, with payloads crossing the wire codec (Wire*,
+//     RegisterWire) and endpoints placed on nodes by a NodeMap.
 //
 // runtime.Chain, Root, Instance, the policy DAG and store.Client are
 // written against these interfaces only, so the same protocol code runs
-// unmodified in either mode (ChainConfig.Live selects the substrate).
+// unmodified on any substrate (ChainConfig.Substrate selects it).
 package transport
 
 import (

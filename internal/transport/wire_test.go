@@ -1,0 +1,237 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWirePrimitivesRoundTrip(t *testing.T) {
+	e := &WireEnc{}
+	e.U8(0xab)
+	e.Bool(true)
+	e.Bool(false)
+	e.U16(0x1234)
+	e.U32(0xdeadbeef)
+	e.U64(0x0123456789abcdef)
+	e.I64(-42)
+	e.F64(3.5)
+	e.Str("hello")
+	e.Str("")
+	e.Blob([]byte{1, 2, 3})
+	e.Blob(nil)
+	e.I64s([]int64{-1, 0, 7})
+	e.U64s([]uint64{9, 10})
+	e.MapU16U64(map[uint16]uint64{3: 30, 1: 10, 2: 20})
+	e.MapU64U16(map[uint64]uint16{100: 1, 5: 2})
+	e.MapStrI64(map[string]int64{"b": 2, "a": 1})
+
+	d := NewWireDec(e.Bytes())
+	if got := d.U8(); got != 0xab {
+		t.Fatalf("U8 = %x", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("Bool round-trip")
+	}
+	if got := d.U16(); got != 0x1234 {
+		t.Fatalf("U16 = %x", got)
+	}
+	if got := d.U32(); got != 0xdeadbeef {
+		t.Fatalf("U32 = %x", got)
+	}
+	if got := d.U64(); got != 0x0123456789abcdef {
+		t.Fatalf("U64 = %x", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := d.F64(); got != 3.5 {
+		t.Fatalf("F64 = %v", got)
+	}
+	if got := d.Str(); got != "hello" {
+		t.Fatalf("Str = %q", got)
+	}
+	if got := d.Str(); got != "" {
+		t.Fatalf("empty Str = %q", got)
+	}
+	if got := d.Blob(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("Blob = %v", got)
+	}
+	if got := d.Blob(); got != nil {
+		t.Fatalf("nil Blob = %v", got)
+	}
+	if got := d.I64s(); len(got) != 3 || got[0] != -1 || got[2] != 7 {
+		t.Fatalf("I64s = %v", got)
+	}
+	if got := d.U64s(); len(got) != 2 || got[1] != 10 {
+		t.Fatalf("U64s = %v", got)
+	}
+	if got := d.MapU16U64(); len(got) != 3 || got[2] != 20 {
+		t.Fatalf("MapU16U64 = %v", got)
+	}
+	if got := d.MapU64U16(); len(got) != 2 || got[100] != 1 {
+		t.Fatalf("MapU64U16 = %v", got)
+	}
+	if got := d.MapStrI64(); len(got) != 2 || got["a"] != 1 {
+		t.Fatalf("MapStrI64 = %v", got)
+	}
+	if d.Err() != nil {
+		t.Fatalf("latched error: %v", d.Err())
+	}
+	if d.Rest() != 0 {
+		t.Fatalf("%d trailing bytes", d.Rest())
+	}
+}
+
+func TestWireMapEncodingCanonical(t *testing.T) {
+	// Same map contents must encode to the same bytes regardless of
+	// insertion order (sorted-key emission).
+	enc := func(m map[string]int64) []byte {
+		e := &WireEnc{}
+		e.MapStrI64(m)
+		return e.Bytes()
+	}
+	a := map[string]int64{"x": 1, "y": 2, "z": 3}
+	b := map[string]int64{"z": 3, "x": 1, "y": 2}
+	if !bytes.Equal(enc(a), enc(b)) {
+		t.Fatal("map encoding depends on insertion order")
+	}
+}
+
+func TestWireDecodeErrorsLatch(t *testing.T) {
+	d := NewWireDec([]byte{0x01})
+	if got := d.U32(); got != 0 {
+		t.Fatalf("short U32 = %d", got)
+	}
+	if d.Err() == nil {
+		t.Fatal("expected latched error")
+	}
+	// Every subsequent accessor stays zero-valued.
+	if d.U64() != 0 || d.Str() != "" || d.Blob() != nil {
+		t.Fatal("accessors after error must return zero values")
+	}
+}
+
+func TestWireCorruptLengthBounded(t *testing.T) {
+	e := &WireEnc{}
+	e.U32(1 << 30) // claims 2^30 int64 elements with no payload behind it
+	d := NewWireDec(e.Bytes())
+	if got := d.I64s(); got != nil {
+		t.Fatalf("corrupt length produced %d elements", len(got))
+	}
+	if d.Err() == nil {
+		t.Fatal("expected corrupt-length error")
+	}
+}
+
+func TestEncodeDecodePayload(t *testing.T) {
+	b, err := EncodePayload(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := DecodePayload(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 7 {
+		t.Fatalf("decoded %v", v)
+	}
+	b2, err := EncodePayload("abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := DecodePayload(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.(string) != "abc" {
+		t.Fatalf("decoded %v", v2)
+	}
+}
+
+func TestEncodePayloadUnregistered(t *testing.T) {
+	type private struct{ X int }
+	if _, err := EncodePayload(private{1}); err == nil {
+		t.Fatal("expected unregistered-type error")
+	}
+	if WireRegistered(private{}) {
+		t.Fatal("private type reported as registered")
+	}
+	if !WireRegistered(0) {
+		t.Fatal("int must be registered")
+	}
+}
+
+func TestDecodePayloadRejectsGarbage(t *testing.T) {
+	if _, err := DecodePayload([]byte{0xff, 0xff, 0x00}); err == nil {
+		t.Fatal("unknown tag must fail")
+	}
+	if _, err := DecodePayload(nil); err == nil {
+		t.Fatal("empty frame must fail")
+	}
+	// Trailing bytes after a valid int body.
+	b, _ := EncodePayload(1)
+	if _, err := DecodePayload(append(b, 0x00)); err == nil {
+		t.Fatal("trailing bytes must fail")
+	}
+}
+
+func TestNodeMapResolution(t *testing.T) {
+	m := NewNodeMap([]NodeSpec{
+		{Name: "w1", Addr: "127.0.0.1:9001", Endpoints: []string{"root0", "sink", "store0", "v0.i0", "v1", "v2"}},
+		{Name: "w2", Addr: "127.0.0.1:9002", Endpoints: []string{"v0.i1"}},
+	})
+	cases := map[string]string{
+		"root0":   "w1",
+		"v0.i0":   "w1",
+		"v0.i1":   "w2",
+		"v0.i1.q": "w2", // segment child of v0.i1
+		"v1.i0":   "w1", // vertex prefix covers instances
+		"v2.i5":   "w1",
+		"store0":  "w1",
+	}
+	for ep, want := range cases {
+		if got := m.NodeOf(ep); got != want {
+			t.Errorf("NodeOf(%q) = %q, want %q", ep, got, want)
+		}
+	}
+	// "v0.i10" must NOT match the "v0.i1" entry (segment boundary); it
+	// falls back to the "v0" level only if declared — here nothing claims
+	// it, so it hashes, but deterministically.
+	a, b := m.NodeOf("v0.i10"), m.NodeOf("v0.i10")
+	if a != b || (a != "w1" && a != "w2") {
+		t.Fatalf("hash fallback unstable: %q vs %q", a, b)
+	}
+	if m.Addr("w2") != "127.0.0.1:9002" {
+		t.Fatalf("Addr(w2) = %q", m.Addr("w2"))
+	}
+}
+
+func TestNodeMapReassign(t *testing.T) {
+	m := NewNodeMap([]NodeSpec{
+		{Name: "w1", Endpoints: []string{"v0"}},
+		{Name: "w2", Endpoints: []string{"v0.i1"}},
+	})
+	if got := m.NodeOf("v0.i1"); got != "w2" {
+		t.Fatalf("pre-reassign NodeOf = %q", got)
+	}
+	m.Reassign("v0.i1", "w1")
+	if got := m.NodeOf("v0.i1"); got != "w1" {
+		t.Fatalf("post-reassign NodeOf = %q", got)
+	}
+	// Longer prefixes still win over the reassigned one.
+	m.Reassign("v0.i1.sub", "w2")
+	if got := m.NodeOf("v0.i1.sub"); got != "w2" {
+		t.Fatalf("longest-prefix after reassign = %q", got)
+	}
+}
+
+func TestNodeMapSetAddr(t *testing.T) {
+	m := NewNodeMap([]NodeSpec{{Name: "w1", Addr: ""}})
+	m.SetAddr("w1", "127.0.0.1:40001")
+	if m.Addr("w1") != "127.0.0.1:40001" {
+		t.Fatal("SetAddr did not stick")
+	}
+	if m.Nodes()[0].Addr != "127.0.0.1:40001" {
+		t.Fatal("SetAddr did not update the spec list")
+	}
+}
